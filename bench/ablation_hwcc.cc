@@ -1,0 +1,100 @@
+/// Ablation (paper §5.2.1 "HWcc memory"): how much coherent memory each
+/// design needs, absolute and relative — cxlalloc's split-metadata layout
+/// against ralloc (separable but monolithic metadata), cxl-shm (inline
+/// refcount headers: the whole heap), and boost/lightning (interleaved
+/// metadata: the whole segment).
+///
+/// Paper numbers: cxlalloc uses 0.02% HWcc relative to total memory on the
+/// KV workloads (7.1% of ralloc's HWcc); 2.5% / 0.09% on threadtest /
+/// xmalloc (9.4% / 9.5% of ralloc's).
+
+#include <cstdio>
+
+#include "kv/kv_store.h"
+#include "support.h"
+#include "workload/kv_workload.h"
+#include "workload/micro.h"
+
+namespace {
+
+constexpr std::uint64_t kBuckets = 1 << 14;
+
+struct Usage {
+    std::uint64_t hwcc = 0;
+    std::uint64_t total = 0;
+};
+
+Usage
+measure(const std::string& name, const char* workload_name)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 4096;
+    geom.extra_bytes = kv::HashTable::footprint(kBuckets);
+    bench::Bundle b = bench::make_bundle(name, geom);
+    std::string w(workload_name);
+    std::optional<kv::KvStore> store;
+    if (w == "ycsb-load") {
+        store.emplace(*b.pod, b.extra_base, kBuckets, b.alloc.get());
+    }
+    bench::RunResult r = bench::run_threads(
+        b, 2, [&](pod::ThreadContext& ctx, std::uint32_t tidx) {
+            if (w == "threadtest") {
+                return 2 * workload::run_threadtest(*b.alloc, ctx, 100, 512,
+                                                    64);
+            }
+            workload::KvOpStream stream(workload::ycsb_load(), tidx + 1);
+            std::vector<char> value(960, 'v');
+            for (int i = 0; i < 10'000; i++) {
+                workload::KvOp op = stream.next();
+                store->insert(ctx, op.key, op.klen, value.data(), op.vlen);
+            }
+            return std::uint64_t{10'000};
+        });
+    Usage u;
+    u.hwcc = r.hwcc_bytes;
+    u.total = r.committed_bytes + r.metadata_bytes;
+    return u;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Ablation: HWcc (coherent) memory required by each design");
+    for (const char* workload_name : {"threadtest", "ycsb-load"}) {
+        Usage ralloc; // reference point, as in the paper
+        for (const std::string& name :
+             {std::string("cxlalloc"), std::string("ralloc-like"),
+              std::string("cxl-shm-like"), std::string("boost-like")}) {
+            Usage u = measure(name, workload_name);
+            if (name == "ralloc-like") {
+                ralloc = u;
+            }
+            std::printf("ablate hwcc  %-10s %-14s hwcc=%-11s total=%-11s "
+                        "hwcc/total=%7.3f%%",
+                        workload_name, name.c_str(),
+                        cxlcommon::format_bytes(u.hwcc).c_str(),
+                        cxlcommon::format_bytes(u.total).c_str(),
+                        100.0 * static_cast<double>(u.hwcc) /
+                            static_cast<double>(u.total));
+            if (ralloc.hwcc != 0 && name == "cxlalloc") {
+                // cxlalloc row prints before ralloc's: recompute after.
+            }
+            std::puts("");
+        }
+        // Relative comparison (cxlalloc vs ralloc), as the paper reports.
+        Usage c = measure("cxlalloc", workload_name);
+        Usage ra = measure("ralloc-like", workload_name);
+        std::printf("ablate hwcc  %-10s cxlalloc/ralloc HWcc ratio = "
+                    "%5.1f%%\n\n",
+                    workload_name,
+                    100.0 * static_cast<double>(c.hwcc) /
+                        static_cast<double>(ra.hwcc));
+    }
+    std::puts("Paper reference: cxlalloc ~0.02% of total on KV workloads "
+              "(7.1% of ralloc's HWcc); 2.5%/0.09% on threadtest/xmalloc");
+    std::puts("(9.4%/9.5% of ralloc's). cxl-shm and the mutex allocators "
+              "need the whole heap coherent.");
+    return 0;
+}

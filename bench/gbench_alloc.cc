@@ -1,0 +1,100 @@
+/// Google-benchmark microbenchmarks of raw allocator primitives: per-op
+/// cost of the fast path (alloc/free same thread), the remote-free path,
+/// and cxlalloc's recoverable vs non-recoverable ablation. Complements the
+/// paper-figure harnesses with statistically-managed single-op timings.
+
+#include <benchmark/benchmark.h>
+
+#include "support.h"
+#include "workload/micro.h"
+
+namespace {
+
+/// alloc+free pair on the fast path, per allocator.
+void
+BM_AllocFreePair(benchmark::State& state, const std::string& name)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 512;
+    geom.large_slabs = 8;
+    geom.huge_regions = 2;
+    bench::Bundle b = bench::make_bundle(name, geom);
+    auto ctx = b.thread();
+    for (auto _ : state) {
+        cxl::HeapOffset p = b.alloc->allocate(*ctx, 64);
+        benchmark::DoNotOptimize(p);
+        b.alloc->deallocate(*ctx, p);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+    b.pod->release_thread(std::move(ctx));
+}
+
+/// Remote-free round trip: thread A allocates a batch, thread B frees it.
+void
+BM_RemoteFreeBatch(benchmark::State& state, const std::string& name)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 512;
+    geom.large_slabs = 8;
+    geom.huge_regions = 2;
+    bench::Bundle b = bench::make_bundle(name, geom);
+    auto producer = b.thread();
+    auto consumer = b.thread();
+    constexpr int kBatch = 64;
+    std::vector<cxl::HeapOffset> batch(kBatch);
+    for (auto _ : state) {
+        for (auto& p : batch) {
+            p = b.alloc->allocate(*producer, 64);
+        }
+        for (auto p : batch) {
+            b.alloc->deallocate(*consumer, p);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch * 2);
+    b.pod->release_thread(std::move(producer));
+    b.pod->release_thread(std::move(consumer));
+}
+
+/// cxlalloc fast path under mCAS memory mode (no HWcc): local operations
+/// must not touch the NMP engine.
+void
+BM_CxlallocMcasFastPath(benchmark::State& state)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 512;
+    geom.large_slabs = 8;
+    geom.huge_regions = 2;
+    bench::Bundle b =
+        bench::make_bundle("cxlalloc", geom, bench::MemoryMode::CxlMcas);
+    auto ctx = b.thread();
+    for (auto _ : state) {
+        cxl::HeapOffset p = b.alloc->allocate(*ctx, 64);
+        benchmark::DoNotOptimize(p);
+        b.alloc->deallocate(*ctx, p);
+    }
+    state.counters["mcas_ops"] = static_cast<double>(
+        ctx->mem().counters().mcas_ops);
+    b.pod->release_thread(std::move(ctx));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_AllocFreePair, cxlalloc, std::string("cxlalloc"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, cxlalloc_nonrec,
+                  std::string("cxlalloc-nonrecoverable"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, mimalloc_like,
+                  std::string("mimalloc-like"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, ralloc_like, std::string("ralloc-like"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, cxl_shm_like,
+                  std::string("cxl-shm-like"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, boost_like, std::string("boost-like"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, lightning_like,
+                  std::string("lightning-like"));
+BENCHMARK_CAPTURE(BM_RemoteFreeBatch, cxlalloc, std::string("cxlalloc"));
+BENCHMARK_CAPTURE(BM_RemoteFreeBatch, mimalloc_like,
+                  std::string("mimalloc-like"));
+BENCHMARK_CAPTURE(BM_RemoteFreeBatch, ralloc_like,
+                  std::string("ralloc-like"));
+BENCHMARK(BM_CxlallocMcasFastPath);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+/// @file
+/// Benchmark-side alias for the shared allocator-bundle harness (kept in
+/// the library so tests reuse the same construction paths).
+
+#pragma once
+
+#include "harness/bundles.h"

@@ -1,0 +1,82 @@
+/// @file
+/// Quickstart: bring up a simulated CXL pod, attach the cxlalloc heap,
+/// and share an allocation between two "processes".
+///
+/// Run: ./build/examples/quickstart
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.h"
+#include "cxlalloc/allocator.h"
+#include "pod/pod.h"
+
+int
+main()
+{
+    // 1. Describe the heap. All sizes are tunable; the layout computes the
+    //    device geometry (total size + HWcc region) from this.
+    cxlalloc::Config config;
+    config.small_slabs = 512;  // 16 MiB of small-object space
+    config.large_slabs = 32;   // 16 MiB of large-object space
+    config.huge_regions = 8;   // 8 x 8 MiB of huge space
+
+    // 2. Build the pod: one shared CXL device with limited hardware cache
+    //    coherence (HWcc only over the small metadata prefix).
+    pod::PodConfig pod_config;
+    pod_config.device = cxlalloc::Layout(config).device_config(
+        cxl::CoherenceMode::PartialHwcc);
+    pod::Pod pod(pod_config);
+
+    // 3. Create the allocator. No heap initialization happens — zeroed
+    //    device memory IS a valid empty heap, so any process can attach in
+    //    any order with no coordination.
+    cxlalloc::CxlAllocator heap(pod, config);
+
+    // 4. Two processes attach (in reality: two hosts mapping the device).
+    pod::Process* proc_a = pod.create_process();
+    pod::Process* proc_b = pod.create_process();
+    heap.attach(*proc_a);
+    heap.attach(*proc_b);
+
+    auto writer = pod.create_thread(proc_a);
+    auto reader = pod.create_thread(proc_b);
+    heap.attach_thread(*writer);
+    heap.attach_thread(*reader);
+
+    // 5. Allocate in process A. The returned value is an offset pointer:
+    //    it names the same bytes in every process (PC-S).
+    cxl::HeapOffset msg = heap.allocate(*writer, 64);
+    std::snprintf(reinterpret_cast<char*>(heap.pointer(*writer, msg, 64)),
+                  64, "hello from process A");
+
+    // 6. Dereference in process B — immediately valid (PC-T).
+    std::printf("process B reads: \"%s\"\n",
+                reinterpret_cast<char*>(heap.pointer(*reader, msg, 64)));
+
+    // 7. Free from process B: a remote free, synchronized through the
+    //    per-slab HWcc counter.
+    heap.deallocate(*reader, msg);
+
+    // 8. A huge allocation backed by its own (simulated) memory mapping.
+    cxl::HeapOffset big = heap.allocate(*writer, 4 << 20);
+    std::memset(heap.pointer(*writer, big, 4 << 20), 0x2a, 4 << 20);
+    heap.deallocate(*writer, big);
+    heap.cleanup(*writer);
+
+    auto stats = heap.stats(writer->mem());
+    std::printf("heap: %u small slabs, %u large slabs, %u huge regions "
+                "claimed\n",
+                stats.small.length, stats.large.length,
+                stats.huge.regions_claimed);
+    std::printf("HWcc metadata: %s of %s total committed (%.3f%%)\n",
+                cxlcommon::format_bytes(stats.hwcc_bytes).c_str(),
+                cxlcommon::format_bytes(stats.committed_bytes).c_str(),
+                100.0 * static_cast<double>(stats.hwcc_bytes) /
+                    static_cast<double>(stats.committed_bytes));
+
+    pod.release_thread(std::move(writer));
+    pod.release_thread(std::move(reader));
+    std::puts("quickstart OK");
+    return 0;
+}

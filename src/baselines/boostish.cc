@@ -1,0 +1,54 @@
+#include "baselines/boostish.h"
+
+#include "common/cacheline.h"
+
+namespace baselines {
+
+Boostish::Boostish(pod::Pod& pod, cxl::HeapOffset arena,
+                   std::uint64_t arena_size)
+    : pod_(pod), arena_(arena), arena_size_(arena_size)
+{
+    free_.insert(arena, arena_size);
+}
+
+AllocTraits
+Boostish::traits() const
+{
+    AllocTraits t;
+    t.memory = "XP";
+    t.cross_process = true;
+    t.mmap_support = false;
+    t.nonblocking_failure = false; // mutex holder's crash blocks everyone
+    t.recovery = AllocTraits::Recovery::None;
+    return t;
+}
+
+std::uint64_t*
+Boostish::size_header(cxl::HeapOffset off)
+{
+    return reinterpret_cast<std::uint64_t*>(pod_.device().raw(off));
+}
+
+cxl::HeapOffset
+Boostish::allocate(pod::ThreadContext&, std::uint64_t size)
+{
+    std::uint64_t need = cxlcommon::align_up(size + 8, 8);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t start = 0;
+    if (!free_.take(need, &start)) {
+        return 0;
+    }
+    *size_header(start) = need;
+    pod_.device().note_committed(start, need);
+    return start + 8;
+}
+
+void
+Boostish::deallocate(pod::ThreadContext&, cxl::HeapOffset offset)
+{
+    cxl::HeapOffset start = offset - 8;
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.insert(start, *size_header(start));
+}
+
+} // namespace baselines

@@ -1,0 +1,53 @@
+/// @file
+/// boostish: a Boost.Interprocess-like cross-process allocator [1].
+///
+/// Load-bearing properties reproduced (paper Table 1 and §5.2.1):
+///  - offset-based pointers over a fixed-size shared segment (XP = yes,
+///    mmap = no: the heap cannot grow and there are no huge mappings);
+///  - ONE global mutex around a best-fit free list: correct, simple, and
+///    fundamentally unscalable — "Boost and Lightning are fundamentally
+///    unscalable, as they both acquire a global mutex";
+///  - a crash inside the critical section blocks every other thread
+///    (Fail = B), and there is no recovery.
+
+#pragma once
+
+#include <mutex>
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/interval_set.h"
+#include "pod/pod.h"
+
+namespace baselines {
+
+class Boostish : public PodAllocator {
+  public:
+    Boostish(pod::Pod& pod, cxl::HeapOffset arena, std::uint64_t arena_size);
+
+    const char* name() const override { return "boost-like"; }
+    AllocTraits traits() const override;
+
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx,
+                             std::uint64_t size) override;
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        // The segment's mutex word and free-list metadata all need
+        // coherence; boost interleaves metadata with data, so the whole
+        // segment must be HWcc.
+        return pod_.device().committed_bytes();
+    }
+
+  private:
+    std::uint64_t* size_header(cxl::HeapOffset off);
+
+    pod::Pod& pod_;
+    cxl::HeapOffset arena_;
+    std::uint64_t arena_size_;
+    std::mutex mu_; ///< the global segment mutex
+    cxlalloc::IntervalSet free_;
+};
+
+} // namespace baselines

@@ -1,0 +1,76 @@
+/// @file
+/// PodAllocator adapter over the real cxlalloc implementation, so the
+/// key-value store and benchmarks can treat it uniformly with baselines.
+
+#pragma once
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/allocator.h"
+
+namespace baselines {
+
+class CxlallocAdapter : public PodAllocator {
+  public:
+    /// @param recoverable  false selects the cxlalloc-nonrecoverable
+    ///                     ablation label (the allocator itself must have
+    ///                     been built with the matching Config).
+    explicit CxlallocAdapter(cxlalloc::CxlAllocator* alloc)
+        : alloc_(alloc)
+    {
+    }
+
+    const char*
+    name() const override
+    {
+        return alloc_->config().recoverable ? "cxlalloc"
+                                            : "cxlalloc-nonrecoverable";
+    }
+
+    AllocTraits
+    traits() const override
+    {
+        AllocTraits t;
+        t.memory = "XP, CXL";
+        t.cross_process = true;
+        t.mmap_support = true;
+        t.nonblocking_failure = true;
+        t.recovery = alloc_->config().recoverable
+                         ? AllocTraits::Recovery::NonBlocking
+                         : AllocTraits::Recovery::None;
+        t.strategy = alloc_->config().recoverable ? "App" : "-";
+        return t;
+    }
+
+    void
+    attach_thread(pod::ThreadContext& ctx) override
+    {
+        alloc_->attach_thread(ctx);
+    }
+
+    cxl::HeapOffset
+    allocate(pod::ThreadContext& ctx, std::uint64_t size) override
+    {
+        return alloc_->allocate(ctx, size);
+    }
+
+    void
+    deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override
+    {
+        alloc_->deallocate(ctx, offset);
+    }
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        // Only the metadata the layout places in the HWcc region — the
+        // headline §3.2 result.
+        return alloc_->layout().hwcc_bytes();
+    }
+
+    cxlalloc::CxlAllocator& impl() { return *alloc_; }
+
+  private:
+    cxlalloc::CxlAllocator* alloc_;
+};
+
+} // namespace baselines

@@ -1,0 +1,136 @@
+#include "baselines/cxlshmish.h"
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+
+namespace baselines {
+
+namespace {
+
+/// Treiber stack head word: [ counter:16 | offset:48 ].
+constexpr std::uint64_t kOffsetMask = (1ULL << 48) - 1;
+
+std::uint64_t
+head_pack(std::uint64_t offset, std::uint64_t counter)
+{
+    return (counter << 48) | offset;
+}
+
+} // namespace
+
+Cxlshmish::Cxlshmish(pod::Pod& pod, cxl::HeapOffset arena,
+                     std::uint64_t arena_size)
+    : pod_(pod), arena_(arena), arena_size_(arena_size)
+{
+}
+
+AllocTraits
+Cxlshmish::traits() const
+{
+    AllocTraits t;
+    t.memory = "CXL";
+    t.cross_process = true;
+    t.mmap_support = false;
+    t.nonblocking_failure = true;
+    t.recovery = AllocTraits::Recovery::NonBlocking;
+    t.strategy = "GC";
+    t.refcount_on_access = true;
+    t.max_alloc = 1 << 10;
+    return t;
+}
+
+std::atomic<std::uint64_t>&
+Cxlshmish::word(cxl::HeapOffset off)
+{
+    return *reinterpret_cast<std::atomic<std::uint64_t>*>(
+        pod_.device().raw(off));
+}
+
+cxl::HeapOffset
+Cxlshmish::allocate(pod::ThreadContext&, std::uint64_t size)
+{
+    if (size > (1 << 10)) {
+        // CXL-SHM "does not support allocations larger than 1KiB"; the
+        // paper reports it crashing on MC-12/MC-37.
+        unsupported_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+    std::uint32_t cls = cxlalloc::small_class_for(size);
+    std::uint64_t bsize = cxlalloc::small_class_size(cls) + kHeader;
+    // Pop from the per-class lock-free stack.
+    std::atomic<std::uint64_t>& head = stacks_[cls];
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    while ((h & kOffsetMask) != 0) {
+        std::uint64_t block = h & kOffsetMask;
+        std::uint64_t next =
+            word(block + kNextOff).load(std::memory_order_acquire);
+        if (head.compare_exchange_weak(h,
+                                       head_pack(next, (h >> 48) + 1),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+            word(block + kRefcountOff).store(1, std::memory_order_release);
+            return block + kHeader;
+        }
+    }
+    // Fresh memory from the bump region.
+    std::uint64_t at = bump_.fetch_add(bsize, std::memory_order_relaxed);
+    if (at + bsize > arena_size_) {
+        return 0;
+    }
+    cxl::HeapOffset block = arena_ + at;
+    word(block + kClassOff).store(cls, std::memory_order_relaxed);
+    word(block + kRefcountOff).store(1, std::memory_order_release);
+    pod_.device().note_committed(block, bsize);
+    return block + kHeader;
+}
+
+void
+Cxlshmish::deallocate(pod::ThreadContext&, cxl::HeapOffset offset)
+{
+    cxl::HeapOffset block = offset - kHeader;
+    // Drop the allocation's own reference; the last reference pushes the
+    // block back on its class stack.
+    std::uint64_t prev =
+        word(block + kRefcountOff).fetch_sub(1, std::memory_order_acq_rel);
+    CXL_ASSERT(prev >= 1, "cxlshmish: refcount underflow");
+    if (prev != 1) {
+        return; // a reader still holds it
+    }
+    auto cls = static_cast<std::uint32_t>(
+        word(block + kClassOff).load(std::memory_order_relaxed));
+    std::atomic<std::uint64_t>& head = stacks_[cls];
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    do {
+        word(block + kNextOff).store(h & kOffsetMask,
+                                     std::memory_order_release);
+    } while (!head.compare_exchange_weak(h, head_pack(block, (h >> 48) + 1),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+}
+
+void
+Cxlshmish::on_access(pod::ThreadContext&, cxl::HeapOffset offset)
+{
+    // Pin the object: one HWcc RMW per access — cheap when uncontended,
+    // a coherence hot spot when the key distribution is skewed.
+    word(offset - kHeader + kRefcountOff)
+        .fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+Cxlshmish::after_access(pod::ThreadContext& ctx, cxl::HeapOffset offset)
+{
+    // Unpin; the last release frees (deallocate handles the push).
+    cxl::HeapOffset block = offset - kHeader;
+    std::uint64_t prev =
+        word(block + kRefcountOff).fetch_sub(1, std::memory_order_acq_rel);
+    CXL_ASSERT(prev >= 1, "cxlshmish: refcount underflow on unpin");
+    if (prev == 1) {
+        // The object was concurrently freed while we held it; finish the
+        // free on its behalf.
+        word(block + kRefcountOff).fetch_add(1, std::memory_order_relaxed);
+        deallocate(ctx, offset);
+    }
+}
+
+} // namespace baselines

@@ -1,0 +1,76 @@
+/// @file
+/// cxlshmish: a CXL-SHM-like partial-failure-tolerant allocator [68].
+///
+/// Load-bearing properties reproduced (paper §2, §5.2.1, §6):
+///  - lock-free allocation (per-class Treiber stacks) tolerating partial
+///    failure without blocking;
+///  - a 24 B inline header on EVERY allocation holding a reference count
+///    (8 B of which needs HWcc) — scattered through the heap, so limited
+///    HWcc cannot be supported without marking the whole heap coherent,
+///    and small-allocation workloads (MC-15/MC-31) pay visible overhead;
+///  - reference counting on *access*: the KV store bumps the count on
+///    every read, creating contention on hot objects (the YCSB-A/D story);
+///  - no allocation larger than 1 KiB, and no mmap: MC-12/MC-37 "crash".
+
+#pragma once
+
+#include <array>
+#include <atomic>
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/size_class.h"
+#include "pod/pod.h"
+
+namespace baselines {
+
+class Cxlshmish : public PodAllocator {
+  public:
+    Cxlshmish(pod::Pod& pod, cxl::HeapOffset arena, std::uint64_t arena_size);
+
+    const char* name() const override { return "cxl-shm-like"; }
+    AllocTraits traits() const override;
+
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx,
+                             std::uint64_t size) override;
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+
+    /// Reference counting per access — the design choice that hurts under
+    /// skewed (hot-key) workloads even when they are read-heavy.
+    void on_access(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+    void after_access(pod::ThreadContext& ctx,
+                      cxl::HeapOffset offset) override;
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        // Refcount words are embedded in every allocation across the whole
+        // heap: all committed memory must be coherent (or uncachable under
+        // mCAS, which the paper deems an unfair comparison).
+        return pod_.device().committed_bytes();
+    }
+
+    /// Allocations that returned 0 because the size exceeded 1 KiB.
+    std::uint64_t unsupported_allocs() const { return unsupported_.load(); }
+
+  private:
+    /// Inline header preceding every block: refcount (HWcc), size class,
+    /// next link for the free stack.
+    static constexpr std::uint64_t kHeader = 24;
+    static constexpr std::uint64_t kRefcountOff = 0; ///< 8 B, needs HWcc
+    static constexpr std::uint64_t kClassOff = 8;
+    static constexpr std::uint64_t kNextOff = 16;
+
+    std::atomic<std::uint64_t>& word(cxl::HeapOffset off);
+
+    pod::Pod& pod_;
+    cxl::HeapOffset arena_;
+    std::uint64_t arena_size_;
+    std::atomic<std::uint64_t> bump_{0};
+    /// Treiber stack heads per class, tagged with a 16-bit ABA counter in
+    /// the top bits.
+    std::array<std::atomic<std::uint64_t>, cxlalloc::kNumSmallClasses>
+        stacks_{};
+    std::atomic<std::uint64_t> unsupported_{0};
+};
+
+} // namespace baselines

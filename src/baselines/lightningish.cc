@@ -1,0 +1,96 @@
+#include "baselines/lightningish.h"
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+
+namespace baselines {
+
+Lightningish::Lightningish(pod::Pod& pod, cxl::HeapOffset arena,
+                           std::uint64_t arena_size)
+    : pod_(pod), arena_(arena), arena_size_(arena_size)
+{
+    free_.insert(arena, arena_size);
+}
+
+AllocTraits
+Lightningish::traits() const
+{
+    AllocTraits t;
+    t.memory = "XP";
+    t.cross_process = true;
+    t.mmap_support = false;
+    t.nonblocking_failure = false;
+    t.recovery = AllocTraits::Recovery::Blocking;
+    t.strategy = "GC";
+    return t;
+}
+
+cxl::HeapOffset
+Lightningish::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    std::uint64_t need = cxlcommon::align_up(size, 8) + 8;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t start = 0;
+    if (!free_.take(need, &start)) {
+        return 0;
+    }
+    // Record the allocation in the tracking array (one entry per live
+    // object; this array is Lightning's memory-overhead story).
+    std::uint32_t index;
+    if (!free_entries_.empty()) {
+        index = free_entries_.back();
+        free_entries_.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(entries_.size());
+        entries_.emplace_back();
+    }
+    Entry& e = entries_[index];
+    e.offset = start;
+    e.size = need;
+    e.owner = ctx.tid();
+    e.live = true;
+    // Stash the entry index in front of the payload for O(1) free.
+    auto* header = reinterpret_cast<std::uint64_t*>(pod_.device().raw(start));
+    *header = index;
+    pod_.device().note_committed(start, need);
+    return start + 8;
+}
+
+void
+Lightningish::deallocate(pod::ThreadContext&, cxl::HeapOffset offset)
+{
+    cxl::HeapOffset start = offset - 8;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto index = static_cast<std::uint32_t>(
+        *reinterpret_cast<std::uint64_t*>(pod_.device().raw(start)));
+    CXL_ASSERT(index < entries_.size() && entries_[index].live,
+               "lightningish: free of untracked allocation");
+    Entry& e = entries_[index];
+    free_.insert(e.offset, e.size);
+    e.live = false;
+    free_entries_.push_back(index);
+}
+
+void
+Lightningish::recover_gc(cxl::ThreadId tid)
+{
+    // Blocking GC: the mutex is held while every tracking entry is
+    // scanned, freezing all other threads out of the allocator.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t i = 0; i < entries_.size(); i++) {
+        Entry& e = entries_[i];
+        if (e.live && e.owner == tid) {
+            free_.insert(e.offset, e.size);
+            e.live = false;
+            free_entries_.push_back(i);
+        }
+    }
+}
+
+std::uint64_t
+Lightningish::metadata_overhead_bytes()
+{
+    return entries_.capacity() * sizeof(Entry);
+}
+
+} // namespace baselines

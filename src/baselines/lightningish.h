@@ -1,0 +1,69 @@
+/// @file
+/// lightningish: the allocator extracted from a Lightning-like
+/// shared-memory object store [72].
+///
+/// Load-bearing properties reproduced (paper §5.2.1):
+///  - a global mutex (unscalable, like boostish);
+///  - a large *per-allocation tracking array* used for crash-time garbage
+///    collection of dead clients — "Lightning's PSS usage ... uses a large
+///    array to track each individual allocation ... and requires an order
+///    of magnitude more memory";
+///  - blocking failure and blocking GC recovery (Table 1: Fail=B, Rec.=B,
+///    Str.=GC).
+
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/interval_set.h"
+#include "pod/pod.h"
+
+namespace baselines {
+
+class Lightningish : public PodAllocator {
+  public:
+    Lightningish(pod::Pod& pod, cxl::HeapOffset arena,
+                 std::uint64_t arena_size);
+
+    const char* name() const override { return "lightning-like"; }
+    AllocTraits traits() const override;
+
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx,
+                             std::uint64_t size) override;
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        return pod_.device().committed_bytes(); // metadata interleaved: whole segment coherent
+    }
+
+    std::uint64_t metadata_overhead_bytes() override;
+
+    /// Blocking GC recovery: reclaims every allocation owned by @p tid.
+    void recover_gc(cxl::ThreadId tid);
+
+  private:
+    /// Tracking entry for one live allocation. Deliberately heavyweight
+    /// (object-store bookkeeping: id, owner, state, timestamps...) — this
+    /// is what inflates Lightning's memory footprint in Fig. 8.
+    struct Entry {
+        cxl::HeapOffset offset = 0;
+        std::uint64_t size = 0;
+        cxl::ThreadId owner = cxl::kNoThread;
+        bool live = false;
+        std::uint8_t padding[40] = {}; ///< object-store header fields
+    };
+
+    pod::Pod& pod_;
+    cxl::HeapOffset arena_;
+    std::uint64_t arena_size_;
+    std::mutex mu_;
+    cxlalloc::IntervalSet free_;
+    std::vector<Entry> entries_;
+    std::vector<std::uint32_t> free_entries_;
+};
+
+} // namespace baselines

@@ -1,0 +1,221 @@
+#include "baselines/mimic.h"
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+
+#include <algorithm>
+
+namespace baselines {
+
+using cxlalloc::kNumLargeClasses;
+using cxlalloc::kNumSmallClasses;
+
+namespace {
+
+/// Sizes above this go to the mutexed huge fallback; below it, pages.
+constexpr std::uint64_t kPageMax = 32 << 10;
+
+} // namespace
+
+Mimic::Mimic(pod::Pod& pod, cxl::HeapOffset arena, std::uint64_t arena_size)
+    : pod_(pod), arena_(arena), arena_size_(arena_size)
+{
+    // First half: 64 KiB pages. Second half: huge fallback.
+    page_count_ = arena_size / 2 / kPage;
+    pages_ = std::make_unique<Page[]>(page_count_);
+    huge_free_.emplace_back(arena + arena_size / 2, arena_size / 2);
+}
+
+AllocTraits
+Mimic::traits() const
+{
+    AllocTraits t;
+    t.memory = "M";
+    t.cross_process = false;
+    t.mmap_support = true;
+    t.nonblocking_failure = true;
+    t.recovery = AllocTraits::Recovery::None;
+    return t;
+}
+
+std::uint64_t
+Mimic::class_size(std::uint32_t cls) const
+{
+    if (cls < kNumSmallClasses) {
+        return cxlalloc::small_class_size(cls);
+    }
+    return cxlalloc::large_class_size(cls - kNumSmallClasses);
+}
+
+std::uint32_t
+Mimic::class_for(std::uint64_t size) const
+{
+    if (size <= cxlalloc::kSmallMax) {
+        return cxlalloc::small_class_for(size);
+    }
+    return kNumSmallClasses + cxlalloc::large_class_for(size);
+}
+
+std::uint64_t*
+Mimic::word_at(cxl::HeapOffset off)
+{
+    return reinterpret_cast<std::uint64_t*>(pod_.device().raw(off));
+}
+
+bool
+Mimic::take_from_page(Page& page, cxl::HeapOffset* out)
+{
+    if (page.local_free == 0) {
+        // Batch-collect remote frees (mimalloc's "free list sharding in
+        // action": one exchange amortizes all remote frees since the last
+        // collection).
+        std::uint64_t head =
+            page.remote_free.exchange(0, std::memory_order_acq_rel);
+        std::uint64_t collected = 0;
+        for (std::uint64_t b = head; b != 0; b = *word_at(b)) {
+            collected++;
+        }
+        page.local_free = head;
+        page.used -= collected;
+    }
+    if (page.local_free == 0) {
+        return false;
+    }
+    *out = page.local_free;
+    page.local_free = *word_at(page.local_free);
+    page.used++;
+    return true;
+}
+
+bool
+Mimic::fresh_page(pod::ThreadContext& ctx, std::uint32_t cls,
+                  std::uint32_t* index_out)
+{
+    std::uint32_t index;
+    {
+        std::lock_guard<std::mutex> lock(free_pages_mu_);
+        if (!free_pages_.empty()) {
+            index = free_pages_.back();
+            free_pages_.pop_back();
+        } else {
+            std::uint64_t at =
+                bump_.fetch_add(kPage, std::memory_order_relaxed);
+            if (at + kPage > arena_size_ / 2) {
+                return false; // page space exhausted
+            }
+            index = static_cast<std::uint32_t>(at / kPage);
+        }
+    }
+    Page& page = pages_[index];
+    page.owner.store(ctx.tid(), std::memory_order_relaxed);
+    page.cls = cls;
+    page.used = 0;
+    std::uint64_t bsize = class_size(cls);
+    std::uint64_t blocks = kPage / bsize;
+    cxl::HeapOffset base = arena_ + static_cast<std::uint64_t>(index) * kPage;
+    pod_.device().note_committed(base, kPage);
+    // Thread every block onto the local free list.
+    for (std::uint64_t b = 0; b < blocks; b++) {
+        cxl::HeapOffset block = base + b * bsize;
+        *word_at(block) = (b + 1 < blocks) ? block + bsize : 0;
+    }
+    page.local_free = base;
+    page.remote_free.store(0, std::memory_order_relaxed);
+    *index_out = index;
+    return true;
+}
+
+void
+Mimic::recycle_page(pod::ThreadContext& ctx, std::uint32_t cls,
+                    std::uint32_t index)
+{
+    ThreadHeap& heap = heaps_[ctx.tid()];
+    auto& list = heap.pages[cls];
+    auto it = std::find(list.begin(), list.end(), index);
+    CXL_ASSERT(it != list.end(), "recycling a page we do not own");
+    list.erase(it);
+    pages_[index].owner.store(cxl::kNoThread, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(free_pages_mu_);
+    free_pages_.push_back(index);
+}
+
+cxl::HeapOffset
+Mimic::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    if (size > kPageMax) {
+        // Mutexed fallback for big objects (rare in the paper's
+        // workloads; mimalloc delegates these to the OS).
+        std::lock_guard<std::mutex> lock(huge_mu_);
+        std::uint64_t need = cxlcommon::align_up(size + 16, 4096);
+        for (auto& [start, len] : huge_free_) {
+            if (len >= need) {
+                cxl::HeapOffset at = start;
+                start += need;
+                len -= need;
+                *word_at(at) = need;
+                pod_.device().note_committed(at, need);
+                return at + 16;
+            }
+        }
+        return 0;
+    }
+    std::uint32_t cls = class_for(size);
+    ThreadHeap& heap = heaps_[ctx.tid()];
+    auto& list = heap.pages[cls];
+    cxl::HeapOffset out = 0;
+    // The back of the queue is the current page; fall back to older pages
+    // (collecting their remote frees) before asking for a fresh one.
+    for (std::size_t i = list.size(); i-- > 0;) {
+        if (take_from_page(pages_[list[i]], &out)) {
+            if (i + 1 != list.size()) {
+                std::swap(list[i], list.back());
+            }
+            return out;
+        }
+    }
+    std::uint32_t fresh = 0;
+    if (!fresh_page(ctx, cls, &fresh)) {
+        return 0;
+    }
+    list.push_back(fresh);
+    bool ok = take_from_page(pages_[fresh], &out);
+    CXL_ASSERT(ok, "fresh page had no free block");
+    return out;
+}
+
+void
+Mimic::deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset)
+{
+    if (offset >= arena_ + arena_size_ / 2) {
+        std::lock_guard<std::mutex> lock(huge_mu_);
+        cxl::HeapOffset start = offset - 16;
+        huge_free_.emplace_back(start, *word_at(start));
+        return;
+    }
+    auto index = static_cast<std::uint32_t>((offset - arena_) / kPage);
+    Page& page = pages_[index];
+    if (page.owner.load(std::memory_order_relaxed) == ctx.tid()) {
+        *word_at(offset) = page.local_free;
+        page.local_free = offset;
+        page.used--;
+        if (page.used == 0 &&
+            heaps_[ctx.tid()].pages[page.cls].size() > 1) {
+            recycle_page(ctx, page.cls, index);
+        }
+        return;
+    }
+    // Remote free: lock-free push onto the page's remote list.
+    std::uint64_t head = page.remote_free.load(std::memory_order_acquire);
+    do {
+        *word_at(offset) = head;
+    } while (!page.remote_free.compare_exchange_weak(
+        head, offset, std::memory_order_acq_rel, std::memory_order_acquire));
+}
+
+std::uint64_t
+Mimic::metadata_overhead_bytes()
+{
+    return page_count_ * sizeof(Page);
+}
+
+} // namespace baselines

@@ -1,0 +1,92 @@
+/// @file
+/// mimic: a mimalloc-like single-process allocator [43], the throughput
+/// ceiling in the paper's evaluation.
+///
+/// Load-bearing properties reproduced:
+///  - free-list *sharding*: one intrusive free list per page (slab), so
+///    the hot path is a two-instruction pop with no searches;
+///  - separate local and remote free lists per page: local frees are
+///    unsynchronized, remote frees CAS onto an atomic list that the owner
+///    collects in batch;
+///  - zero cross-process support: metadata lives in host memory and
+///    pointers are process-local (Table 1: Mem=M, XP=x).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/size_class.h"
+#include "pod/pod.h"
+
+namespace baselines {
+
+class Mimic : public PodAllocator {
+  public:
+    /// Manages [arena, arena + arena_size) of @p pod's device as its heap.
+    Mimic(pod::Pod& pod, cxl::HeapOffset arena, std::uint64_t arena_size);
+
+    const char* name() const override { return "mimalloc-like"; }
+    AllocTraits traits() const override;
+
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx,
+                             std::uint64_t size) override;
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+
+    std::uint64_t hwcc_bytes(cxl::MemSession&) override { return 0; }
+    std::uint64_t metadata_overhead_bytes() override;
+
+  private:
+    static constexpr std::uint64_t kPage = 64 << 10; // mimalloc page size
+
+    /// Host-side page metadata (mimalloc keeps this in segment headers).
+    struct Page {
+        std::atomic<cxl::ThreadId> owner{cxl::kNoThread};
+        std::uint32_t cls = 0;
+        std::uint32_t used = 0;
+        /// Intrusive local free list head (device offset; 0 = empty).
+        std::uint64_t local_free = 0;
+        /// Intrusive remote free list head (CAS target for remote frees).
+        std::atomic<std::uint64_t> remote_free{0};
+        std::uint32_t remote_count = 0; ///< frees collected so far
+    };
+
+    struct ThreadHeap {
+        /// Pages owned per class; the back is the current page.
+        std::array<std::vector<std::uint32_t>,
+                   cxlalloc::kNumSmallClasses + cxlalloc::kNumLargeClasses>
+            pages;
+    };
+
+    std::uint64_t class_size(std::uint32_t cls) const;
+    std::uint32_t class_for(std::uint64_t size) const;
+
+    std::uint64_t* word_at(cxl::HeapOffset off);
+    bool take_from_page(Page& page, cxl::HeapOffset* out);
+    bool fresh_page(pod::ThreadContext& ctx, std::uint32_t cls,
+                    std::uint32_t* index_out);
+    void recycle_page(pod::ThreadContext& ctx, std::uint32_t cls,
+                      std::uint32_t index);
+
+    pod::Pod& pod_;
+    cxl::HeapOffset arena_;
+    std::uint64_t arena_size_;
+    std::atomic<std::uint64_t> bump_{0};
+    /// One entry per page; preallocated so no growth races. (Raw array:
+    /// Page holds atomics and cannot live in a std::vector.)
+    std::unique_ptr<Page[]> pages_;
+    std::uint64_t page_count_ = 0;
+    std::array<ThreadHeap, cxl::kMaxThreads + 1> heaps_{};
+    /// Fully-freed pages available for reuse by any thread.
+    std::mutex free_pages_mu_;
+    std::vector<std::uint32_t> free_pages_;
+    /// Huge allocations (> large max) fall back to a mutexed bump list.
+    std::mutex huge_mu_;
+    std::vector<std::pair<cxl::HeapOffset, std::uint64_t>> huge_free_;
+};
+
+} // namespace baselines

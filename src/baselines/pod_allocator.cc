@@ -1,0 +1,4 @@
+#include "baselines/pod_allocator.h"
+
+// Interface-only translation unit (anchors nothing today; kept so the
+// library has a stable home for future shared baseline helpers).

@@ -1,0 +1,431 @@
+#include "baselines/rallocish.h"
+
+#include "common/assert.h"
+
+namespace baselines {
+
+using cxlalloc::kNumSmallClasses;
+using cxlalloc::small_class_for;
+using cxlalloc::small_class_size;
+
+namespace {
+
+/// rallocish serves 8 B - 512 KiB: small classes share 64 KiB slabs,
+/// superblock classes (2 KiB - 32 KiB) hold several blocks per slab, and
+/// span classes (64 KiB - 512 KiB) take whole multi-slab spans.
+constexpr std::uint64_t kMaxBlock = 512 << 10;
+
+std::uint64_t
+class_size_of(std::uint32_t cls)
+{
+    if (cls < kNumSmallClasses) {
+        return small_class_size(cls);
+    }
+    return 2048ULL << (cls - kNumSmallClasses); // 2 KiB ... 512 KiB
+}
+
+std::uint32_t
+class_of(std::uint64_t size)
+{
+    if (size <= cxlalloc::kSmallMax) {
+        return small_class_for(size);
+    }
+    std::uint32_t cls = kNumSmallClasses;
+    std::uint64_t block = 2048;
+    while (block < size) {
+        block <<= 1;
+        cls++;
+    }
+    return cls;
+}
+
+constexpr std::uint32_t kNumClasses = kNumSmallClasses + 9; // == kAllClasses
+
+} // namespace
+
+Rallocish::Rallocish(pod::Pod& pod, cxl::HeapOffset meta,
+                     cxl::HeapOffset data, std::uint32_t num_slabs)
+    : pod_(pod), meta_(meta), data_(data), num_slabs_(num_slabs)
+{
+    static_assert(kNumClasses == kAllClasses);
+}
+
+std::uint64_t
+Rallocish::meta_size(std::uint32_t num_slabs)
+{
+    return 8 /*len*/ + kNumClasses * 8 /*partial heads*/ +
+           static_cast<std::uint64_t>(num_slabs) * kDescStride;
+}
+
+AllocTraits
+Rallocish::traits() const
+{
+    AllocTraits t;
+    t.memory = "PM";
+    t.cross_process = false; // ralloc assumes a single process at a time
+    t.mmap_support = false;
+    t.nonblocking_failure = true; // lock-free operations
+    t.recovery = AllocTraits::Recovery::Blocking;
+    t.strategy = "App"; // GC driven by application-provided roots
+    t.max_alloc = kMaxBlock;
+    return t;
+}
+
+void
+Rallocish::attach_thread(pod::ThreadContext& ctx)
+{
+    // A fresh (or adopted-after-crash) slot starts with an empty cache;
+    // whatever the previous occupant cached is unreachable until GC.
+    for (auto& bucket : threads_[ctx.tid()].cache) {
+        bucket.clear();
+    }
+}
+
+void
+Rallocish::flush_thread_cache(pod::ThreadContext& ctx)
+{
+    PerThread& t = threads_[ctx.tid()];
+    for (auto& bucket : t.cache) {
+        for (cxl::HeapOffset block : bucket) {
+            push_block(ctx.mem(), block);
+        }
+        bucket.clear();
+    }
+}
+
+void
+Rallocish::flush_all_caches(cxl::MemSession& mem)
+{
+    for (PerThread& t : threads_) {
+        for (auto& bucket : t.cache) {
+            for (cxl::HeapOffset block : bucket) {
+                push_block(mem, block);
+            }
+            bucket.clear();
+        }
+    }
+}
+
+std::uint64_t
+Rallocish::pack(std::uint64_t value, std::uint64_t tag)
+{
+    return ((tag & 0xffff) << 48) | (value & ((1ULL << 48) - 1));
+}
+
+std::uint64_t
+Rallocish::value_of(std::uint64_t word)
+{
+    return word & ((1ULL << 48) - 1);
+}
+
+std::uint64_t
+Rallocish::tag_of(std::uint64_t word)
+{
+    return word >> 48;
+}
+
+cxl::HeapOffset
+Rallocish::len_word() const
+{
+    return meta_;
+}
+
+cxl::HeapOffset
+Rallocish::partial_head(std::uint32_t cls) const
+{
+    return meta_ + 8 + static_cast<cxl::HeapOffset>(cls) * 8;
+}
+
+cxl::HeapOffset
+Rallocish::desc(std::uint32_t slab) const
+{
+    return meta_ + 8 + kNumClasses * 8 +
+           static_cast<cxl::HeapOffset>(slab) * kDescStride;
+}
+
+cxl::HeapOffset
+Rallocish::slab_data(std::uint32_t slab) const
+{
+    return data_ + static_cast<cxl::HeapOffset>(slab) * kSlabSize;
+}
+
+bool
+Rallocish::extend(pod::ThreadContext& ctx, std::uint32_t cls)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint64_t bsize = class_size_of(cls);
+    std::uint64_t span = bsize <= kSlabSize ? 1 : bsize / kSlabSize;
+    std::uint64_t len = mem.atomic_load64(len_word());
+    while (true) {
+        if (len + span > num_slabs_) {
+            return false;
+        }
+        if (mem.cas64(len_word(), len, len + span)) {
+            break;
+        }
+    }
+    auto slab = static_cast<std::uint32_t>(len);
+    std::uint64_t blocks = span == 1 ? kSlabSize / bsize : 1;
+    mem.store<std::uint32_t>(desc(slab) + kClassOff, cls + 1);
+    // Chain every block through its first word.
+    cxl::HeapOffset base = slab_data(slab);
+    for (std::uint64_t b = 0; b < blocks; b++) {
+        cxl::HeapOffset block = base + b * bsize;
+        std::uint64_t next = (b + 1 < blocks) ? block + bsize : 0;
+        mem.store<std::uint64_t>(block, next);
+    }
+    mem.atomic_store64(desc(slab) + kFreeHeadOff, pack(base, 0));
+    pod_.device().note_committed(base, span * kSlabSize);
+    // Publish the new slab on its class's partial list.
+    mem.atomic_store64(desc(slab) + kOnPartialOff, 1);
+    std::uint64_t head = mem.atomic_load64(partial_head(cls));
+    while (true) {
+        mem.store<std::uint32_t>(desc(slab) + kNextOff,
+                                 static_cast<std::uint32_t>(value_of(head)));
+        if (mem.cas64(partial_head(cls), head,
+                      pack(slab + 1, tag_of(head) + 1))) {
+            return true;
+        }
+    }
+}
+
+void
+Rallocish::push_partial(cxl::MemSession& mem, std::uint32_t slab)
+{
+    std::uint32_t cls = mem.load<std::uint32_t>(desc(slab) + kClassOff) - 1;
+    std::uint64_t head = mem.atomic_load64(partial_head(cls));
+    while (true) {
+        mem.store<std::uint32_t>(desc(slab) + kNextOff,
+                                 static_cast<std::uint32_t>(value_of(head)));
+        if (mem.cas64(partial_head(cls), head,
+                      pack(slab + 1, tag_of(head) + 1))) {
+            return;
+        }
+    }
+}
+
+bool
+Rallocish::refill_cache(pod::ThreadContext& ctx, std::uint32_t cls)
+{
+    cxl::MemSession& mem = ctx.mem();
+    auto& bucket = threads_[ctx.tid()].cache[cls];
+    while (bucket.empty()) {
+        std::uint64_t head = mem.atomic_load64(partial_head(cls));
+        std::uint64_t sraw = value_of(head);
+        if (sraw == 0) {
+            if (!extend(ctx, cls)) {
+                return false;
+            }
+            continue;
+        }
+        auto slab = static_cast<std::uint32_t>(sraw - 1);
+        // Pop a batch from the SHARED slab free list (ralloc's design:
+        // partial slabs shared between threads feeding per-thread caches).
+        while (bucket.size() < kCacheBatch) {
+            std::uint64_t fh = mem.atomic_load64(desc(slab) + kFreeHeadOff);
+            std::uint64_t block = value_of(fh);
+            if (block == 0) {
+                break;
+            }
+            std::uint64_t next_block = mem.load<std::uint64_t>(block);
+            if (mem.cas64(desc(slab) + kFreeHeadOff, fh,
+                          pack(next_block, tag_of(fh) + 1))) {
+                bucket.push_back(block);
+            }
+        }
+        if (bucket.empty()) {
+            // Slab exhausted: unlink it from the partial list and retry.
+            std::uint32_t next =
+                mem.load<std::uint32_t>(desc(slab) + kNextOff);
+            if (mem.cas64(partial_head(cls), head,
+                          pack(next, tag_of(head) + 1))) {
+                mem.atomic_store64(desc(slab) + kOnPartialOff, 0);
+                // A free may have landed between our last pop and the
+                // unlink; re-publish the slab if it has blocks again.
+                if (value_of(mem.atomic_load64(desc(slab) + kFreeHeadOff)) !=
+                    0) {
+                    std::uint64_t flag = 0;
+                    if (mem.cas64(desc(slab) + kOnPartialOff, flag, 1)) {
+                        push_partial(mem, slab);
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+cxl::HeapOffset
+Rallocish::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    if (size > kMaxBlock) {
+        return 0;
+    }
+    std::uint32_t cls = class_of(size);
+    auto& bucket = threads_[ctx.tid()].cache[cls];
+    if (bucket.empty() && !refill_cache(ctx, cls)) {
+        return 0;
+    }
+    cxl::HeapOffset block = bucket.back();
+    bucket.pop_back();
+    // Real ralloc's fast path reads the block's free-list link from the
+    // heap; route that access through the session so memory-mode cost
+    // accounting sees the fast path too.
+    (void)ctx.mem().load<std::uint64_t>(block);
+    return block;
+}
+
+void
+Rallocish::push_block(cxl::MemSession& mem, cxl::HeapOffset block)
+{
+    auto slab = static_cast<std::uint32_t>((block - data_) / kSlabSize);
+    // A span-interior offset belongs to the span's first slab; spans hand
+    // out only their base, so `block` is always span-aligned already.
+    std::uint64_t fh = mem.atomic_load64(desc(slab) + kFreeHeadOff);
+    while (true) {
+        mem.store<std::uint64_t>(block, value_of(fh));
+        if (mem.cas64(desc(slab) + kFreeHeadOff, fh,
+                      pack(block, tag_of(fh) + 1))) {
+            break;
+        }
+    }
+    if (value_of(fh) == 0) {
+        // Slab regained a free block: make sure it is discoverable.
+        std::uint64_t flag = 0;
+        if (mem.cas64(desc(slab) + kOnPartialOff, flag, 1)) {
+            push_partial(mem, slab);
+        }
+    }
+}
+
+void
+Rallocish::deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset)
+{
+    cxl::MemSession& mem = ctx.mem();
+    auto slab = static_cast<std::uint32_t>((offset - data_) / kSlabSize);
+    CXL_ASSERT(slab < num_slabs_, "rallocish: free outside arena");
+    // "ralloc must read a size class from uncachable memory on every
+    // free" — this metadata load is the per-op mCAS-mode tax.
+    std::uint32_t cls = mem.load<std::uint32_t>(desc(slab) + kClassOff) - 1;
+    auto& bucket = threads_[ctx.tid()].cache[cls];
+    bucket.push_back(offset);
+    if (bucket.size() > 2 * kCacheBatch) {
+        // Spill half the cache back to the shared slabs.
+        for (std::uint32_t i = 0; i < kCacheBatch; i++) {
+            push_block(mem, bucket.back());
+            bucket.pop_back();
+        }
+    }
+}
+
+std::uint32_t
+Rallocish::slabs_used(cxl::MemSession& mem)
+{
+    return static_cast<std::uint32_t>(mem.atomic_load64(len_word()));
+}
+
+std::uint64_t
+Rallocish::recover_gc(cxl::MemSession& mem,
+                      const std::function<bool(cxl::HeapOffset)>& is_live)
+{
+    // Offline mark-and-rebuild, as PM allocators do during their blocking
+    // recovery window: every block that the application does not claim is
+    // swept back onto its slab's free list. NOTE: quiescence required —
+    // live threads' caches must have been flushed or are forfeited.
+    std::uint64_t reclaimed = 0;
+    std::uint32_t len = slabs_used(mem);
+    for (std::uint32_t slab = 0; slab < len; slab++) {
+        std::uint32_t biased = mem.load<std::uint32_t>(desc(slab) + kClassOff);
+        if (biased == 0) {
+            continue;
+        }
+        std::uint64_t bsize = class_size_of(biased - 1);
+        std::uint64_t blocks = bsize <= kSlabSize ? kSlabSize / bsize : 1;
+        std::vector<bool> free_blocks(blocks, false);
+        std::uint64_t swept = 0;
+        for (std::uint64_t b = 0; b < blocks; b++) {
+            cxl::HeapOffset block = slab_data(slab) + b * bsize;
+            if (!is_live(block)) {
+                free_blocks[b] = true;
+                swept += bsize;
+            }
+        }
+        rebuild_slab_free_list(mem, slab, free_blocks);
+        reclaimed += swept;
+    }
+    return reclaimed;
+}
+
+void
+Rallocish::rebuild_slab_free_list(cxl::MemSession& mem, std::uint32_t slab,
+                                  const std::vector<bool>& block_free)
+{
+    std::uint32_t biased = mem.load<std::uint32_t>(desc(slab) + kClassOff);
+    std::uint64_t bsize = class_size_of(biased - 1);
+    std::uint64_t head = 0;
+    bool any = false;
+    for (std::size_t b = block_free.size(); b-- > 0;) {
+        if (!block_free[b]) {
+            continue;
+        }
+        cxl::HeapOffset block = slab_data(slab) + b * bsize;
+        mem.store<std::uint64_t>(block, head);
+        head = block;
+        any = true;
+    }
+    std::uint64_t old = mem.atomic_load64(desc(slab) + kFreeHeadOff);
+    mem.atomic_store64(desc(slab) + kFreeHeadOff, pack(head, tag_of(old) + 1));
+    if (any && mem.atomic_load64(desc(slab) + kOnPartialOff) == 0) {
+        mem.atomic_store64(desc(slab) + kOnPartialOff, 1);
+        push_partial(mem, slab);
+    }
+}
+
+std::uint64_t
+Rallocish::leaked_bytes(cxl::MemSession& mem,
+                        const std::function<bool(cxl::HeapOffset)>& is_live)
+{
+    // What ralloc-leak abandons: blocks that are neither on a shared free
+    // list, nor in any LIVE thread's cache, nor claimed by the
+    // application. Callers account live caches via is_live or flush them
+    // first; a crashed thread's cache is gone, which is the leak.
+    std::uint64_t leaked = 0;
+    std::uint32_t len = slabs_used(mem);
+    for (std::uint32_t slab = 0; slab < len; slab++) {
+        std::uint32_t biased = mem.load<std::uint32_t>(desc(slab) + kClassOff);
+        if (biased == 0) {
+            continue;
+        }
+        std::uint64_t bsize = class_size_of(biased - 1);
+        std::uint64_t blocks = bsize <= kSlabSize ? kSlabSize / bsize : 1;
+        std::vector<bool> on_free(blocks, false);
+        std::uint64_t cursor =
+            value_of(mem.atomic_load64(desc(slab) + kFreeHeadOff));
+        std::uint64_t steps = 0;
+        while (cursor != 0 && steps++ <= blocks) {
+            on_free[(cursor - slab_data(slab)) / bsize] = true;
+            cursor = mem.load<std::uint64_t>(cursor);
+        }
+        // Blocks sitting in live threads' caches are not leaked.
+        std::vector<bool> cached(blocks, false);
+        for (const PerThread& t : threads_) {
+            for (const auto& bucket : t.cache) {
+                for (cxl::HeapOffset block : bucket) {
+                    if (block >= slab_data(slab) &&
+                        block < slab_data(slab) + blocks * bsize) {
+                        cached[(block - slab_data(slab)) / bsize] = true;
+                    }
+                }
+            }
+        }
+        for (std::uint64_t b = 0; b < blocks; b++) {
+            cxl::HeapOffset block = slab_data(slab) + b * bsize;
+            if (!on_free[b] && !cached[b] && !is_live(block)) {
+                leaked += bsize;
+            }
+        }
+    }
+    return leaked;
+}
+
+} // namespace baselines

@@ -1,0 +1,138 @@
+/// @file
+/// rallocish: a Ralloc-like lock-free persistent-memory allocator [16].
+///
+/// Load-bearing properties reproduced (paper §5.2, §5.4, Fig. 7/9/12):
+///  - lock-free slab allocation with *shared partial slabs*: any thread
+///    allocates from the class's partial-slab list, so remote frees feed
+///    thread-local caches cheaply at low thread counts but every block
+///    pop/push is a CAS on shared slab metadata — the contention that
+///    makes ralloc "fall off at higher thread counts" and "scale poorly"
+///    under mCAS;
+///  - metadata segregated from data (the only baseline for which limited
+///    HWcc is even plausible), but NOT split local/global: the whole
+///    metadata region must be coherent or uncachable — under mCAS, ralloc
+///    "must read a size class from uncachable memory on every free";
+///  - recovery by garbage collection: after a crash the allocator must
+///    either run a blocking heap scan (ralloc-gc) or leak the dead
+///    thread's blocks (ralloc-leak) — Fig. 7.
+///
+/// All synchronization goes through MemSession::cas64, so the same code
+/// runs over HWcc CAS or NMP mCAS (Fig. 12's ralloc-hwcc / ralloc-mcas).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/size_class.h"
+#include "pod/pod.h"
+
+namespace baselines {
+
+class Rallocish : public PodAllocator {
+  public:
+    /// Metadata is placed at [meta, meta + meta_size(...)) — callers put
+    /// this inside the device's sync region for mCAS operation — and data
+    /// at [data, data + num_slabs * 64 KiB).
+    Rallocish(pod::Pod& pod, cxl::HeapOffset meta, cxl::HeapOffset data,
+              std::uint32_t num_slabs);
+
+    /// Bytes of (HWcc) metadata for @p num_slabs slabs.
+    static std::uint64_t meta_size(std::uint32_t num_slabs);
+
+    const char* name() const override { return "ralloc-like"; }
+    AllocTraits traits() const override;
+
+    /// Resets this thread's volatile block cache. On a crashed slot this
+    /// is exactly what LOSES the dead thread's cached blocks — the memory
+    /// ralloc must either garbage collect (blocking) or leak (Fig. 7).
+    void attach_thread(pod::ThreadContext& ctx) override;
+
+    /// Clean exit: returns cached blocks to the shared slabs.
+    void flush_thread_cache(pod::ThreadContext& ctx);
+
+    /// Stop-the-world helper for GC: returns EVERY live thread's cached
+    /// blocks to the shared slabs using @p mem's session. Callers must
+    /// have quiesced all threads (the blocking the paper measures).
+    void flush_all_caches(cxl::MemSession& mem);
+
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx,
+                             std::uint64_t size) override;
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override;
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        // Ralloc's metadata is separable but monolithic: all of it needs
+        // coherence (paper: "it can naively support limited HWcc by
+        // placing only its metadata in the HWcc region").
+        return meta_size(num_slabs_);
+    }
+
+    /// Blocking GC recovery (ralloc-gc in Fig. 7): rebuilds every slab's
+    /// free list from the application's live-block predicate. The caller
+    /// must quiesce the heap — that blocking is the measured cost.
+    /// Returns bytes reclaimed.
+    std::uint64_t
+    recover_gc(cxl::MemSession& mem,
+               const std::function<bool(cxl::HeapOffset)>& is_live);
+
+    /// Leak accounting for ralloc-leak: bytes unreachable (not free, not
+    /// live) if recovery skips GC.
+    std::uint64_t
+    leaked_bytes(cxl::MemSession& mem,
+                 const std::function<bool(cxl::HeapOffset)>& is_live);
+
+    std::uint32_t slabs_used(cxl::MemSession& mem);
+
+  private:
+    static constexpr std::uint64_t kSlabSize = 64 << 10;
+    /// Per-slab metadata stride: class u32, next-partial u32, free-list
+    /// head u64 (tagged), on-partial u64 (flag word, CAS 0 -> 1).
+    static constexpr std::uint64_t kDescStride = 24;
+    static constexpr std::uint64_t kClassOff = 0;
+    static constexpr std::uint64_t kNextOff = 4;
+    static constexpr std::uint64_t kFreeHeadOff = 8;
+    static constexpr std::uint64_t kOnPartialOff = 16;
+
+    /// Tagged word helpers: [ tag:16 | value:48 ].
+    static std::uint64_t pack(std::uint64_t value, std::uint64_t tag);
+    static std::uint64_t value_of(std::uint64_t word);
+    static std::uint64_t tag_of(std::uint64_t word);
+
+    cxl::HeapOffset desc(std::uint32_t slab) const;
+    cxl::HeapOffset partial_head(std::uint32_t cls) const;
+    cxl::HeapOffset len_word() const;
+    cxl::HeapOffset slab_data(std::uint32_t slab) const;
+
+    /// Builds a fresh slab's intrusive block chain; returns false when the
+    /// slab capacity is exhausted.
+    bool extend(pod::ThreadContext& ctx, std::uint32_t cls);
+    void push_partial(cxl::MemSession& mem, std::uint32_t slab);
+    void rebuild_slab_free_list(cxl::MemSession& mem, std::uint32_t slab,
+                                const std::vector<bool>& block_free);
+
+    /// Pops up to kCacheBatch blocks of @p cls into the thread cache.
+    bool refill_cache(pod::ThreadContext& ctx, std::uint32_t cls);
+    /// Pushes one block back onto its slab's shared free list.
+    void push_block(cxl::MemSession& mem, cxl::HeapOffset block);
+
+    static constexpr std::uint32_t kCacheBatch = 16;
+    static constexpr std::uint32_t kAllClasses = 33; // small + super + span
+
+    struct PerThread {
+        std::array<std::vector<cxl::HeapOffset>, kAllClasses> cache;
+    };
+
+    pod::Pod& pod_;
+    cxl::HeapOffset meta_;
+    cxl::HeapOffset data_;
+    std::uint32_t num_slabs_;
+    /// Volatile per-thread block caches (ralloc's thread-local free lists).
+    std::array<PerThread, cxl::kMaxThreads + 1> threads_{};
+};
+
+} // namespace baselines

@@ -1,0 +1,46 @@
+/// @file
+/// Invariant-checking macros (paper §5.1 "runtime invariant checks").
+///
+/// CXL_ASSERT is compiled in when CXLALLOC_INVARIANT_CHECKS is defined (the
+/// default build); CXL_FATAL always aborts. Following the gem5 panic()/fatal()
+/// distinction: CXL_ASSERT/CXL_PANIC signal library bugs, CXL_FATAL signals
+/// unrecoverable user/configuration errors.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cxlcommon {
+
+[[noreturn]] inline void
+fail(const char* kind, const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", kind, file, line, msg);
+    std::abort();
+}
+
+} // namespace cxlcommon
+
+#define CXL_PANIC(msg) ::cxlcommon::fail("panic", __FILE__, __LINE__, msg)
+#define CXL_FATAL(msg) ::cxlcommon::fail("fatal", __FILE__, __LINE__, msg)
+
+/// Aborts with a fatal (user-error) message when @p cond holds.
+#define CXL_FATAL_IF(cond, msg)                                                \
+    do {                                                                       \
+        if (cond) {                                                            \
+            CXL_FATAL(msg);                                                    \
+        }                                                                      \
+    } while (0)
+
+#if defined(CXLALLOC_INVARIANT_CHECKS)
+#define CXL_ASSERT(cond, msg)                                                  \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::cxlcommon::fail("invariant", __FILE__, __LINE__,                 \
+                              msg " (" #cond ")");                             \
+        }                                                                      \
+    } while (0)
+#else
+#define CXL_ASSERT(cond, msg) do { (void)sizeof(cond); } while (0)
+#endif

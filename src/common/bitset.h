@@ -1,0 +1,114 @@
+/// @file
+/// Fixed-capacity block bitset used for SWccDesc.free (paper Fig. 3).
+///
+/// The bitset is single-writer (only a slab's owner mutates it; ownership
+/// transfer is mediated by flush/fence in the SWcc protocol), so plain
+/// non-atomic words suffice. Capacity is bounded by the maximum number of
+/// blocks in a slab: 32 KiB / 8 B = 4096.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace cxlcommon {
+
+/// A bitset over up to N bits where a set bit means "block free".
+template <std::size_t N>
+class BlockBitset {
+    static constexpr std::size_t kWords = (N + 63) / 64;
+
+  public:
+    /// Number of bits this bitset can hold.
+    static constexpr std::size_t capacity() { return N; }
+
+    /// Clears all bits (no block free).
+    void
+    clear_all()
+    {
+        words_.fill(0);
+    }
+
+    /// Sets bits [0, count) (all of the slab's blocks free) and clears the
+    /// rest.
+    void
+    fill(std::size_t count)
+    {
+        CXL_ASSERT(count <= N, "bitset fill out of range");
+        words_.fill(0);
+        std::size_t full = count / 64;
+        for (std::size_t i = 0; i < full; i++) {
+            words_[i] = ~std::uint64_t{0};
+        }
+        std::size_t rem = count % 64;
+        if (rem != 0) {
+            words_[full] = (std::uint64_t{1} << rem) - 1;
+        }
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        CXL_ASSERT(i < N, "bitset index out of range");
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    void
+    set(std::size_t i)
+    {
+        CXL_ASSERT(i < N, "bitset index out of range");
+        words_[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        CXL_ASSERT(i < N, "bitset index out of range");
+        words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    /// Finds and clears the lowest set bit; returns its index, or N if the
+    /// bitset is empty. This is the small-heap allocation fast path.
+    std::size_t
+    pop_first()
+    {
+        for (std::size_t w = 0; w < kWords; w++) {
+            if (words_[w] != 0) {
+                unsigned bit = std::countr_zero(words_[w]);
+                words_[w] &= words_[w] - 1;
+                return w * 64 + bit;
+            }
+        }
+        return N;
+    }
+
+    /// Number of set (free) bits.
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (auto w : words_) {
+            total += std::popcount(w);
+        }
+        return total;
+    }
+
+    bool
+    none() const
+    {
+        for (auto w : words_) {
+            if (w != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::array<std::uint64_t, kWords> words_;
+};
+
+} // namespace cxlcommon

@@ -1,0 +1,36 @@
+/// @file
+/// Cacheline-related constants shared by the SWcc cache model and the
+/// allocator's flush/fence accounting.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cxlcommon {
+
+/// Size of one cacheline, the coherence granularity of a CXL pod.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Rounds @p offset down to its containing cacheline boundary.
+constexpr std::uint64_t
+line_of(std::uint64_t offset)
+{
+    return offset & ~static_cast<std::uint64_t>(kCacheLine - 1);
+}
+
+/// Rounds @p n up to a multiple of @p align (a power of two).
+constexpr std::uint64_t
+align_up(std::uint64_t n, std::uint64_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/// True if @p n is a power of two (and nonzero).
+constexpr bool
+is_pow2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace cxlcommon

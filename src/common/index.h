@@ -1,0 +1,70 @@
+/// @file
+/// Nullable index encoding for intrusive, index-linked lists.
+///
+/// Cxlalloc requires that all-zero memory constitutes a valid, empty heap
+/// (paper §4, "Heap initialization"). Raw index 0 is a legal slab index, so
+/// every stored link uses the encoding `stored = index + 1`, with 0 meaning
+/// "null". OptIndex wraps that convention so call sites cannot mix raw and
+/// stored values.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace cxlcommon {
+
+/// A nullable 32-bit index whose zero *representation* is null, so that
+/// zero-initialized link words decode as empty lists.
+class OptIndex {
+  public:
+    constexpr OptIndex() : raw_(0) {}
+
+    /// Builds from the stored (biased) representation, e.g. a word loaded
+    /// from shared memory.
+    static constexpr OptIndex
+    from_raw(std::uint32_t raw)
+    {
+        OptIndex idx;
+        idx.raw_ = raw;
+        return idx;
+    }
+
+    /// Builds a non-null OptIndex referring to @p index.
+    static constexpr OptIndex
+    some(std::uint32_t index)
+    {
+        OptIndex idx;
+        idx.raw_ = index + 1;
+        return idx;
+    }
+
+    /// The null index.
+    static constexpr OptIndex
+    none()
+    {
+        return OptIndex();
+    }
+
+    constexpr bool is_none() const { return raw_ == 0; }
+    constexpr bool is_some() const { return raw_ != 0; }
+
+    /// The unbiased index; must not be null.
+    std::uint32_t
+    get() const
+    {
+        CXL_ASSERT(raw_ != 0, "dereferencing null OptIndex");
+        return raw_ - 1;
+    }
+
+    /// The stored (biased) representation for writing to shared memory.
+    constexpr std::uint32_t raw() const { return raw_; }
+
+    constexpr bool operator==(const OptIndex&) const = default;
+
+  private:
+    std::uint32_t raw_;
+};
+
+} // namespace cxlcommon

@@ -1,0 +1,71 @@
+#include "common/random.h"
+
+#include "common/assert.h"
+
+namespace cxlcommon {
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro::Xoshiro(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_) {
+        s = splitmix64(sm);
+    }
+}
+
+std::uint64_t
+Xoshiro::next()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Xoshiro::next_below(std::uint64_t bound)
+{
+    CXL_ASSERT(bound != 0, "next_below(0)");
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // workloads do not need perfectly unbiased sampling.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t
+Xoshiro::next_range(std::uint64_t lo, std::uint64_t hi)
+{
+    CXL_ASSERT(lo <= hi, "next_range lo > hi");
+    return lo + next_below(hi - lo + 1);
+}
+
+double
+Xoshiro::next_double()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace cxlcommon

@@ -1,0 +1,37 @@
+/// @file
+/// Deterministic pseudo-random number generation for workloads and tests.
+///
+/// xoshiro256** with splitmix64 seeding: fast, high quality, and reproducible
+/// across platforms (unlike std::default_random_engine distributions).
+
+#pragma once
+
+#include <cstdint>
+
+namespace cxlcommon {
+
+/// splitmix64 step, used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator.
+class Xoshiro {
+  public:
+    explicit Xoshiro(std::uint64_t seed);
+
+    /// Next 64 uniformly random bits.
+    std::uint64_t next();
+
+    /// Uniform integer in [0, bound). @p bound must be nonzero.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cxlcommon

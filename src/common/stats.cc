@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace cxlcommon {
+
+std::uint64_t
+LatencyRecorder::percentile(double p)
+{
+    CXL_ASSERT(!samples_.empty(), "percentile of empty recorder");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    return samples_[idx];
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
+std::string
+LatencyRecorder::summary()
+{
+    char buf[160];
+    if (samples_.empty()) {
+        return "(no samples)";
+    }
+    std::snprintf(buf, sizeof buf,
+                  "p50=%lluns p90=%lluns p99=%lluns p99.9=%lluns",
+                  static_cast<unsigned long long>(percentile(50)),
+                  static_cast<unsigned long long>(percentile(90)),
+                  static_cast<unsigned long long>(percentile(99)),
+                  static_cast<unsigned long long>(percentile(99.9)));
+    return buf;
+}
+
+void
+RunningStat::add(double x)
+{
+    n_++;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n_ < 2) {
+        return 0;
+    }
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+std::string
+format_bytes(std::uint64_t bytes)
+{
+    const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        unit++;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, units[unit]);
+    return buf;
+}
+
+std::string
+format_rate(double per_sec)
+{
+    const char* units[] = {"", "K", "M", "G"};
+    int unit = 0;
+    while (per_sec >= 1000.0 && unit < 3) {
+        per_sec /= 1000.0;
+        unit++;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.2f%s ops/s", per_sec, units[unit]);
+    return buf;
+}
+
+} // namespace cxlcommon

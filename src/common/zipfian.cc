@@ -1,0 +1,72 @@
+#include "common/zipfian.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace cxlcommon {
+
+double
+Zipfian::zeta(std::uint64_t n, double theta)
+{
+    // Direct summation is O(n); cap the exact prefix and extrapolate with the
+    // Euler-Maclaurin tail so constructing generators over hundreds of
+    // millions of keys stays cheap while matching YCSB closely.
+    constexpr std::uint64_t kExact = 1'000'000;
+    double sum = 0;
+    std::uint64_t m = n < kExact ? n : kExact;
+    for (std::uint64_t i = 1; i <= m; i++) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (n > m) {
+        // Integral approximation of the remaining tail.
+        double a = static_cast<double>(m);
+        double b = static_cast<double>(n);
+        sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) / (1 - theta);
+    }
+    return sum;
+}
+
+Zipfian::Zipfian(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    CXL_ASSERT(n > 0, "zipfian over empty population");
+    alpha_ = 1.0 / (1.0 - theta);
+    zetan_ = zeta(n, theta);
+    double zeta2 = zeta(2, theta);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) /
+           (1 - zeta2 / zetan_);
+}
+
+std::uint64_t
+Zipfian::sample(Xoshiro& rng)
+{
+    double u = rng.next_double();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+        return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+        return 1;
+    }
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+ScrambledZipfian::ScrambledZipfian(std::uint64_t n, double theta)
+    : zipf_(n, theta)
+{
+}
+
+std::uint64_t
+ScrambledZipfian::sample(Xoshiro& rng)
+{
+    std::uint64_t rank = zipf_.sample(rng);
+    // FNV-style scramble, stable across runs.
+    std::uint64_t h = rank;
+    h = splitmix64(h);
+    return h % zipf_.n();
+}
+
+} // namespace cxlcommon

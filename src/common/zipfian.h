@@ -1,0 +1,50 @@
+/// @file
+/// YCSB-style Zipfian key sampler (paper Table 2: "Skew" distribution with
+/// the default Zipfian constant 0.99).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace cxlcommon {
+
+/// Draws integers in [0, n) with a Zipfian distribution, using the Gray et
+/// al. rejection-inversion-free algorithm that YCSB's ZipfianGenerator uses.
+class Zipfian {
+  public:
+    /// @param n      population size (number of distinct keys)
+    /// @param theta  skew; YCSB default 0.99
+    Zipfian(std::uint64_t n, double theta = 0.99);
+
+    /// Next sample in [0, n()).
+    std::uint64_t sample(Xoshiro& rng);
+
+    std::uint64_t n() const { return n_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+/// Fisher-Yates style scrambling so that adjacent Zipfian ranks do not map
+/// to adjacent keys (YCSB's ScrambledZipfian).
+class ScrambledZipfian {
+  public:
+    ScrambledZipfian(std::uint64_t n, double theta = 0.99);
+
+    std::uint64_t sample(Xoshiro& rng);
+
+    std::uint64_t n() const { return zipf_.n(); }
+
+  private:
+    Zipfian zipf_;
+};
+
+} // namespace cxlcommon

@@ -1,0 +1,97 @@
+#include "cxl/cache_model.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace cxl {
+
+using cxlcommon::kCacheLine;
+using cxlcommon::line_of;
+
+ThreadCache::Line&
+ThreadCache::fill(std::uint64_t line_offset)
+{
+    auto [it, inserted] = lines_.try_emplace(line_offset);
+    if (inserted) {
+        std::memcpy(it->second.data.data(), device_->raw(line_offset),
+                    kCacheLine);
+    }
+    return it->second;
+}
+
+void
+ThreadCache::read(HeapOffset offset, void* out, std::size_t len)
+{
+    auto* dst = static_cast<std::byte*>(out);
+    while (len > 0) {
+        std::uint64_t line = line_of(offset);
+        std::size_t within = offset - line;
+        std::size_t chunk = std::min(len, kCacheLine - within);
+        Line& entry = fill(line);
+        std::memcpy(dst, entry.data.data() + within, chunk);
+        dst += chunk;
+        offset += chunk;
+        len -= chunk;
+    }
+}
+
+void
+ThreadCache::write(HeapOffset offset, const void* in, std::size_t len)
+{
+    const auto* src = static_cast<const std::byte*>(in);
+    while (len > 0) {
+        std::uint64_t line = line_of(offset);
+        std::size_t within = offset - line;
+        std::size_t chunk = std::min(len, kCacheLine - within);
+        Line& entry = fill(line);
+        std::memcpy(entry.data.data() + within, src, chunk);
+        entry.dirty = true;
+        src += chunk;
+        offset += chunk;
+        len -= chunk;
+    }
+}
+
+void
+ThreadCache::flush(HeapOffset offset, std::size_t len)
+{
+    std::uint64_t first = line_of(offset);
+    std::uint64_t last = line_of(offset + len - 1);
+    for (std::uint64_t line = first; line <= last; line += kCacheLine) {
+        auto it = lines_.find(line);
+        if (it == lines_.end()) {
+            continue;
+        }
+        if (it->second.dirty) {
+            std::memcpy(device_->raw(line), it->second.data.data(),
+                        kCacheLine);
+        }
+        lines_.erase(it);
+    }
+}
+
+void
+ThreadCache::writeback_all()
+{
+    for (const auto& [line, entry] : lines_) {
+        if (entry.dirty) {
+            std::memcpy(device_->raw(line), entry.data.data(), kCacheLine);
+        }
+    }
+    lines_.clear();
+}
+
+std::size_t
+ThreadCache::dirty_lines() const
+{
+    std::size_t n = 0;
+    for (const auto& [line, entry] : lines_) {
+        if (entry.dirty) {
+            n++;
+        }
+    }
+    return n;
+}
+
+} // namespace cxl

@@ -1,0 +1,75 @@
+/// @file
+/// Per-thread software cache model for the SWcc region (paper §3.2.2).
+///
+/// Substitution note: on real hardware, SWcc memory may be cached by each
+/// host's CPU without inter-host invalidation, so threads can read stale
+/// data unless the writer flushed and the reader refetches. This model makes
+/// that hazard deterministic: a thread's reads hit its private line copies
+/// until it flushes (write-back + invalidate) or invalidates them. A
+/// simulated crash simply destroys the cache object, losing unflushed
+/// writes — exactly the failure recovery must tolerate.
+///
+/// The paper assumes threads are pinned to cores, so one cache per thread
+/// (not per core) is a faithful simplification.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/cacheline.h"
+#include "cxl/device.h"
+#include "cxl/types.h"
+
+namespace cxl {
+
+/// One simulated thread-private cache over the SWcc region.
+class ThreadCache {
+  public:
+    explicit ThreadCache(Device* device) : device_(device) {}
+
+    /// Reads @p len bytes at @p offset through the cache (fill on miss,
+    /// then serve possibly-stale cached data).
+    void read(HeapOffset offset, void* out, std::size_t len);
+
+    /// Writes @p len bytes at @p offset into the cache (write-back policy:
+    /// the device is not updated until the line is flushed).
+    void write(HeapOffset offset, const void* in, std::size_t len);
+
+    /// Writes back dirty bytes of the lines covering [offset, offset+len)
+    /// and invalidates them (clflush semantics).
+    void flush(HeapOffset offset, std::size_t len);
+
+    /// Drops every line without write-back. Models losing a CPU's cache
+    /// contents (a host/OS crash, or scheduling a thread onto another core,
+    /// which the paper forbids).
+    void invalidate_all() { lines_.clear(); }
+
+    /// Writes every dirty line back to the device, then drops all lines.
+    /// Models a *process* crash: the host (and its coherent cache) survives,
+    /// so the dead thread's stores remain visible and eventually reach the
+    /// device — the failure model under which the paper's 8-byte redo
+    /// recovery operates.
+    void writeback_all();
+
+    /// Number of resident lines (for tests and stats).
+    std::size_t resident_lines() const { return lines_.size(); }
+
+    /// Number of dirty (unflushed) lines.
+    std::size_t dirty_lines() const;
+
+  private:
+    struct Line {
+        std::array<std::byte, cxlcommon::kCacheLine> data;
+        bool dirty = false;
+    };
+
+    Line& fill(std::uint64_t line_offset);
+
+    Device* device_;
+    std::unordered_map<std::uint64_t, Line> lines_;
+};
+
+} // namespace cxl

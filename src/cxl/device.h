@@ -1,0 +1,103 @@
+/// @file
+/// The simulated multi-headed CXL memory device.
+///
+/// Substitution note (see DESIGN.md §2): the paper's device is a real
+/// multi-headed CXL module shared by hosts over PCIe. Here the device is a
+/// single in-process arena; coherence semantics (HWcc region, SWcc region,
+/// device-biased region) are enforced by MemSession/ThreadCache on top of
+/// this class, and atomicity by std::atomic_ref on arena words. The device
+/// is assumed reliable (paper §2.1 failure model): its contents survive
+/// simulated process crashes because the arena outlives them.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cxl/types.h"
+
+namespace cxl {
+
+/// Static configuration of the device.
+struct DeviceConfig {
+    /// Total capacity in bytes (must be page-aligned).
+    std::uint64_t size = 256ULL << 20;
+
+    /// Coherence support.
+    CoherenceMode mode = CoherenceMode::PartialHwcc;
+
+    /// Bytes at the start of the device that support inter-host atomics:
+    /// the HWcc region (PartialHwcc) or device-biased region (NoHwcc).
+    /// Ignored under FullHwcc (the whole device is coherent).
+    std::uint64_t sync_region_size = 16ULL << 20;
+
+    /// When true, per-thread SWcc caches are simulated so that stale reads
+    /// are deterministically observable. When false, accesses go straight
+    /// to the arena (fast path for benchmarks); flush/fence are counted.
+    bool simulate_cache = false;
+};
+
+/// The shared memory device: a flat byte arena plus commit accounting.
+class Device {
+  public:
+    explicit Device(const DeviceConfig& config);
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    const DeviceConfig& config() const { return config_; }
+    std::uint64_t size() const { return config_.size; }
+    CoherenceMode mode() const { return config_.mode; }
+
+    /// True if @p offset lies in the region where inter-host atomics work
+    /// (HWcc or device-biased, depending on mode).
+    bool
+    in_sync_region(HeapOffset offset) const
+    {
+        if (config_.mode == CoherenceMode::FullHwcc) {
+            return true;
+        }
+        return offset < config_.sync_region_size;
+    }
+
+    /// Raw pointer into the arena. Callers outside MemSession should only
+    /// use this for bulk application data, never for shared metadata.
+    std::byte*
+    raw(HeapOffset offset)
+    {
+        return arena_.get() + offset;
+    }
+
+    const std::byte*
+    raw(HeapOffset offset) const
+    {
+        return arena_.get() + offset;
+    }
+
+    /// Marks the pages covering [offset, offset+len) as committed (backed
+    /// by device DRAM). Idempotent; used for the PSS-analog memory report.
+    void note_committed(HeapOffset offset, std::uint64_t len);
+
+    /// Marks the pages fully inside [offset, offset+len) as returned to
+    /// the device (the MADV_REMOVE analog, paper §3.3.1): the virtual
+    /// mapping may remain, but the backing memory is no longer charged.
+    void note_decommitted(HeapOffset offset, std::uint64_t len);
+
+    /// Total committed bytes (unique pages touched across the pod).
+    std::uint64_t committed_bytes() const;
+
+    /// Returns committed accounting to zero (between benchmark trials).
+    void reset_commit_accounting();
+
+  private:
+    DeviceConfig config_;
+    std::unique_ptr<std::byte[]> arena_;
+    /// One bit per page; atomic words so threads can commit concurrently.
+    std::vector<std::atomic<std::uint64_t>> commit_bitmap_;
+    std::atomic<std::uint64_t> committed_pages_{0};
+};
+
+} // namespace cxl

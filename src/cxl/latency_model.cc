@@ -1,0 +1,64 @@
+#include "cxl/latency_model.h"
+
+namespace cxl {
+
+LatencyModel
+LatencyModel::local_dram()
+{
+    LatencyModel m;
+    m.read_ns = 112;        // paper §5.4 MLC measurement
+    m.write_ns = 60;
+    m.cached_ns = 2;
+    m.flush_ns = 80;
+    m.fence_ns = 20;
+    m.cas_ns = 30;
+    m.cas_contended_ns = 70;
+    m.mcas_ns = 0;          // not applicable
+    m.mcas_conflict_ns = 0;
+    return m;
+}
+
+LatencyModel
+LatencyModel::cxl_hwcc()
+{
+    LatencyModel m;
+    m.read_ns = 357;        // paper §5.4 MLC measurement
+    m.write_ns = 180;
+    m.cached_ns = 2;        // HWcc lines may live in CPU cache
+    m.flush_ns = 250;
+    m.fence_ns = 20;
+    m.cas_ns = 100;         // sw_cas in Fig. 11: line resident in CPU cache
+    m.cas_contended_ns = 600; // back-invalidation ping-pong
+    m.mcas_ns = 0;
+    m.mcas_conflict_ns = 0;
+    return m;
+}
+
+LatencyModel
+LatencyModel::cxl_mcas()
+{
+    LatencyModel m;
+    m.read_ns = 357;
+    m.write_ns = 180;
+    m.cached_ns = 2;        // SWcc lines may still be CPU-cached
+    m.flush_ns = 250;
+    m.fence_ns = 20;
+    m.cas_ns = 0;           // no HWcc: plain CAS unavailable
+    m.cas_contended_ns = 0;
+    m.mcas_ns = 2300;       // Fig. 11 hw_cas p50 at 1 thread
+    m.mcas_conflict_ns = 180; // engine scales mildly under contention
+    return m;
+}
+
+LatencyModel
+LatencyModel::cxl_flush_cas()
+{
+    LatencyModel m = cxl_hwcc();
+    // sw_flush_cas: every CAS preceded by a flush of the target line, so the
+    // CAS itself always misses to CXL memory.
+    m.cas_ns = 357 + 250;
+    m.cas_contended_ns = 1400; // degrades faster than the NMP under load
+    return m;
+}
+
+} // namespace cxl

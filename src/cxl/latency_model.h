@@ -1,0 +1,46 @@
+/// @file
+/// Calibrated latency model for the simulated memory substrate.
+///
+/// Constants come from the paper's testbed measurements (§5.4): local DRAM
+/// read 112 ns, CXL read 357 ns over PCIe 5.0 x16, single-thread NMP mCAS
+/// p50 ≈ 2.3 µs, and sw_flush_cas (flush + CAS, the software emulation of
+/// mCAS) landing below hw_cas at one thread but above it under contention
+/// (Fig. 11). Benchmarks report *simulated* time computed from per-thread
+/// event streams in addition to wall-clock, so that the paper's shape is
+/// recoverable on a host whose core count and memory differ from the
+/// authors' testbeds.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cxl {
+
+/// Per-operation costs in nanoseconds.
+struct LatencyModel {
+    std::uint64_t read_ns = 0;        ///< uncached load from the medium
+    std::uint64_t write_ns = 0;       ///< store (posted; cheaper than read)
+    std::uint64_t cached_ns = 2;      ///< load/store that can hit CPU cache
+    std::uint64_t flush_ns = 0;       ///< clwb/clflush + drain
+    std::uint64_t fence_ns = 0;       ///< sfence
+    std::uint64_t cas_ns = 0;         ///< HWcc CAS (uncontended)
+    std::uint64_t cas_contended_ns = 0; ///< extra per coherence conflict
+    std::uint64_t mcas_ns = 0;        ///< NMP spwr+sprd round trip
+    std::uint64_t mcas_conflict_ns = 0; ///< extra when engine reports conflict
+
+    /// Host-local DDR DRAM (the "local" series in Fig. 12).
+    static LatencyModel local_dram();
+
+    /// CXL-attached memory with inter-host HWcc ("-hwcc" series).
+    static LatencyModel cxl_hwcc();
+
+    /// CXL-attached memory with no HWcc; synchronization via NMP mCAS
+    /// ("-mcas" series).
+    static LatencyModel cxl_mcas();
+
+    /// sw_flush_cas configuration of Fig. 11: cacheline flush then CAS,
+    /// the software emulation of mCAS used by prior work.
+    static LatencyModel cxl_flush_cas();
+};
+
+} // namespace cxl

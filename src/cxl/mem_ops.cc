@@ -1,0 +1,134 @@
+#include "cxl/mem_ops.h"
+
+#include <thread>
+
+namespace cxl {
+
+MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
+    : device_(device), nmp_(nmp), tid_(tid), cache_(device)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads,
+               "session requires a valid thread id");
+}
+
+void
+MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
+{
+    check_access(offset, len);
+    counters_.loads++;
+    if (cache_sim_at(offset)) {
+        cache_.read(offset, out, len);
+        return;
+    }
+    std::memcpy(out, device_->raw(offset), len);
+}
+
+void
+MemSession::write_bytes(HeapOffset offset, const void* in, std::uint64_t len)
+{
+    check_access(offset, len);
+    counters_.stores++;
+    if (cache_sim_at(offset)) {
+        cache_.write(offset, in, len);
+        return;
+    }
+    std::memcpy(device_->raw(offset), in, len);
+}
+
+void
+MemSession::flush(HeapOffset offset, std::uint64_t len)
+{
+    counters_.flushes++;
+    if (model_ != nullptr) {
+        // One clwb per covered line.
+        std::uint64_t lines =
+            (cxlcommon::line_of(offset + len - 1) -
+             cxlcommon::line_of(offset)) / cxlcommon::kCacheLine + 1;
+        charge(lines * model_->flush_ns);
+    }
+    if (device_->config().simulate_cache) {
+        cache_.flush(offset, len);
+    }
+    // Without the cache model, stores already reached the arena; the flush
+    // still orders against fence() because stores used atomic_ref.
+}
+
+void
+MemSession::fence()
+{
+    counters_.fences++;
+    if (model_ != nullptr) {
+        charge(model_->fence_ns);
+    }
+    // sfence semantics: order the preceding flushes (stores) before
+    // subsequent stores.
+    std::atomic_thread_fence(std::memory_order_release);
+}
+
+bool
+MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
+                  std::uint64_t desired)
+{
+    CXL_ASSERT(device_->in_sync_region(offset),
+               "CAS outside the HWcc/device-biased region");
+    check_access(offset, 8);
+    if (device_->mode() == CoherenceMode::NoHwcc) {
+        counters_.mcas_ops++;
+        McasResult result = nmp_->mcas(tid_, offset, expected, desired);
+        if (model_ != nullptr) {
+            charge(model_->mcas_ns +
+                   (result.conflict ? model_->mcas_conflict_ns : 0));
+        }
+        if (result.conflict) {
+            counters_.mcas_conflicts++;
+            // An in-flight spwr-sprd pair on real hardware completes in
+            // microseconds; on a host with fewer cores than threads the
+            // owning thread may be descheduled mid-pair, so yield instead
+            // of burning the timeslice re-conflicting against it.
+            std::this_thread::yield();
+            // Hardware reports no previous value on conflict; reload so the
+            // caller's retry loop sees fresh state.
+            expected = atomic_load64(offset);
+            return false;
+        }
+        if (!result.success) {
+            expected = result.previous;
+        }
+        return result.success;
+    }
+    counters_.cas_ops++;
+    bool ok = atomic_at<std::uint64_t>(offset).compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    if (model_ != nullptr) {
+        charge(model_->cas_ns + (ok ? 0 : model_->cas_contended_ns));
+    }
+    if (!ok) {
+        counters_.cas_failures++;
+    }
+    return ok;
+}
+
+std::uint64_t
+MemSession::atomic_load64(HeapOffset offset)
+{
+    CXL_ASSERT(device_->in_sync_region(offset),
+               "atomic load outside the HWcc/device-biased region");
+    check_access(offset, 8);
+    counters_.loads++;
+    charge_load(offset);
+    return atomic_at<std::uint64_t>(offset).load(std::memory_order_acquire);
+}
+
+void
+MemSession::atomic_store64(HeapOffset offset, std::uint64_t value)
+{
+    CXL_ASSERT(device_->in_sync_region(offset),
+               "atomic store outside the HWcc/device-biased region");
+    check_access(offset, 8);
+    counters_.stores++;
+    charge_store(offset);
+    atomic_at<std::uint64_t>(offset).store(value, std::memory_order_release);
+}
+
+} // namespace cxl

@@ -1,0 +1,254 @@
+/// @file
+/// MemSession: a thread's window onto the simulated CXL device.
+///
+/// Every allocator access to shared memory goes through a MemSession, which
+/// enforces the region semantics of the configured coherence mode:
+///  - sync region (HWcc or device-biased): word accesses are atomic; cas64
+///    dispatches to a real CPU CAS (HWcc) or to the NMP mCAS engine
+///    (NoHwcc). The device-biased region is uncachable, so accesses are
+///    charged uncached latency.
+///  - SWcc region: plain loads/stores, optionally routed through the
+///    per-thread ThreadCache so stale reads are observable; flush()/fence()
+///    implement the paper's software coherence protocol.
+///
+/// The session also accumulates event counters and (optionally) simulated
+/// time from a LatencyModel, which benchmarks use to report paper-shaped
+/// results on hardware unlike the authors' testbeds.
+
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+#include "cxl/cache_model.h"
+#include "cxl/device.h"
+#include "cxl/latency_model.h"
+#include "cxl/nmp.h"
+#include "cxl/types.h"
+
+namespace cxl {
+
+/// Event counts for one thread's session.
+struct MemEventCounters {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t cas_ops = 0;
+    std::uint64_t cas_failures = 0;
+    std::uint64_t mcas_ops = 0;
+    std::uint64_t mcas_conflicts = 0;
+    std::uint64_t faults = 0;
+
+    MemEventCounters&
+    operator+=(const MemEventCounters& o)
+    {
+        loads += o.loads;
+        stores += o.stores;
+        flushes += o.flushes;
+        fences += o.fences;
+        cas_ops += o.cas_ops;
+        cas_failures += o.cas_failures;
+        mcas_ops += o.mcas_ops;
+        mcas_conflicts += o.mcas_conflicts;
+        faults += o.faults;
+        return *this;
+    }
+};
+
+/// Interface the pod layer implements to intercept accesses to not-yet-
+/// mapped offsets (the SIGSEGV-handler analog providing PC-T).
+class MemSession;
+
+class MappingGuard {
+  public:
+    virtual ~MappingGuard() = default;
+
+    /// Ensures [offset, offset+len) is mapped in the calling process,
+    /// faulting into the registered handler if not. Aborts (true segfault)
+    /// if the handler cannot back the access. @p mem identifies the
+    /// faulting thread (the handler runs on the faulting thread's stack).
+    virtual void on_access(MemSession& mem, HeapOffset offset,
+                           std::uint64_t len) = 0;
+};
+
+/// A thread's access session. Not thread-safe; one per thread.
+class MemSession {
+  public:
+    MemSession(Device* device, Nmp* nmp, ThreadId tid);
+
+    ThreadId tid() const { return tid_; }
+    Device* device() { return device_; }
+
+    /// Installs the PC-T mapping guard (and enables per-access checks).
+    void
+    set_mapping_guard(MappingGuard* guard)
+    {
+        guard_ = guard;
+    }
+
+    /// Attaches a latency model; simulated time accrues from then on.
+    void
+    set_latency_model(const LatencyModel* model)
+    {
+        model_ = model;
+    }
+
+    /// Loads a word-sized trivially copyable T from shared memory.
+    template <typename T>
+    T
+    load(HeapOffset offset)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        check_access(offset, sizeof(T));
+        counters_.loads++;
+        if (cache_sim_at(offset)) {
+            charge(model_ ? model_->cached_ns : 0);
+            T value;
+            cache_.read(offset, &value, sizeof(T));
+            return value;
+        }
+        charge_load(offset);
+        return atomic_at<T>(offset).load(std::memory_order_relaxed);
+    }
+
+    /// Stores a word-sized trivially copyable T to shared memory.
+    template <typename T>
+    void
+    store(HeapOffset offset, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        check_access(offset, sizeof(T));
+        counters_.stores++;
+        if (cache_sim_at(offset)) {
+            charge(model_ ? model_->cached_ns : 0);
+            cache_.write(offset, &value, sizeof(T));
+            return;
+        }
+        charge_store(offset);
+        atomic_at<T>(offset).store(value, std::memory_order_relaxed);
+    }
+
+    /// Bulk read of SWcc data (goes through the cache model if enabled).
+    void read_bytes(HeapOffset offset, void* out, std::uint64_t len);
+
+    /// Bulk write of SWcc data.
+    void write_bytes(HeapOffset offset, const void* in, std::uint64_t len);
+
+    /// Direct pointer for application payload bytes. Mapping-checked, but
+    /// bypasses the cache model: payloads are application data whose
+    /// coherence is the application's business (paper manages only
+    /// allocator metadata in SWcc).
+    std::byte*
+    data_ptr(HeapOffset offset, std::uint64_t len)
+    {
+        check_access(offset, len);
+        return device_->raw(offset);
+    }
+
+    /// Writes back + invalidates the cachelines covering [offset, +len).
+    void flush(HeapOffset offset, std::uint64_t len = cxlcommon::kCacheLine);
+
+    /// Store fence ordering flushes before subsequent writes.
+    void fence();
+
+    /// 64-bit compare-and-swap on the sync region. Under NoHwcc this is an
+    /// NMP mCAS; an engine conflict counts as a failure and reloads
+    /// @p expected like a value mismatch would. Returns true on swap.
+    bool cas64(HeapOffset offset, std::uint64_t& expected,
+               std::uint64_t desired);
+
+    /// Atomic (coherent) 64-bit load from the sync region.
+    std::uint64_t atomic_load64(HeapOffset offset);
+
+    /// Atomic (coherent) 64-bit store to the sync region.
+    void atomic_store64(HeapOffset offset, std::uint64_t value);
+
+    /// Drops this thread's simulated cache without write-back: what a crash
+    /// does to unflushed state.
+    void
+    drop_cache()
+    {
+        cache_.invalidate_all();
+    }
+
+    ThreadCache& cache() { return cache_; }
+    MemEventCounters& counters() { return counters_; }
+    const MemEventCounters& counters() const { return counters_; }
+
+    /// Simulated nanoseconds accumulated by this session.
+    std::uint64_t sim_ns() const { return sim_ns_; }
+    void charge(std::uint64_t ns) { sim_ns_ += ns; }
+    void
+    reset_accounting()
+    {
+        sim_ns_ = 0;
+        counters_ = MemEventCounters{};
+    }
+
+  private:
+    template <typename T>
+    std::atomic_ref<T>
+    atomic_at(HeapOffset offset)
+    {
+        CXL_ASSERT(offset % sizeof(T) == 0, "misaligned shared access");
+        return std::atomic_ref<T>(
+            *reinterpret_cast<T*>(device_->raw(offset)));
+    }
+
+    /// True if this access should be routed through the simulated cache:
+    /// cache simulation on, and the offset is in cacheable (non-device-
+    /// biased) memory outside the always-coherent region.
+    bool
+    cache_sim_at(HeapOffset offset) const
+    {
+        return device_->config().simulate_cache &&
+               !device_->in_sync_region(offset);
+    }
+
+    void
+    check_access(HeapOffset offset, std::uint64_t len)
+    {
+        CXL_ASSERT(offset + len <= device_->size(), "access past device end");
+        if (guard_ != nullptr) {
+            guard_->on_access(*this, offset, len);
+        }
+    }
+
+    void
+    charge_load(HeapOffset offset)
+    {
+        if (model_ == nullptr) {
+            return;
+        }
+        // Device-biased memory is uncachable: every load goes to the medium.
+        bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
+                          device_->in_sync_region(offset);
+        charge(uncachable ? model_->read_ns : model_->cached_ns);
+    }
+
+    void
+    charge_store(HeapOffset offset)
+    {
+        if (model_ == nullptr) {
+            return;
+        }
+        bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
+                          device_->in_sync_region(offset);
+        charge(uncachable ? model_->write_ns : model_->cached_ns);
+    }
+
+    Device* device_;
+    Nmp* nmp_;
+    ThreadId tid_;
+    ThreadCache cache_;
+    MappingGuard* guard_ = nullptr;
+    const LatencyModel* model_ = nullptr;
+    MemEventCounters counters_;
+    std::uint64_t sim_ns_ = 0;
+};
+
+} // namespace cxl

@@ -1,0 +1,73 @@
+#include "cxl/nmp.h"
+#include <atomic>
+
+#include "common/assert.h"
+
+namespace cxl {
+
+void
+Nmp::spwr(ThreadId tid, HeapOffset target, std::uint64_t expected,
+          std::uint64_t swap)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    CXL_ASSERT(device_->in_sync_region(target),
+               "mCAS target outside device-biased region");
+    CXL_ASSERT(target % 8 == 0, "mCAS target must be 8-byte aligned");
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[tid];
+    CXL_ASSERT(!slot.valid, "spwr while previous mCAS still in flight");
+    slot.target = target;
+    slot.expected = expected;
+    slot.swap = swap;
+    slot.valid = true;
+    slot.doomed = false;
+    // Fig. 6(b): an operation that arrives while another spwr-sprd pair is
+    // in progress on the same target address is failed.
+    for (std::uint32_t other = 1; other <= kMaxThreads; other++) {
+        if (other == tid) {
+            continue;
+        }
+        const Slot& competitor = slots_[other];
+        if (competitor.valid && competitor.target == target) {
+            slot.doomed = true;
+            break;
+        }
+    }
+}
+
+McasResult
+Nmp::sprd(ThreadId tid)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[tid];
+    CXL_ASSERT(slot.valid, "sprd without matching spwr");
+    slot.valid = false;
+    ops_++;
+    if (slot.doomed) {
+        conflicts_++;
+        return McasResult{.success = false, .conflict = true, .previous = 0};
+    }
+    std::atomic_ref<std::uint64_t> word(
+        *reinterpret_cast<std::uint64_t*>(device_->raw(slot.target)));
+    std::uint64_t previous = word.load(std::memory_order_acquire);
+    bool success = previous == slot.expected;
+    if (success) {
+        // "On an mCAS success, all subsequent sprd and spwr operations are
+        // stalled until the swap value is written" — under mu_, the write
+        // completes before any other engine work.
+        word.store(slot.swap, std::memory_order_release);
+    }
+    return McasResult{.success = success, .conflict = false,
+                      .previous = previous};
+}
+
+McasResult
+Nmp::mcas(ThreadId tid, HeapOffset target, std::uint64_t expected,
+          std::uint64_t swap)
+{
+    spwr(tid, target, expected, swap);
+    return sprd(tid);
+}
+
+} // namespace cxl

@@ -1,0 +1,84 @@
+/// @file
+/// Near-memory-processing (NMP) mCAS engine (paper §4, Fig. 6).
+///
+/// Substitution note: the paper implements this in the FPGA of an Intel
+/// Agilex 7 CXL Type-2 board. We reproduce the *interface contract* and the
+/// *conflict semantics*:
+///  - a thread initiates an mCAS by writing a 64 B operand block (expected
+///    value, swap value, target address) to its private cacheline in the
+///    special-write (spwr) region, then reading a 16 B response (success
+///    bit + previous value) from its cacheline in the special-read (sprd)
+///    region;
+///  - only one spwr-sprd pair may be in flight per target address: a
+///    competing operation that arrives while another targets the same
+///    address is failed (Fig. 6(b));
+///  - all engine work is serialized at the device, which is what provides
+///    atomicity without any cache coherence.
+///
+/// The two-phase spwr()/sprd() API is exposed so tests can interleave
+/// competing operations deterministically; mcas() is the convenience wrapper
+/// the allocator uses.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "cxl/device.h"
+#include "cxl/types.h"
+
+namespace cxl {
+
+/// Outcome of one mCAS.
+struct McasResult {
+    /// True if the swap was performed.
+    bool success = false;
+    /// True if the operation was failed because a competing spwr-sprd pair
+    /// targeted the same address (hardware does not retry; software must).
+    bool conflict = false;
+    /// Value observed at the target (undefined when conflict).
+    std::uint64_t previous = 0;
+};
+
+/// The simulated NMP unit managing the device-biased region.
+class Nmp {
+  public:
+    explicit Nmp(Device* device) : device_(device) {}
+
+    /// Phase 1: thread @p tid posts operands to its spwr cacheline.
+    /// Returns false (operation already doomed) if a competing in-flight
+    /// operation targets the same address.
+    void spwr(ThreadId tid, HeapOffset target, std::uint64_t expected,
+              std::uint64_t swap);
+
+    /// Phase 2: thread @p tid reads its sprd cacheline, triggering the
+    /// compare-and-swap.
+    McasResult sprd(ThreadId tid);
+
+    /// Full spwr+sprd round trip.
+    McasResult mcas(ThreadId tid, HeapOffset target, std::uint64_t expected,
+                    std::uint64_t swap);
+
+    std::uint64_t total_ops() const { return ops_; }
+    std::uint64_t total_conflicts() const { return conflicts_; }
+
+  private:
+    struct Slot {
+        HeapOffset target = 0;
+        std::uint64_t expected = 0;
+        std::uint64_t swap = 0;
+        bool valid = false;
+        bool doomed = false;
+    };
+
+    Device* device_;
+    /// The device serializes engine work; one mutex models that pipeline.
+    std::mutex mu_;
+    /// Register array: one slot per thread (its spwr/sprd cachelines).
+    std::array<Slot, kMaxThreads + 1> slots_{};
+    std::uint64_t ops_ = 0;
+    std::uint64_t conflicts_ = 0;
+};
+
+} // namespace cxl

@@ -1,0 +1,46 @@
+/// @file
+/// Shared identifiers and limits for the simulated CXL pod.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/offset_ptr.h"
+
+namespace cxl {
+
+using cxlcommon::HeapOffset;
+using cxlcommon::kNullOffset;
+
+/// Pod-global thread identifier. 0 means "no thread" so that zero-filled
+/// owner fields decode as unowned (zero-is-valid heap initialization).
+using ThreadId = std::uint16_t;
+
+inline constexpr ThreadId kNoThread = 0;
+
+/// Maximum number of pod-global thread slots. Thread IDs are 1..kMaxThreads.
+/// 8-16 hosts with a handful of pinned threads each; 64 slots is generous.
+inline constexpr std::uint32_t kMaxThreads = 64;
+
+/// Maximum number of sharing processes in the pod.
+inline constexpr std::uint32_t kMaxProcesses = 16;
+
+/// Simulated page size: the granularity at which memory mappings are
+/// installed into a process (the mmap analog).
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/// Coherence support of the simulated device (paper Fig. 1).
+enum class CoherenceMode {
+    /// CXL 3.x back-invalidation everywhere: plain CAS works on any line.
+    FullHwcc,
+    /// HWcc limited to a small contiguous region (Fig. 1(A)); the rest is
+    /// kept coherent in software (SWcc).
+    PartialHwcc,
+    /// No HWcc (Fig. 1(B)): synchronization only via the NMP's mCAS on the
+    /// device-biased (uncachable) region; the rest is SWcc.
+    NoHwcc,
+};
+
+const char* to_string(CoherenceMode mode);
+
+} // namespace cxl

@@ -1,0 +1,192 @@
+#include "cxlalloc/allocator.h"
+
+#include "common/assert.h"
+#include "pod/process.h"
+
+namespace cxlalloc {
+
+CxlAllocator::CxlAllocator(pod::Pod& pod, const Config& config)
+    : pod_(pod), layout_(config),
+      dcas_(layout_.help_array(), config.recoverable),
+      log_(&layout_, config.recoverable),
+      small_(&layout_, /*large=*/false, &dcas_, &log_),
+      large_(&layout_, /*large=*/true, &dcas_, &log_),
+      huge_(&layout_, &dcas_, &log_)
+{
+    CXL_FATAL_IF(pod.device().size() < layout_.end(),
+                 "device too small for heap layout");
+    CXL_FATAL_IF(pod.device().mode() != cxl::CoherenceMode::FullHwcc &&
+                     pod.device().config().sync_region_size <
+                         layout_.hwcc_end(),
+                 "sync region too small for HWcc metadata");
+}
+
+void
+CxlAllocator::attach(pod::Process& process)
+{
+    // Virtual address space reservations (paper Fig. 2, grey regions):
+    // carve out the offset ranges cxlalloc manages so nothing else in the
+    // process can take them (PC-S).
+    process.reserve("hwcc-metadata", 0, layout_.hwcc_end());
+    process.reserve("swcc-metadata", layout_.hwcc_end(),
+                    layout_.small_data() - layout_.hwcc_end());
+    process.reserve("small-data", layout_.small_data(),
+                    layout_.large_data() - layout_.small_data());
+    process.reserve("large-data", layout_.large_data(),
+                    layout_.huge_data() - layout_.large_data());
+    process.reserve("huge-data", layout_.huge_data(),
+                    layout_.end() - layout_.huge_data());
+    process.set_resolver(this);
+
+    // Fixed-size metadata is mapped eagerly; per-slab descriptors and all
+    // data are mapped lazily (heap extension + fault handler).
+    process.install_mapping(0, layout_.hwcc_end());
+    process.install_mapping(layout_.recovery_row(0),
+                            layout_.small_local(0) - layout_.recovery_row(0));
+    process.install_mapping(layout_.small_local(0),
+                            layout_.small_swcc_desc(0) -
+                                layout_.small_local(0));
+    process.install_mapping(layout_.huge_desc(0),
+                            layout_.huge_desc_count() *
+                                HugeDescField::kStride);
+}
+
+void
+CxlAllocator::attach_thread(pod::ThreadContext& ctx)
+{
+    PerThread& pt = threads_[ctx.tid()];
+    pt.state = ThreadState{};
+    huge_.rebuild_thread_state(ctx, pt.state);
+    pt.attached = true;
+}
+
+ThreadState&
+CxlAllocator::state_of(pod::ThreadContext& ctx)
+{
+    PerThread& pt = threads_[ctx.tid()];
+    if (!pt.attached) {
+        attach_thread(ctx);
+    }
+    return pt.state;
+}
+
+ThreadState&
+CxlAllocator::thread_state(cxl::ThreadId tid)
+{
+    return threads_[tid].state;
+}
+
+cxl::HeapOffset
+CxlAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    CXL_ASSERT(size > 0, "zero-size allocation");
+    ThreadState& ts = state_of(ctx);
+    if (size <= kSmallMax) {
+        return small_.allocate(ctx, ts, size);
+    }
+    if (size <= kLargeMax) {
+        return large_.allocate(ctx, ts, size);
+    }
+    return huge_.allocate(ctx, ts, size);
+}
+
+void
+CxlAllocator::deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset)
+{
+    CXL_ASSERT(offset != 0, "freeing null offset");
+    ThreadState& ts = state_of(ctx);
+    if (small_.contains(offset)) {
+        small_.deallocate(ctx, ts, offset);
+    } else if (large_.contains(offset)) {
+        large_.deallocate(ctx, ts, offset);
+    } else if (huge_.contains(offset)) {
+        huge_.deallocate(ctx, ts, offset);
+    } else {
+        CXL_FATAL("free of offset outside any heap region");
+    }
+}
+
+void
+CxlAllocator::recover(pod::ThreadContext& ctx)
+{
+    cxl::MemSession& mem = ctx.mem();
+    PerThread& pt = threads_[ctx.tid()];
+    pt.state = ThreadState{};
+
+    OpRecord record = log_.read(mem, ctx.tid());
+    // Resume the version counter past the interrupted operation so no
+    // future CAS reuses its tag.
+    pt.state.version = (record.version + 1) & cxlsync::kVersionMask;
+    // Huge-heap volatile state must exist before huge redo logic runs.
+    huge_.rebuild_thread_state(ctx, pt.state);
+    pt.attached = true;
+
+    switch (record.op) {
+      case Op::None:
+        break;
+      case Op::HugeReserve:
+      case Op::HugeAlloc:
+      case Op::HugeFree:
+        huge_.recover(ctx, pt.state, record);
+        // Ownership may have changed during redo: rebuild once more.
+        huge_.rebuild_thread_state(ctx, pt.state);
+        break;
+      default:
+        if (record.large_heap) {
+            large_.recover(ctx, pt.state, record);
+        } else {
+            small_.recover(ctx, pt.state, record);
+        }
+        break;
+    }
+    log_.clear(mem);
+}
+
+void
+CxlAllocator::cleanup(pod::ThreadContext& ctx)
+{
+    huge_.cleanup(ctx, state_of(ctx));
+}
+
+bool
+CxlAllocator::resolve_fault(pod::Process& process, cxl::MemSession& mem,
+                            cxl::HeapOffset offset, pod::MappedRange* out)
+{
+    (void)process;
+    if (small_.resolve(mem, offset, out)) {
+        return true;
+    }
+    if (large_.resolve(mem, offset, out)) {
+        return true;
+    }
+    return huge_.resolve(mem, offset, out);
+}
+
+void
+CxlAllocator::check_invariants(cxl::MemSession& mem)
+{
+    small_.check_global_invariants(mem);
+    large_.check_global_invariants(mem);
+    huge_.check_invariants(mem);
+}
+
+void
+CxlAllocator::check_local_invariants(cxl::MemSession& mem)
+{
+    small_.check_local_invariants(mem);
+    large_.check_local_invariants(mem);
+}
+
+CxlAllocator::Stats
+CxlAllocator::stats(cxl::MemSession& mem)
+{
+    Stats s;
+    s.small = small_.stats(mem);
+    s.large = large_.stats(mem);
+    s.huge = huge_.stats(mem);
+    s.hwcc_bytes = layout_.hwcc_bytes();
+    s.committed_bytes = pod_.device().committed_bytes();
+    return s;
+}
+
+} // namespace cxlalloc

@@ -1,0 +1,128 @@
+/// @file
+/// CxlAllocator: the public API of the cxlalloc reproduction.
+///
+/// One CxlAllocator instance manages one shared heap on one pod. Each
+/// sharing process calls attach() once; each thread allocates and frees
+/// through its pod::ThreadContext. Pointers are HeapOffsets (offset
+/// pointers, §2.3): stable across processes (PC-S), dereferenceable
+/// immediately in any attached process (PC-T via the fault handler).
+///
+/// Usage sketch:
+///     pod::Pod pod(...);
+///     cxlalloc::CxlAllocator heap(pod, cxlalloc::Config{});
+///     auto* proc = pod.create_process();
+///     heap.attach(*proc);
+///     auto thread = pod.create_thread(proc);
+///     cxl::HeapOffset p = heap.allocate(*thread, 64);
+///     std::byte* data = heap.pointer(*thread, p, 64);
+///     heap.deallocate(*thread, p);
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "cxlalloc/huge_heap.h"
+#include "cxlalloc/layout.h"
+#include "cxlalloc/recovery.h"
+#include "cxlalloc/slab_heap.h"
+#include "cxlalloc/thread_state.h"
+#include "pod/fault_handler.h"
+#include "pod/pod.h"
+
+namespace cxlalloc {
+
+/// The cxlalloc memory allocator.
+class CxlAllocator : public pod::FaultResolver {
+  public:
+    /// Binds the allocator to @p pod's device. The device must have been
+    /// sized with Layout::device_config (or larger). No initialization of
+    /// heap memory happens here or ever: zeroed memory is a valid heap
+    /// (paper §4), so processes need no bootstrap coordination.
+    CxlAllocator(pod::Pod& pod, const Config& config);
+
+    /// Per-process setup: registers virtual-address-space reservations
+    /// (PC-S), installs the fault resolver (PC-T), and eagerly maps the
+    /// fixed metadata regions.
+    void attach(pod::Process& process);
+
+    /// Per-thread setup: rebuilds the thread's volatile state from shared
+    /// metadata. Must be called once per ThreadContext before use (done
+    /// automatically on first allocate, but explicit is cheaper to reason
+    /// about in tests).
+    void attach_thread(pod::ThreadContext& ctx);
+
+    /// Allocates @p size bytes; returns the heap offset or 0 on
+    /// exhaustion. Routes to the small (<= 1 KiB), large (<= 512 KiB) or
+    /// huge heap.
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx, std::uint64_t size);
+
+    /// Frees an allocation by offset (any attached thread/process).
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset);
+
+    /// Resolves an offset to a pointer in this process, enforcing PC-T
+    /// (faults in the mapping if needed).
+    std::byte*
+    pointer(pod::ThreadContext& ctx, cxl::HeapOffset offset,
+            std::uint64_t len)
+    {
+        return ctx.mem().data_ptr(offset, len);
+    }
+
+    /// Recovers the crashed thread slot that @p ctx adopted: idempotently
+    /// redoes its interrupted operation and rebuilds volatile state.
+    /// Non-blocking: live threads keep allocating throughout.
+    void recover(pod::ThreadContext& ctx);
+
+    /// Runs the huge heap's asynchronous reclamation pass for this thread.
+    void cleanup(pod::ThreadContext& ctx);
+
+    /// Runtime invariant checks (paper §5.1). Requires quiescence.
+    void check_invariants(cxl::MemSession& mem);
+    void check_local_invariants(cxl::MemSession& mem);
+
+    /// Aggregate statistics.
+    struct Stats {
+        SlabHeap::Stats small;
+        SlabHeap::Stats large;
+        HugeHeap::Stats huge;
+        /// Bytes of HWcc memory the layout consumes (paper §5.2.1 metric).
+        std::uint64_t hwcc_bytes = 0;
+        /// Committed device bytes (PSS analog).
+        std::uint64_t committed_bytes = 0;
+    };
+
+    Stats stats(cxl::MemSession& mem);
+
+    const Layout& layout() const { return layout_; }
+    const Config& config() const { return layout_.config(); }
+
+    /// pod::FaultResolver: the signal-handler body (paper §3.3).
+    bool resolve_fault(pod::Process& process, cxl::MemSession& mem,
+                       cxl::HeapOffset offset,
+                       pod::MappedRange* out) override;
+
+    /// Per-thread volatile state (exposed for tests).
+    ThreadState& thread_state(cxl::ThreadId tid);
+
+  private:
+    ThreadState& state_of(pod::ThreadContext& ctx);
+
+    pod::Pod& pod_;
+    Layout layout_;
+    cxlsync::DetectableCas dcas_;
+    RecoveryLog log_;
+    SlabHeap small_;
+    SlabHeap large_;
+    HugeHeap huge_;
+
+    struct PerThread {
+        ThreadState state;
+        bool attached = false;
+    };
+
+    std::array<PerThread, cxl::kMaxThreads + 1> threads_{};
+};
+
+} // namespace cxlalloc

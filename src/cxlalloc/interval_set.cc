@@ -1,0 +1,103 @@
+#include "cxlalloc/interval_set.h"
+
+#include "common/assert.h"
+
+namespace cxlalloc {
+
+void
+IntervalSet::insert(std::uint64_t start, std::uint64_t len)
+{
+    CXL_ASSERT(len > 0, "inserting empty interval");
+    std::uint64_t added = len;
+    auto next = by_start_.lower_bound(start);
+    // Check overlap with the following interval.
+    CXL_ASSERT(next == by_start_.end() || start + len <= next->first,
+               "interval overlaps successor");
+    // Merge with predecessor if adjacent.
+    if (next != by_start_.begin()) {
+        auto prev = std::prev(next);
+        CXL_ASSERT(prev->first + prev->second <= start,
+                   "interval overlaps predecessor");
+        if (prev->first + prev->second == start) {
+            start = prev->first;
+            len += prev->second;
+            by_start_.erase(prev);
+        }
+    }
+    // Merge with successor if adjacent.
+    if (next != by_start_.end() && start + len == next->first) {
+        len += next->second;
+        by_start_.erase(next);
+    }
+    by_start_[start] = len;
+    // The merges only coalesce existing bytes; the net growth is exactly
+    // the caller's range.
+    total_ += added;
+}
+
+void
+IntervalSet::remove(std::uint64_t start, std::uint64_t len)
+{
+    CXL_ASSERT(len > 0, "removing empty interval");
+    auto it = by_start_.upper_bound(start);
+    CXL_ASSERT(it != by_start_.begin(), "remove: range not free");
+    --it;
+    std::uint64_t is = it->first;
+    std::uint64_t il = it->second;
+    CXL_ASSERT(is <= start && start + len <= is + il,
+               "remove: range not fully contained");
+    by_start_.erase(it);
+    if (is < start) {
+        by_start_[is] = start - is;
+    }
+    if (start + len < is + il) {
+        by_start_[start + len] = is + il - (start + len);
+    }
+    total_ -= len;
+}
+
+bool
+IntervalSet::take(std::uint64_t len, std::uint64_t* start)
+{
+    // Best fit: smallest interval that still fits. Linear scan is fine —
+    // huge allocations are rare and long-lived (paper §3.3.2).
+    auto best = by_start_.end();
+    for (auto it = by_start_.begin(); it != by_start_.end(); ++it) {
+        if (it->second >= len &&
+            (best == by_start_.end() || it->second < best->second)) {
+            best = it;
+        }
+    }
+    if (best == by_start_.end()) {
+        return false;
+    }
+    *start = best->first;
+    std::uint64_t remaining = best->second - len;
+    std::uint64_t tail = best->first + len;
+    by_start_.erase(best);
+    if (remaining > 0) {
+        by_start_[tail] = remaining;
+    }
+    total_ -= len;
+    return true;
+}
+
+bool
+IntervalSet::contains(std::uint64_t start, std::uint64_t len) const
+{
+    auto it = by_start_.upper_bound(start);
+    if (it == by_start_.begin()) {
+        return false;
+    }
+    --it;
+    return it->first <= start && start + len <= it->first + it->second;
+}
+
+void
+IntervalSet::clear()
+{
+    by_start_.clear();
+    total_ = 0;
+}
+
+} // namespace cxlalloc

@@ -1,0 +1,50 @@
+/// @file
+/// Interval set tracking a thread's free huge-heap virtual address space
+/// (paper Fig. 5 HugeLocal.free: "any deterministic data structure will
+/// work here").
+///
+/// The set is volatile, host-side state: on attach or recovery it is
+/// deterministically reconstructed from the reservation array and the
+/// thread's huge descriptor list (paper §3.4.2), so it never needs to live
+/// in shared memory.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace cxlalloc {
+
+/// An ordered set of disjoint [start, start+len) intervals with best-fit
+/// carving and coalescing insert.
+class IntervalSet {
+  public:
+    /// Adds [start, start+len), merging with adjacent intervals. The range
+    /// must not overlap any existing interval.
+    void insert(std::uint64_t start, std::uint64_t len);
+
+    /// Removes exactly [start, start+len), which must be fully contained
+    /// in one interval (splitting it if needed).
+    void remove(std::uint64_t start, std::uint64_t len);
+
+    /// Carves @p len bytes from the smallest interval that fits (best
+    /// fit) and returns its start, or false if nothing fits.
+    bool take(std::uint64_t len, std::uint64_t* start);
+
+    /// True if [start, start+len) is entirely free.
+    bool contains(std::uint64_t start, std::uint64_t len) const;
+
+    /// Total free bytes.
+    std::uint64_t total() const { return total_; }
+
+    /// Number of disjoint intervals (fragmentation metric).
+    std::size_t fragments() const { return by_start_.size(); }
+
+    void clear();
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> by_start_; ///< start -> len
+    std::uint64_t total_ = 0;
+};
+
+} // namespace cxlalloc

@@ -1,0 +1,102 @@
+#include "cxlalloc/layout.h"
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+#include "sync/hazard_offsets.h"
+
+namespace cxlalloc {
+
+using cxlcommon::align_up;
+
+const char*
+to_string(SlabState s)
+{
+    switch (s) {
+      case SlabState::Unmapped:
+        return "unmapped";
+      case SlabState::Global:
+        return "global";
+      case SlabState::TlUnsized:
+        return "tl-unsized";
+      case SlabState::TlSized:
+        return "tl-sized";
+      case SlabState::Detached:
+        return "detached";
+      case SlabState::Disowned:
+        return "disowned";
+    }
+    return "?";
+}
+
+Layout::Layout(const Config& config)
+    : config_(config)
+{
+    CXL_FATAL_IF(config.small_slabs == 0 || config.large_slabs == 0 ||
+                     config.huge_regions == 0,
+                 "heap capacities must be nonzero");
+    CXL_FATAL_IF(config.huge_region_size % cxl::kPageSize != 0,
+                 "huge region size must be page aligned");
+
+    constexpr std::uint32_t kRows = cxl::kMaxThreads + 1;
+
+    // ---- HWcc region: everything synchronization-bearing, packed first.
+    // Offset 0 is reserved (a null HeapOffset must never name live data),
+    // so the help array starts one cacheline in.
+    HeapOffset at = cxlcommon::kCacheLine;
+    help_array_ = at;
+    at += kRows * 8;
+    small_global_ = at;
+    at += 16; // len + free
+    large_global_ = at;
+    at += 16;
+    huge_reservations_ = at;
+    at += static_cast<HeapOffset>(config.huge_regions) * 8;
+    small_hwcc_desc_ = at;
+    at += static_cast<HeapOffset>(config.small_slabs) * 8;
+    large_hwcc_desc_ = at;
+    at += static_cast<HeapOffset>(config.large_slabs) * 8;
+    hwcc_end_ = align_up(at, cxl::kPageSize);
+
+    // ---- SWcc metadata.
+    at = hwcc_end_;
+    recovery_rows_ = at;
+    at += kRows * 64;
+    small_local_ = at;
+    at += kRows * kLocalStride;
+    large_local_ = at;
+    at += kRows * kLocalStride;
+    huge_local_ = at;
+    at += kRows * 64;
+    hazard_table_ = at;
+    at += cxlsync::HazardOffsets::footprint(config.hazard_slots_per_thread);
+    at = align_up(at, cxlcommon::kCacheLine);
+    small_swcc_desc_ = at;
+    at += static_cast<HeapOffset>(config.small_slabs) * kSmallDescStride;
+    large_swcc_desc_ = at;
+    at += static_cast<HeapOffset>(config.large_slabs) * kLargeDescStride;
+    huge_desc_pool_ = at;
+    at += static_cast<HeapOffset>(huge_desc_count()) * HugeDescField::kStride;
+
+    // ---- Data regions (page aligned; each one models a virtual address
+    // space reservation from paper Fig. 2).
+    small_data_ = align_up(at, cxl::kPageSize);
+    large_data_ = small_data_ +
+                  static_cast<HeapOffset>(config.small_slabs) * kSmallSlabSize;
+    huge_data_ = large_data_ +
+                 static_cast<HeapOffset>(config.large_slabs) * kLargeSlabSize;
+    end_ = huge_data_ + static_cast<HeapOffset>(config.huge_regions) *
+                            config.huge_region_size;
+}
+
+cxl::DeviceConfig
+Layout::device_config(cxl::CoherenceMode mode, bool simulate_cache) const
+{
+    cxl::DeviceConfig dev;
+    dev.size = align_up(end_, cxl::kPageSize);
+    dev.mode = mode;
+    dev.sync_region_size = hwcc_end_;
+    dev.simulate_cache = simulate_cache;
+    return dev;
+}
+
+} // namespace cxlalloc

@@ -1,0 +1,66 @@
+#include "cxlalloc/recovery.h"
+
+#include "common/assert.h"
+
+namespace cxlalloc {
+
+const char*
+to_string(Op op)
+{
+    switch (op) {
+      case Op::None:
+        return "none";
+      case Op::Alloc:
+        return "alloc";
+      case Op::Init:
+        return "init";
+      case Op::PopGlobal:
+        return "pop-global";
+      case Op::Extend:
+        return "extend";
+      case Op::Detach:
+        return "detach";
+      case Op::Disown:
+        return "disown";
+      case Op::FreeLocal:
+        return "free-local";
+      case Op::FreeRemote:
+        return "free-remote";
+      case Op::PushGlobal:
+        return "push-global";
+      case Op::HugeReserve:
+        return "huge-reserve";
+      case Op::HugeAlloc:
+        return "huge-alloc";
+      case Op::HugeFree:
+        return "huge-free";
+    }
+    return "?";
+}
+
+std::uint64_t
+OpRecord::pack() const
+{
+    CXL_ASSERT(aux <= kAuxMask, "record aux overflows 12 bits");
+    CXL_ASSERT(version < (1u << 15), "record version overflows 15 bits");
+    std::uint64_t aux13 =
+        (static_cast<std::uint64_t>(large_heap) << 12) | aux;
+    return (static_cast<std::uint64_t>(index) << 32) |
+           (static_cast<std::uint64_t>(version) << 17) | (aux13 << 4) |
+           static_cast<std::uint64_t>(op);
+}
+
+OpRecord
+OpRecord::unpack(std::uint64_t word)
+{
+    OpRecord r;
+    r.op = static_cast<Op>(word & 0xf);
+    std::uint64_t aux13 = (word >> 4) & 0x1fff;
+    r.large_heap = (aux13 >> 12) & 1;
+    r.aux = static_cast<std::uint16_t>(aux13 & kAuxMask);
+    r.version = static_cast<std::uint16_t>((word >> 17) & 0x7fff);
+    r.index = static_cast<std::uint32_t>(word >> 32);
+    return r;
+}
+
+} // namespace cxlalloc

@@ -1,0 +1,130 @@
+/// @file
+/// The 8-byte per-thread redo record (paper §3.4.2).
+///
+/// "Each thread atomically updates 8 bytes of state in place, which records
+/// which operation the thread is currently performing, and contains enough
+/// information to recover the operation in an idempotent manner."
+///
+/// Word packing (64 bits):
+///     [ index:32 | version:15 | aux:13 | op:4 ]
+/// where index is a slab / huge-descriptor / reservation-region index,
+/// version is the detectable-CAS version the operation used (15-bit
+/// circular), and aux carries the size class or block index plus a bit
+/// selecting the small vs large heap.
+///
+/// The record is single-writer (its thread) and written+flushed+fenced
+/// before the operation's first shared-visible step; the next operation
+/// overwrites it, so on recovery exactly one — possibly interrupted,
+/// possibly completed — operation needs an idempotent redo.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/mem_ops.h"
+#include "cxlalloc/layout.h"
+
+namespace cxlalloc {
+
+/// Operation codes (4 bits). Slab operations apply to the small or large
+/// heap according to the aux heap bit.
+enum class Op : std::uint8_t {
+    None = 0,
+    Alloc = 1,      ///< clear one block bit            (aux: heap|block)
+    Init = 2,       ///< unsized -> sized slab init     (aux: heap|class)
+    PopGlobal = 3,  ///< global -> TL unsized           (dcas)
+    Extend = 4,     ///< grow heap length               (dcas)
+    Detach = 5,     ///< full slab, no remote frees
+    Disown = 6,     ///< full slab with remote frees
+    FreeLocal = 7,  ///< set one block bit              (aux: heap|block)
+    FreeRemote = 8, ///< decrement remote counter       (dcas; may steal)
+    PushGlobal = 9, ///< TL unsized overflow -> global  (dcas)
+    HugeReserve = 10, ///< claim a reservation region   (dcas)
+    HugeAlloc = 11,   ///< build + link huge descriptor
+    HugeFree = 12,    ///< set huge descriptor free bit
+};
+
+const char* to_string(Op op);
+
+/// Decoded recovery record.
+struct OpRecord {
+    Op op = Op::None;
+    bool large_heap = false;   ///< aux bit 12: slab op targets large heap
+    std::uint16_t aux = 0;     ///< class or block index (12 bits)
+    std::uint16_t version = 0; ///< detectable-CAS version (15 bits)
+    std::uint32_t index = 0;   ///< slab / descriptor / region index
+
+    std::uint64_t pack() const;
+    static OpRecord unpack(std::uint64_t word);
+
+    static constexpr std::uint16_t kAuxMask = 0x0fff;
+};
+
+/// Writes and reads per-thread recovery records in the shared heap.
+class RecoveryLog {
+  public:
+    RecoveryLog(const Layout* layout, bool enabled)
+        : layout_(layout), enabled_(enabled)
+    {
+    }
+
+    /// True in the recoverable build; false in the cxlalloc-nonrecoverable
+    /// ablation, where log() is a no-op.
+    bool enabled() const { return enabled_; }
+
+    /// Publishes @p record as the calling thread's in-flight operation:
+    /// 8-byte store, flush, fence — the paper's per-operation overhead.
+    void
+    log(cxl::MemSession& mem, const OpRecord& record)
+    {
+        if (!enabled_) {
+            return;
+        }
+        cxl::HeapOffset row = layout_->recovery_row(mem.tid());
+        mem.store<std::uint64_t>(row, record.pack());
+        mem.flush(row, 8);
+        mem.fence();
+    }
+
+    /// Reads thread @p tid's last record (used by that thread's recovery).
+    OpRecord
+    read(cxl::MemSession& mem, cxl::ThreadId tid)
+    {
+        cxl::HeapOffset row = layout_->recovery_row(tid);
+        mem.flush(row, 8); // refetch: never act on a stale cached record
+        return OpRecord::unpack(mem.load<std::uint64_t>(row));
+    }
+
+    /// Clears the record after a completed recovery.
+    void
+    clear(cxl::MemSession& mem)
+    {
+        cxl::HeapOffset row = layout_->recovery_row(mem.tid());
+        mem.store<std::uint64_t>(row, 0);
+        mem.flush(row, 8);
+        mem.fence();
+    }
+
+  private:
+    const Layout* layout_;
+    bool enabled_;
+};
+
+/// Named crash-injection points (white-box recovery tests, paper §5.1).
+namespace crashpoint {
+
+inline constexpr int kAfterRecord = 1;     ///< record flushed, op not begun
+inline constexpr int kMidInit = 2;         ///< popped unsized, not pushed
+inline constexpr int kAfterDcas = 3;       ///< dcas applied, post-work not
+inline constexpr int kMidSteal = 4;        ///< counter hit 0, steal not done
+inline constexpr int kMidDetach = 5;       ///< desc flushed, not unlinked
+inline constexpr int kMidFreeLocal = 6;    ///< bit set, lists not fixed
+inline constexpr int kMidPushGlobal = 7;   ///< desc flushed, dcas not done
+inline constexpr int kMidHugeAlloc = 8;    ///< desc written, not linked
+inline constexpr int kMidHugeMap = 9;      ///< hazard published, not mapped
+inline constexpr int kMidHugeFree = 10;    ///< free bit set, not unmapped
+inline constexpr int kMidAlloc = 11;       ///< bit cleared, not returned
+
+} // namespace crashpoint
+
+} // namespace cxlalloc

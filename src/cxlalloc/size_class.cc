@@ -1,0 +1,66 @@
+#include "cxlalloc/size_class.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace cxlalloc {
+
+namespace {
+
+// 8..64 by 8, then a coarse geometric ladder to 1024. Internal fragmentation
+// stays below ~25% while keeping per-thread free-list arrays small.
+constexpr std::array<std::uint64_t, kNumSmallClasses> kSmallSizes = {
+    8,   16,  24,  32,  40,  48,  56,  64,  80,  96,  112, 128,
+    160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+};
+
+// 1.5 KiB .. 512 KiB: alternating x1.33/x1.5 ladder.
+constexpr std::array<std::uint64_t, kNumLargeClasses> kLargeSizes = {
+    1536,   2048,   3072,   4096,   6144,   8192,
+    12288,  16384,  24576,  32768,  49152,  65536,
+    98304,  131072, 196608, 262144, 393216, 524288,
+};
+
+} // namespace
+
+std::uint64_t
+small_class_size(std::uint32_t cls)
+{
+    CXL_ASSERT(cls < kNumSmallClasses, "small class out of range");
+    return kSmallSizes[cls];
+}
+
+std::uint64_t
+large_class_size(std::uint32_t cls)
+{
+    CXL_ASSERT(cls < kNumLargeClasses, "large class out of range");
+    return kLargeSizes[cls];
+}
+
+std::uint32_t
+small_class_for(std::uint64_t size)
+{
+    CXL_ASSERT(size > 0 && size <= kSmallMax, "size not in small range");
+    for (std::uint32_t cls = 0; cls < kNumSmallClasses; cls++) {
+        if (kSmallSizes[cls] >= size) {
+            return cls;
+        }
+    }
+    CXL_PANIC("unreachable: kSmallSizes ends at kSmallMax");
+}
+
+std::uint32_t
+large_class_for(std::uint64_t size)
+{
+    CXL_ASSERT(size > kSmallMax && size <= kLargeMax,
+               "size not in large range");
+    for (std::uint32_t cls = 0; cls < kNumLargeClasses; cls++) {
+        if (kLargeSizes[cls] >= size) {
+            return cls;
+        }
+    }
+    CXL_PANIC("unreachable: kLargeSizes ends at kLargeMax");
+}
+
+} // namespace cxlalloc

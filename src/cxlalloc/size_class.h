@@ -1,0 +1,57 @@
+/// @file
+/// Size classes for the small and large heaps (paper §3.1: small heap
+/// serves 8 B-1 KiB from 32 KiB slabs; large heap serves 1 KiB-512 KiB from
+/// 512 KiB slabs; anything bigger goes to the huge heap).
+
+#pragma once
+
+#include <cstdint>
+
+namespace cxlalloc {
+
+/// Slab geometry shared across the library.
+inline constexpr std::uint64_t kSmallSlabSize = 32 << 10;
+inline constexpr std::uint64_t kLargeSlabSize = 512 << 10;
+inline constexpr std::uint64_t kSmallMax = 1 << 10;   ///< largest small block
+inline constexpr std::uint64_t kLargeMax = 512 << 10; ///< largest large block
+inline constexpr std::uint64_t kMinAlloc = 8;
+
+/// Number of small size classes (8,16,...,64 by 8; then a 1.25x-ish ladder
+/// up to 1024).
+inline constexpr std::uint32_t kNumSmallClasses = 24;
+
+/// Number of large size classes (1.5 KiB..512 KiB, x1.5/x1.33 ladder).
+inline constexpr std::uint32_t kNumLargeClasses = 18;
+
+/// The larger of the two, used to size per-thread free-list arrays.
+inline constexpr std::uint32_t kMaxClassesPerHeap = 24;
+
+/// Block size of small class @p cls.
+std::uint64_t small_class_size(std::uint32_t cls);
+
+/// Block size of large class @p cls.
+std::uint64_t large_class_size(std::uint32_t cls);
+
+/// Smallest small class whose block size >= @p size. @p size must be in
+/// (0, kSmallMax].
+std::uint32_t small_class_for(std::uint64_t size);
+
+/// Smallest large class whose block size >= @p size. @p size must be in
+/// (kSmallMax, kLargeMax].
+std::uint32_t large_class_for(std::uint64_t size);
+
+/// Blocks per small slab for class @p cls.
+inline std::uint64_t
+small_blocks_per_slab(std::uint32_t cls)
+{
+    return kSmallSlabSize / small_class_size(cls);
+}
+
+/// Blocks per large slab for class @p cls.
+inline std::uint64_t
+large_blocks_per_slab(std::uint32_t cls)
+{
+    return kLargeSlabSize / large_class_size(cls);
+}
+
+} // namespace cxlalloc

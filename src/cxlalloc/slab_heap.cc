@@ -1,0 +1,1027 @@
+#include "cxlalloc/slab_heap.h"
+
+#include <bit>
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+#include "pod/pod.h"
+#include "pod/process.h"
+
+namespace cxlalloc {
+
+using cxlcommon::align_up;
+using cxlsync::DcasWord;
+
+namespace {
+
+std::uint64_t
+class_size_impl(bool large, std::uint32_t cls)
+{
+    return large ? large_class_size(cls) : small_class_size(cls);
+}
+
+std::uint32_t
+class_for_impl(bool large, std::uint64_t size)
+{
+    return large ? large_class_for(size) : small_class_for(size);
+}
+
+} // namespace
+
+SlabHeap::SlabHeap(const Layout* layout, bool large,
+                   cxlsync::DetectableCas* dcas, RecoveryLog* log)
+    : layout_(layout), large_(large), dcas_(dcas), log_(log),
+      unsized_limit_(layout->config().unsized_limit)
+{
+    const Config& cfg = layout->config();
+    if (large) {
+        num_slabs_ = cfg.large_slabs;
+        num_classes_ = kNumLargeClasses;
+        slab_size_ = kLargeSlabSize;
+        len_word_ = layout->large_len();
+        free_word_ = layout->large_free();
+        data_base_ = layout->large_data();
+        swcc_base_ = layout->large_swcc_desc(0);
+        desc_stride_ = Layout::kLargeDescStride;
+        hwcc_base_ = layout->large_hwcc_desc(0);
+        local_base_ = layout->large_local(0);
+    } else {
+        num_slabs_ = cfg.small_slabs;
+        num_classes_ = kNumSmallClasses;
+        slab_size_ = kSmallSlabSize;
+        len_word_ = layout->small_len();
+        free_word_ = layout->small_free();
+        data_base_ = layout->small_data();
+        swcc_base_ = layout->small_swcc_desc(0);
+        desc_stride_ = Layout::kSmallDescStride;
+        hwcc_base_ = layout->small_hwcc_desc(0);
+        local_base_ = layout->small_local(0);
+    }
+}
+
+// ---------------------------------------------------------------- accessors
+
+cxl::HeapOffset
+SlabHeap::desc(std::uint32_t slab) const
+{
+    CXL_ASSERT(slab < num_slabs_, "slab index out of range");
+    return swcc_base_ + static_cast<cxl::HeapOffset>(slab) * desc_stride_;
+}
+
+cxl::HeapOffset
+SlabHeap::hwcc(std::uint32_t slab) const
+{
+    CXL_ASSERT(slab < num_slabs_, "slab index out of range");
+    return hwcc_base_ + static_cast<cxl::HeapOffset>(slab) * 8;
+}
+
+cxl::HeapOffset
+SlabHeap::slab_data(std::uint32_t slab) const
+{
+    return data_base_ + static_cast<cxl::HeapOffset>(slab) * slab_size_;
+}
+
+std::uint32_t
+SlabHeap::next_raw(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return mem.load<std::uint32_t>(desc(slab) + DescField::kNext);
+}
+
+void
+SlabHeap::set_next_raw(cxl::MemSession& mem, std::uint32_t slab,
+                       std::uint32_t raw)
+{
+    mem.store<std::uint32_t>(desc(slab) + DescField::kNext, raw);
+}
+
+std::uint32_t
+SlabHeap::prev_raw(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return mem.load<std::uint32_t>(desc(slab) + 12);
+}
+
+void
+SlabHeap::set_prev_raw(cxl::MemSession& mem, std::uint32_t slab,
+                       std::uint32_t raw)
+{
+    mem.store<std::uint32_t>(desc(slab) + 12, raw);
+}
+
+cxl::ThreadId
+SlabHeap::owner(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return mem.load<cxl::ThreadId>(desc(slab) + DescField::kOwner);
+}
+
+void
+SlabHeap::set_owner(cxl::MemSession& mem, std::uint32_t slab,
+                    cxl::ThreadId tid)
+{
+    mem.store<cxl::ThreadId>(desc(slab) + DescField::kOwner, tid);
+}
+
+std::uint8_t
+SlabHeap::class_biased(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return mem.load<std::uint8_t>(desc(slab) + DescField::kClass);
+}
+
+void
+SlabHeap::set_class_biased(cxl::MemSession& mem, std::uint32_t slab,
+                           std::uint8_t biased)
+{
+    mem.store<std::uint8_t>(desc(slab) + DescField::kClass, biased);
+}
+
+SlabState
+SlabHeap::state(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return static_cast<SlabState>(
+        mem.load<std::uint8_t>(desc(slab) + DescField::kState));
+}
+
+void
+SlabHeap::set_state(cxl::MemSession& mem, std::uint32_t slab, SlabState s)
+{
+    mem.store<std::uint8_t>(desc(slab) + DescField::kState,
+                            static_cast<std::uint8_t>(s));
+}
+
+void
+SlabHeap::flush_desc(cxl::MemSession& mem, std::uint32_t slab)
+{
+    mem.flush(desc(slab), desc_stride_);
+    mem.fence();
+}
+
+// ------------------------------------------------------------------- bitset
+
+std::uint32_t
+SlabHeap::blocks_of(std::uint32_t cls) const
+{
+    return static_cast<std::uint32_t>(slab_size_ /
+                                      class_size_impl(large_, cls));
+}
+
+std::uint32_t
+SlabHeap::bitset_words(std::uint32_t cls) const
+{
+    return (blocks_of(cls) + 63) / 64;
+}
+
+void
+SlabHeap::bitset_fill(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t cls)
+{
+    cxl::HeapOffset base = desc(slab) + DescField::kBitset;
+    std::uint32_t blocks = blocks_of(cls);
+    std::uint32_t words = bitset_words(cls);
+    for (std::uint32_t w = 0; w < words; w++) {
+        std::uint32_t lo = w * 64;
+        std::uint64_t value;
+        if (blocks >= lo + 64) {
+            value = ~std::uint64_t{0};
+        } else if (blocks > lo) {
+            value = (std::uint64_t{1} << (blocks - lo)) - 1;
+        } else {
+            value = 0;
+        }
+        mem.store<std::uint64_t>(base + w * 8, value);
+    }
+    mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
+}
+
+std::uint32_t
+SlabHeap::bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t cls)
+{
+    cxl::HeapOffset d = desc(slab);
+    std::uint32_t words = bitset_words(cls);
+    std::uint32_t hint = mem.load<std::uint16_t>(d + DescField::kHint);
+    for (std::uint32_t w = hint; w < words; w++) {
+        std::uint64_t word = mem.load<std::uint64_t>(d + DescField::kBitset +
+                                                     w * 8);
+        if (word != 0) {
+            if (w != hint) {
+                mem.store<std::uint16_t>(d + DescField::kHint,
+                                         static_cast<std::uint16_t>(w));
+            }
+            return w * 64 + std::countr_zero(word);
+        }
+    }
+    return kNoBlock;
+}
+
+void
+SlabHeap::bitset_clear(cxl::MemSession& mem, std::uint32_t slab,
+                       std::uint32_t block)
+{
+    cxl::HeapOffset at = desc(slab) + DescField::kBitset + (block / 64) * 8;
+    std::uint64_t word = mem.load<std::uint64_t>(at);
+    mem.store<std::uint64_t>(at, word & ~(std::uint64_t{1} << (block % 64)));
+}
+
+bool
+SlabHeap::bitset_test(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t block)
+{
+    cxl::HeapOffset at = desc(slab) + DescField::kBitset + (block / 64) * 8;
+    return (mem.load<std::uint64_t>(at) >> (block % 64)) & 1;
+}
+
+void
+SlabHeap::bitset_set(cxl::MemSession& mem, std::uint32_t slab,
+                     std::uint32_t block)
+{
+    cxl::HeapOffset d = desc(slab);
+    cxl::HeapOffset at = d + DescField::kBitset + (block / 64) * 8;
+    std::uint64_t word = mem.load<std::uint64_t>(at);
+    mem.store<std::uint64_t>(at, word | (std::uint64_t{1} << (block % 64)));
+    // Keep the scan hint conservative: no set bit below word `hint`.
+    std::uint16_t hint = mem.load<std::uint16_t>(d + DescField::kHint);
+    if (block / 64 < hint) {
+        mem.store<std::uint16_t>(d + DescField::kHint,
+                                 static_cast<std::uint16_t>(block / 64));
+    }
+}
+
+bool
+SlabHeap::bitset_none(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t cls)
+{
+    cxl::HeapOffset base = desc(slab) + DescField::kBitset;
+    std::uint32_t words = bitset_words(cls);
+    for (std::uint32_t w = 0; w < words; w++) {
+        if (mem.load<std::uint64_t>(base + w * 8) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+SlabHeap::bitset_count(cxl::MemSession& mem, std::uint32_t slab,
+                       std::uint32_t cls)
+{
+    cxl::HeapOffset base = desc(slab) + DescField::kBitset;
+    std::uint32_t words = bitset_words(cls);
+    std::uint32_t total = 0;
+    for (std::uint32_t w = 0; w < words; w++) {
+        total += std::popcount(mem.load<std::uint64_t>(base + w * 8));
+    }
+    return total;
+}
+
+// -------------------------------------------------------------- local lists
+
+cxl::HeapOffset
+SlabHeap::local_row(cxl::ThreadId tid) const
+{
+    return local_base_ + static_cast<cxl::HeapOffset>(tid) *
+                             Layout::kLocalStride;
+}
+
+cxl::HeapOffset
+SlabHeap::unsized_head_off(cxl::ThreadId tid) const
+{
+    return local_row(tid);
+}
+
+cxl::HeapOffset
+SlabHeap::sized_head_off(cxl::ThreadId tid, std::uint32_t cls) const
+{
+    CXL_ASSERT(cls < num_classes_, "class out of range");
+    return local_row(tid) + 4 + static_cast<cxl::HeapOffset>(cls) * 4;
+}
+
+cxl::HeapOffset
+SlabHeap::unsized_count_off(cxl::ThreadId tid) const
+{
+    return local_row(tid) + 4 + static_cast<cxl::HeapOffset>(num_classes_) * 4;
+}
+
+void
+SlabHeap::push_sized(cxl::MemSession& mem, std::uint32_t cls,
+                     std::uint32_t slab)
+{
+    cxl::HeapOffset head = sized_head_off(mem.tid(), cls);
+    std::uint32_t old = mem.load<std::uint32_t>(head);
+    set_next_raw(mem, slab, old);
+    set_prev_raw(mem, slab, 0);
+    if (old != 0) {
+        set_prev_raw(mem, old - 1, slab + 1);
+    }
+    mem.store<std::uint32_t>(head, slab + 1);
+    set_state(mem, slab, SlabState::TlSized);
+}
+
+void
+SlabHeap::remove_sized(cxl::MemSession& mem, std::uint32_t cls,
+                       std::uint32_t slab)
+{
+    std::uint32_t p = prev_raw(mem, slab);
+    std::uint32_t n = next_raw(mem, slab);
+    if (p != 0) {
+        set_next_raw(mem, p - 1, n);
+    } else {
+        mem.store<std::uint32_t>(sized_head_off(mem.tid(), cls), n);
+    }
+    if (n != 0) {
+        set_prev_raw(mem, n - 1, p);
+    }
+    set_next_raw(mem, slab, 0);
+    set_prev_raw(mem, slab, 0);
+}
+
+void
+SlabHeap::push_unsized(cxl::MemSession& mem, std::uint32_t slab)
+{
+    cxl::HeapOffset head = unsized_head_off(mem.tid());
+    set_next_raw(mem, slab, mem.load<std::uint32_t>(head));
+    mem.store<std::uint32_t>(head, slab + 1);
+    set_state(mem, slab, SlabState::TlUnsized);
+    cxl::HeapOffset cnt = unsized_count_off(mem.tid());
+    mem.store<std::uint32_t>(cnt, mem.load<std::uint32_t>(cnt) + 1);
+}
+
+std::uint32_t
+SlabHeap::pop_unsized(cxl::MemSession& mem)
+{
+    cxl::HeapOffset head = unsized_head_off(mem.tid());
+    std::uint32_t raw = mem.load<std::uint32_t>(head);
+    CXL_ASSERT(raw != 0, "pop from empty unsized list");
+    std::uint32_t slab = raw - 1;
+    mem.store<std::uint32_t>(head, next_raw(mem, slab));
+    set_next_raw(mem, slab, 0);
+    cxl::HeapOffset cnt = unsized_count_off(mem.tid());
+    std::uint32_t c = mem.load<std::uint32_t>(cnt);
+    mem.store<std::uint32_t>(cnt, c == 0 ? 0 : c - 1);
+    return slab;
+}
+
+bool
+SlabHeap::on_unsized_list(cxl::MemSession& mem, std::uint32_t slab)
+{
+    std::uint32_t raw = mem.load<std::uint32_t>(unsized_head_off(mem.tid()));
+    std::uint32_t steps = 0;
+    while (raw != 0 && steps++ <= num_slabs_) {
+        if (raw - 1 == slab) {
+            return true;
+        }
+        raw = next_raw(mem, raw - 1);
+    }
+    return false;
+}
+
+// --------------------------------------------------------------- operations
+
+bool
+SlabHeap::contains(cxl::HeapOffset offset) const
+{
+    return offset >= data_base_ &&
+           offset < data_base_ +
+                        static_cast<cxl::HeapOffset>(num_slabs_) * slab_size_;
+}
+
+std::uint32_t
+SlabHeap::length(cxl::MemSession& mem)
+{
+    return DcasWord::value(mem.atomic_load64(len_word_));
+}
+
+cxl::HeapOffset
+SlabHeap::allocate(pod::ThreadContext& ctx, ThreadState& ts,
+                   std::uint64_t size)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t cls = class_for_impl(large_, size);
+    std::uint32_t headraw = mem.load<std::uint32_t>(
+        sized_head_off(mem.tid(), cls));
+    if (headraw == 0) {
+        if (!refill(ctx, ts, cls)) {
+            return 0; // heap exhausted
+        }
+        headraw = mem.load<std::uint32_t>(sized_head_off(mem.tid(), cls));
+        CXL_ASSERT(headraw != 0, "refill left sized list empty");
+    }
+    std::uint32_t slab = headraw - 1;
+    std::uint32_t block = bitset_peek(mem, slab, cls);
+    CXL_ASSERT(block != kNoBlock, "sized list contained a full slab");
+
+    log_->log(mem, OpRecord{.op = Op::Alloc,
+                            .large_heap = large_,
+                            .aux = static_cast<std::uint16_t>(block),
+                            .version = ts.version,
+                            .index = slab});
+    ctx.maybe_crash(crashpoint::kAfterRecord);
+    bitset_clear(mem, slab, block);
+    ctx.maybe_crash(crashpoint::kMidAlloc);
+    if (bitset_none(mem, slab, cls)) {
+        // Maintain the invariant that sized lists hold only non-full slabs.
+        full_transition(ctx, slab, cls);
+    }
+    return slab_data(slab) + static_cast<cxl::HeapOffset>(block) *
+                                 class_size_impl(large_, cls);
+}
+
+bool
+SlabHeap::refill(pod::ThreadContext& ctx, ThreadState& ts, std::uint32_t cls)
+{
+    cxl::MemSession& mem = ctx.mem();
+    // Transfer sources, in order (paper §3.1.1): thread-local unsized free
+    // list, global free list, heap length (extension).
+    while (true) {
+        std::uint32_t uh = mem.load<std::uint32_t>(
+            unsized_head_off(mem.tid()));
+        if (uh != 0) {
+            init_from_unsized(ctx, uh - 1, cls);
+            return true;
+        }
+        if (pop_global(ctx, ts)) {
+            continue; // slab landed on the unsized list
+        }
+        if (extend(ctx, ts)) {
+            continue;
+        }
+        if (scavenge_warm_slab(ctx, ts)) {
+            continue; // reclaimed an idle empty slab from another class
+        }
+        return false;
+    }
+}
+
+bool
+SlabHeap::scavenge_warm_slab(pod::ThreadContext& ctx, ThreadState& ts)
+{
+    // Under memory pressure, give up the per-class warm slabs (kept to
+    // avoid re-init thrash): any completely-empty slab on one of our sized
+    // lists can serve another class.
+    cxl::MemSession& mem = ctx.mem();
+    for (std::uint32_t cls = 0; cls < num_classes_; cls++) {
+        std::uint32_t raw =
+            mem.load<std::uint32_t>(sized_head_off(mem.tid(), cls));
+        std::uint32_t steps = 0;
+        while (raw != 0 && steps++ <= num_slabs_) {
+            std::uint32_t slab = raw - 1;
+            raw = next_raw(mem, slab);
+            if (bitset_count(mem, slab, cls) == blocks_of(cls)) {
+                log_->log(mem, OpRecord{.op = Op::FreeLocal,
+                                        .large_heap = large_,
+                                        .aux = 0,
+                                        .version = ts.version,
+                                        .index = slab});
+                remove_sized(mem, cls, slab);
+                set_class_biased(mem, slab, 0);
+                push_unsized(mem, slab);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+SlabHeap::init_from_unsized(pod::ThreadContext& ctx, std::uint32_t slab,
+                            std::uint32_t cls)
+{
+    cxl::MemSession& mem = ctx.mem();
+    log_->log(mem, OpRecord{.op = Op::Init,
+                            .large_heap = large_,
+                            .aux = static_cast<std::uint16_t>(cls),
+                            .version = 0, // no CAS in this transition
+                            .index = slab});
+    ctx.maybe_crash(crashpoint::kAfterRecord);
+    std::uint32_t popped = pop_unsized(mem);
+    CXL_ASSERT(popped == slab, "unsized head changed underfoot");
+    ctx.maybe_crash(crashpoint::kMidInit);
+    set_owner(mem, slab, mem.tid());
+    set_class_biased(mem, slab, static_cast<std::uint8_t>(cls + 1));
+    bitset_fill(mem, slab, cls);
+    // Reset the remote-free down-counter to the block count. A plain store
+    // suffices: the slab is unlinked and no other thread can reference it.
+    mem.atomic_store64(hwcc(slab), DcasWord::pack(blocks_of(cls), 0, 0));
+    ctx.maybe_crash(crashpoint::kMidInit);
+    push_sized(mem, cls, slab);
+}
+
+bool
+SlabHeap::pop_global(pod::ThreadContext& ctx, ThreadState& ts)
+{
+    cxl::MemSession& mem = ctx.mem();
+    while (true) {
+        std::uint64_t word = mem.atomic_load64(free_word_);
+        std::uint32_t headraw = DcasWord::value(word);
+        if (headraw == 0) {
+            return false;
+        }
+        std::uint32_t slab = headraw - 1;
+        // SWcc read protocol (§3.2.2): flush before loading another
+        // thread's flushed next pointer. A stale value would be caught by
+        // the CAS on the list head failing.
+        mem.flush(desc(slab) + DescField::kNext, 4);
+        std::uint32_t next = next_raw(mem, slab);
+        std::uint16_t ver = ts.next_version();
+        log_->log(mem, OpRecord{.op = Op::PopGlobal,
+                                .large_heap = large_,
+                                .aux = 0,
+                                .version = ver,
+                                .index = slab});
+        ctx.maybe_crash(crashpoint::kAfterRecord);
+        auto r = dcas_->try_cas(mem, free_word_, headraw, next, ver);
+        if (r.success) {
+            ctx.maybe_crash(crashpoint::kAfterDcas);
+            acquire_to_unsized(ctx, slab);
+            return true;
+        }
+    }
+}
+
+bool
+SlabHeap::extend(pod::ThreadContext& ctx, ThreadState& ts)
+{
+    cxl::MemSession& mem = ctx.mem();
+    while (true) {
+        std::uint64_t word = mem.atomic_load64(len_word_);
+        std::uint32_t len = DcasWord::value(word);
+        if (len >= num_slabs_) {
+            return false;
+        }
+        std::uint16_t ver = ts.next_version();
+        log_->log(mem, OpRecord{.op = Op::Extend,
+                                .large_heap = large_,
+                                .aux = 0,
+                                .version = ver,
+                                .index = len});
+        ctx.maybe_crash(crashpoint::kAfterRecord);
+        auto r = dcas_->try_cas(mem, len_word_, len, len + 1, ver);
+        if (r.success) {
+            std::uint32_t slab = len;
+            ctx.maybe_crash(crashpoint::kAfterDcas);
+            // The new slab needs three mappings (descriptor pages + data;
+            // the HWcc word lives in the eagerly-mapped sync region). Other
+            // processes install theirs lazily via the fault handler.
+            install_slab_mappings(ctx, slab);
+            acquire_to_unsized(ctx, slab);
+            return true;
+        }
+    }
+}
+
+void
+SlabHeap::install_slab_mappings(pod::ThreadContext& ctx, std::uint32_t slab)
+{
+    pod::MappedRange dm = desc_mapping(slab);
+    ctx.process().install_mapping(dm.start, dm.len);
+    ctx.process().install_mapping(slab_data(slab), slab_size_);
+}
+
+pod::MappedRange
+SlabHeap::desc_mapping(std::uint32_t slab) const
+{
+    cxl::HeapOffset start = desc(slab) & ~(cxl::kPageSize - 1);
+    cxl::HeapOffset end =
+        align_up(desc(slab) + desc_stride_, cxl::kPageSize);
+    return pod::MappedRange{start, end - start};
+}
+
+void
+SlabHeap::acquire_to_unsized(pod::ThreadContext& ctx, std::uint32_t slab)
+{
+    cxl::MemSession& mem = ctx.mem();
+    // Back the slab again in case it was decommitted on the global list.
+    ctx.process().pod().device().note_committed(slab_data(slab), slab_size_);
+    set_owner(mem, slab, mem.tid());
+    set_class_biased(mem, slab, 0);
+    push_unsized(mem, slab);
+}
+
+void
+SlabHeap::full_transition(pod::ThreadContext& ctx, std::uint32_t slab,
+                          std::uint32_t cls)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t remote = dcas_->read(mem, hwcc(slab));
+    if (remote == blocks_of(cls)) {
+        // No remote frees yet: keep ownership but unlink (detached state).
+        // A later local free will relink it to the sized list.
+        log_->log(mem, OpRecord{.op = Op::Detach,
+                                .large_heap = large_,
+                                .aux = static_cast<std::uint16_t>(cls),
+                                .version = 0,
+                                .index = slab});
+        ctx.maybe_crash(crashpoint::kAfterRecord);
+        remove_sized(mem, cls, slab);
+        set_state(mem, slab, SlabState::Detached);
+        ctx.maybe_crash(crashpoint::kMidDetach);
+        // Ownership may change later (steal at counter zero): flush so no
+        // dirty line of ours can clobber the stealer's writes.
+        flush_desc(mem, slab);
+    } else {
+        // Mixed local/remote frees: give the slab up so every future free
+        // takes the remote path and the whole slab is eventually stolen.
+        log_->log(mem, OpRecord{.op = Op::Disown,
+                                .large_heap = large_,
+                                .aux = static_cast<std::uint16_t>(cls),
+                                .version = 0,
+                                .index = slab});
+        ctx.maybe_crash(crashpoint::kAfterRecord);
+        remove_sized(mem, cls, slab);
+        set_owner(mem, slab, cxl::kNoThread);
+        set_state(mem, slab, SlabState::Disowned);
+        ctx.maybe_crash(crashpoint::kMidDetach);
+        flush_desc(mem, slab);
+    }
+}
+
+void
+SlabHeap::deallocate(pod::ThreadContext& ctx, ThreadState& ts,
+                     cxl::HeapOffset offset)
+{
+    cxl::MemSession& mem = ctx.mem();
+    CXL_ASSERT(contains(offset), "free of non-heap offset");
+    auto slab = static_cast<std::uint32_t>((offset - data_base_) /
+                                           slab_size_);
+    // The owner field may be read from our (possibly stale) cache without
+    // flushing — the paper's §3.2.2 case analysis shows every outcome of a
+    // stale read is safe.
+    cxl::ThreadId who = owner(mem, slab);
+    if (who == mem.tid()) {
+        std::uint32_t cls = class_biased(mem, slab);
+        CXL_ASSERT(cls != 0, "freeing into classless slab");
+        auto block = static_cast<std::uint32_t>(
+            (offset - slab_data(slab)) / class_size_impl(large_, cls - 1));
+        free_local(ctx, ts, slab, block);
+    } else {
+        free_remote(ctx, ts, slab);
+    }
+}
+
+void
+SlabHeap::free_local(pod::ThreadContext& ctx, ThreadState& ts,
+                     std::uint32_t slab, std::uint32_t block)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t cls = class_biased(mem, slab) - 1;
+    CXL_ASSERT(!bitset_test(mem, slab, block), "double free (local)");
+    log_->log(mem, OpRecord{.op = Op::FreeLocal,
+                            .large_heap = large_,
+                            .aux = static_cast<std::uint16_t>(block),
+                            .version = ts.version,
+                            .index = slab});
+    ctx.maybe_crash(crashpoint::kAfterRecord);
+    SlabState st = state(mem, slab);
+    CXL_ASSERT(st == SlabState::TlSized || st == SlabState::Detached,
+               "local free into slab in unexpected state");
+    bitset_set(mem, slab, block);
+    ctx.maybe_crash(crashpoint::kMidFreeLocal);
+    if (st == SlabState::Detached) {
+        // Previously full: relink so it can serve allocations again.
+        push_sized(mem, cls, slab);
+    } else if (bitset_count(mem, slab, cls) == blocks_of(cls) &&
+               (next_raw(mem, slab) != 0 || prev_raw(mem, slab) != 0)) {
+        // Slab is now completely empty and the class has other slabs:
+        // recycle it as unsized. (Keeping the last slab warm avoids
+        // re-initializing it on every alloc/free alternation.)
+        remove_sized(mem, cls, slab);
+        set_class_biased(mem, slab, 0);
+        push_unsized(mem, slab);
+        trim_unsized(ctx, ts);
+    }
+}
+
+void
+SlabHeap::free_remote(pod::ThreadContext& ctx, ThreadState& ts,
+                      std::uint32_t slab)
+{
+    cxl::MemSession& mem = ctx.mem();
+    while (true) {
+        std::uint32_t cur = dcas_->read(mem, hwcc(slab));
+        CXL_ASSERT(cur > 0, "remote-free counter underflow (double free?)");
+        std::uint16_t ver = ts.next_version();
+        log_->log(mem, OpRecord{.op = Op::FreeRemote,
+                                .large_heap = large_,
+                                .aux = 0,
+                                .version = ver,
+                                .index = slab});
+        ctx.maybe_crash(crashpoint::kAfterRecord);
+        auto r = dcas_->try_cas(mem, hwcc(slab), cur, cur - 1, ver);
+        if (!r.success) {
+            continue;
+        }
+        if (cur - 1 == 0) {
+            // Every block was remotely freed: the slab is detached or
+            // disowned and unlinked, so stealing needs no coordination
+            // with the previous owner (paper §3.2.1).
+            ctx.maybe_crash(crashpoint::kMidSteal);
+            acquire_to_unsized(ctx, slab);
+            trim_unsized(ctx, ts);
+        }
+        return;
+    }
+}
+
+void
+SlabHeap::trim_unsized(pod::ThreadContext& ctx, ThreadState& ts)
+{
+    cxl::MemSession& mem = ctx.mem();
+    while (mem.load<std::uint32_t>(unsized_count_off(mem.tid())) >
+           unsized_limit_) {
+        push_global_one(ctx, ts);
+    }
+}
+
+void
+SlabHeap::push_global_one(pod::ThreadContext& ctx, ThreadState& ts)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t slab = pop_unsized(mem);
+    set_owner(mem, slab, cxl::kNoThread);
+    set_class_biased(mem, slab, 0);
+    set_state(mem, slab, SlabState::Global);
+    // MADV_REMOVE analog (paper §3.3.1): heap extension is monotonic — the
+    // mapping stays — but an empty slab's backing memory returns to the
+    // device while it sits on the global free list.
+    ctx.process().pod().device().note_decommitted(slab_data(slab),
+                                                  slab_size_);
+    while (true) {
+        std::uint64_t word = mem.atomic_load64(free_word_);
+        std::uint32_t headraw = DcasWord::value(word);
+        set_next_raw(mem, slab, headraw);
+        // Ownership transfers to whoever pops: flush + fence first.
+        flush_desc(mem, slab);
+        std::uint16_t ver = ts.next_version();
+        log_->log(mem, OpRecord{.op = Op::PushGlobal,
+                                .large_heap = large_,
+                                .aux = 0,
+                                .version = ver,
+                                .index = slab});
+        ctx.maybe_crash(crashpoint::kMidPushGlobal);
+        if (dcas_->try_cas(mem, free_word_, headraw, slab + 1, ver).success) {
+            return;
+        }
+    }
+}
+
+bool
+SlabHeap::resolve(cxl::MemSession& mem, cxl::HeapOffset offset,
+                  pod::MappedRange* out)
+{
+    // Data region: backed iff the containing slab is below the heap length.
+    if (contains(offset)) {
+        auto slab = static_cast<std::uint32_t>((offset - data_base_) /
+                                               slab_size_);
+        if (slab >= length(mem)) {
+            return false;
+        }
+        out->start = slab_data(slab);
+        out->len = slab_size_;
+        return true;
+    }
+    // SWcc descriptor region.
+    cxl::HeapOffset desc_end =
+        swcc_base_ + static_cast<cxl::HeapOffset>(num_slabs_) * desc_stride_;
+    if (offset >= swcc_base_ && offset < desc_end) {
+        auto slab = static_cast<std::uint32_t>((offset - swcc_base_) /
+                                               desc_stride_);
+        if (slab >= length(mem)) {
+            return false;
+        }
+        *out = desc_mapping(slab);
+        return true;
+    }
+    return false;
+}
+
+// ----------------------------------------------------------------- recovery
+
+void
+SlabHeap::recover(pod::ThreadContext& ctx, ThreadState& ts,
+                  const OpRecord& record)
+{
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t slab = record.index;
+    switch (record.op) {
+      case Op::Alloc: {
+        // The block may or may not have been handed out; the application
+        // never saw the pointer, so completing the clear only costs one
+        // block (recoverable by the application's own log, paper Table 1
+        // "App" strategy).
+        std::uint32_t cls = class_biased(mem, slab);
+        CXL_ASSERT(cls != 0, "Alloc record against classless slab");
+        bitset_clear(mem, slab, record.aux);
+        mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
+        if (bitset_none(mem, slab, cls - 1) &&
+            state(mem, slab) == SlabState::TlSized) {
+            full_transition(ctx, slab, cls - 1);
+        }
+        break;
+      }
+      case Op::Init: {
+        std::uint32_t cls = record.aux;
+        std::uint32_t uh = mem.load<std::uint32_t>(
+            unsized_head_off(mem.tid()));
+        if (uh == slab + 1) {
+            // Nothing visible happened: rerun the transition.
+            init_from_unsized(ctx, slab, cls);
+            break;
+        }
+        if (state(mem, slab) == SlabState::TlSized &&
+            class_biased(mem, slab) == cls + 1) {
+            break; // completed
+        }
+        // Popped but not (fully) initialized: since this record is the
+        // thread's last operation, no allocation has happened — refilling
+        // the bitset is safe.
+        set_owner(mem, slab, mem.tid());
+        set_class_biased(mem, slab, static_cast<std::uint8_t>(cls + 1));
+        bitset_fill(mem, slab, cls);
+        mem.atomic_store64(hwcc(slab), DcasWord::pack(blocks_of(cls), 0, 0));
+        push_sized(mem, cls, slab);
+        break;
+      }
+      case Op::PopGlobal: {
+        if (!dcas_->did_succeed(mem, free_word_, record.version)) {
+            break; // CAS never took effect; the allocation was abandoned
+        }
+        if (!on_unsized_list(mem, slab)) {
+            acquire_to_unsized(ctx, slab);
+        }
+        break;
+      }
+      case Op::Extend: {
+        if (!dcas_->did_succeed(mem, len_word_, record.version)) {
+            break;
+        }
+        install_slab_mappings(ctx, slab);
+        if (!on_unsized_list(mem, slab)) {
+            acquire_to_unsized(ctx, slab);
+        }
+        break;
+      }
+      case Op::Detach: {
+        std::uint32_t cls = record.aux;
+        if (state(mem, slab) != SlabState::Detached) {
+            remove_sized(mem, cls, slab);
+            set_state(mem, slab, SlabState::Detached);
+        }
+        flush_desc(mem, slab);
+        break;
+      }
+      case Op::Disown: {
+        std::uint32_t cls = record.aux;
+        // No steal can have happened yet (the last block allocated from
+        // this slab never escaped the crashed allocate call), so the slab
+        // is still ours to repair.
+        if (state(mem, slab) == SlabState::TlSized) {
+            remove_sized(mem, cls, slab);
+        }
+        set_owner(mem, slab, cxl::kNoThread);
+        set_state(mem, slab, SlabState::Disowned);
+        flush_desc(mem, slab);
+        break;
+      }
+      case Op::FreeLocal: {
+        std::uint32_t cls = class_biased(mem, slab);
+        CXL_ASSERT(cls != 0, "FreeLocal record against classless slab");
+        bitset_set(mem, slab, record.aux);
+        mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
+        SlabState st = state(mem, slab);
+        if (st == SlabState::Detached) {
+            push_sized(mem, cls - 1, slab);
+        } else if (st == SlabState::TlSized &&
+                   bitset_count(mem, slab, cls - 1) == blocks_of(cls - 1) &&
+                   (next_raw(mem, slab) != 0 || prev_raw(mem, slab) != 0)) {
+            remove_sized(mem, cls - 1, slab);
+            set_class_biased(mem, slab, 0);
+            push_unsized(mem, slab);
+            trim_unsized(ctx, ts);
+        }
+        break;
+      }
+      case Op::FreeRemote: {
+        if (!dcas_->did_succeed(mem, hwcc(slab), record.version)) {
+            // The decrement never landed; the block is still marked
+            // allocated. Complete the free now.
+            free_remote(ctx, ts, slab);
+            break;
+        }
+        std::uint64_t word = mem.atomic_load64(hwcc(slab));
+        if (DcasWord::tid(word) == mem.tid() &&
+            DcasWord::version(word) == record.version &&
+            DcasWord::value(word) == 0) {
+            // Our decrement was the last one: we are the stealer.
+            if (!on_unsized_list(mem, slab) &&
+                owner(mem, slab) != mem.tid()) {
+                acquire_to_unsized(ctx, slab);
+                trim_unsized(ctx, ts);
+            }
+        }
+        break;
+      }
+      case Op::PushGlobal: {
+        if (dcas_->did_succeed(mem, free_word_, record.version)) {
+            break; // push landed
+        }
+        // Slab was popped from our unsized list but never published:
+        // finish the push.
+        set_owner(mem, slab, cxl::kNoThread);
+        set_class_biased(mem, slab, 0);
+        set_state(mem, slab, SlabState::Global);
+        while (true) {
+            std::uint64_t word = mem.atomic_load64(free_word_);
+            std::uint32_t headraw = DcasWord::value(word);
+            set_next_raw(mem, slab, headraw);
+            flush_desc(mem, slab);
+            std::uint16_t ver = ts.next_version();
+            if (dcas_->try_cas(mem, free_word_, headraw, slab + 1, ver)
+                    .success) {
+                break;
+            }
+        }
+        break;
+      }
+      default:
+        CXL_PANIC("slab heap asked to recover a non-slab operation");
+    }
+}
+
+// --------------------------------------------------------------- invariants
+
+void
+SlabHeap::check_global_invariants(cxl::MemSession& mem)
+{
+    std::uint32_t len = length(mem);
+    CXL_ASSERT(len <= num_slabs_, "heap length exceeds capacity");
+    std::uint64_t word = mem.atomic_load64(free_word_);
+    std::uint32_t raw = DcasWord::value(word);
+    std::uint32_t steps = 0;
+    while (raw != 0) {
+        CXL_ASSERT(++steps <= num_slabs_, "global free list is cyclic");
+        std::uint32_t slab = raw - 1;
+        CXL_ASSERT(slab < len, "global free list references unmapped slab");
+        mem.flush(desc(slab), desc_stride_);
+        CXL_ASSERT(owner(mem, slab) == cxl::kNoThread,
+                   "slab on global free list has an owner");
+        CXL_ASSERT(state(mem, slab) == SlabState::Global,
+                   "slab on global free list not in Global state");
+        raw = next_raw(mem, slab);
+    }
+}
+
+void
+SlabHeap::check_local_invariants(cxl::MemSession& mem)
+{
+    cxl::ThreadId tid = mem.tid();
+    // Unsized list: owned, classless, acyclic; count matches.
+    std::uint32_t raw = mem.load<std::uint32_t>(unsized_head_off(tid));
+    std::uint32_t count = 0;
+    while (raw != 0) {
+        CXL_ASSERT(++count <= num_slabs_, "unsized list is cyclic");
+        std::uint32_t slab = raw - 1;
+        CXL_ASSERT(owner(mem, slab) == tid, "unsized slab not owned");
+        CXL_ASSERT(state(mem, slab) == SlabState::TlUnsized,
+                   "unsized slab in wrong state");
+        raw = next_raw(mem, slab);
+    }
+    CXL_ASSERT(mem.load<std::uint32_t>(unsized_count_off(tid)) == count,
+               "unsized count out of sync");
+    // Sized lists: owned, correctly classed, never full, doubly linked.
+    for (std::uint32_t cls = 0; cls < num_classes_; cls++) {
+        raw = mem.load<std::uint32_t>(sized_head_off(tid, cls));
+        std::uint32_t prev = 0;
+        std::uint32_t steps = 0;
+        while (raw != 0) {
+            CXL_ASSERT(++steps <= num_slabs_, "sized list is cyclic");
+            std::uint32_t slab = raw - 1;
+            CXL_ASSERT(owner(mem, slab) == tid, "sized slab not owned");
+            CXL_ASSERT(class_biased(mem, slab) == cls + 1,
+                       "sized slab class mismatch");
+            CXL_ASSERT(state(mem, slab) == SlabState::TlSized,
+                       "sized slab in wrong state");
+            CXL_ASSERT(!bitset_none(mem, slab, cls),
+                       "sized list contains a full slab");
+            CXL_ASSERT(prev_raw(mem, slab) == prev,
+                       "sized list prev link broken");
+            prev = raw;
+            raw = next_raw(mem, slab);
+        }
+    }
+}
+
+SlabHeap::Stats
+SlabHeap::stats(cxl::MemSession& mem)
+{
+    Stats s;
+    s.length = length(mem);
+    s.data_bytes = static_cast<std::uint64_t>(s.length) * slab_size_;
+    std::uint32_t raw = DcasWord::value(mem.atomic_load64(free_word_));
+    std::uint32_t steps = 0;
+    while (raw != 0 && steps <= num_slabs_) {
+        steps++;
+        raw = next_raw(mem, raw - 1);
+    }
+    s.global_free = steps;
+    return s;
+}
+
+} // namespace cxlalloc

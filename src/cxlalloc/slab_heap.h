@@ -1,0 +1,198 @@
+/// @file
+/// The slab heap used for both the small (8 B-1 KiB, 32 KiB slabs) and
+/// large (1 KiB-512 KiB, 512 KiB slabs) heaps — the paper's §3.1.1 design,
+/// instantiated twice.
+///
+/// Core ideas reproduced here:
+///  - per-slab free *bitset* in SWcc metadata, allocated from only by the
+///    slab's owner (no synchronization on the hot path);
+///  - a per-slab HWcc remote-free *down-counter* (2 B in the paper, widened
+///    to one detectable-CAS word): remote frees decrement it, and whoever
+///    takes it to zero steals the fully-remotely-freed slab;
+///  - the detached / disowned states (paper Fig. 4) that let full slabs
+///    leave the free lists without blocking reclamation;
+///  - the SWcc protocol (§3.2.2): descriptors are flushed+fenced exactly
+///    when ownership may change; readers of SWccDesc.owner may use stale
+///    cached values safely (the case analysis in the paper);
+///  - 8-byte redo records before every operation, with idempotent redo
+///    (§3.4.2) driven by detectable-CAS success queries.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/mem_ops.h"
+#include "cxlalloc/layout.h"
+#include "cxlalloc/recovery.h"
+#include "cxlalloc/thread_state.h"
+#include "pod/fault_handler.h"
+#include "pod/thread_context.h"
+#include "sync/detectable_cas.h"
+
+namespace cxlalloc {
+
+/// One slab heap (small or large).
+class SlabHeap {
+  public:
+    /// @param large  selects the large-heap geometry and record heap bit.
+    SlabHeap(const Layout* layout, bool large, cxlsync::DetectableCas* dcas,
+             RecoveryLog* log);
+
+    /// Allocates a block of at least @p size bytes; returns its heap
+    /// offset, or 0 if the heap is exhausted.
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx, ThreadState& ts,
+                             std::uint64_t size);
+
+    /// Frees the block at @p offset (local or remote free).
+    void deallocate(pod::ThreadContext& ctx, ThreadState& ts,
+                    cxl::HeapOffset offset);
+
+    /// True if @p offset lies in this heap's data region.
+    bool contains(cxl::HeapOffset offset) const;
+
+    /// Current heap length in slabs.
+    std::uint32_t length(cxl::MemSession& mem);
+
+    /// PC-T fault support: if @p offset lies in this heap's (data or
+    /// descriptor) regions and is backed per current heap length, fills
+    /// @p out and returns true.
+    bool resolve(cxl::MemSession& mem, cxl::HeapOffset offset,
+                 pod::MappedRange* out);
+
+    /// Idempotently redoes the interrupted operation @p record on behalf
+    /// of the crashed thread whose slot @p ctx adopted.
+    void recover(pod::ThreadContext& ctx, ThreadState& ts,
+                 const OpRecord& record);
+
+    /// Runtime invariant checks (paper §5.1). Global: free list acyclic,
+    /// slabs on it unowned. Requires quiescence.
+    void check_global_invariants(cxl::MemSession& mem);
+
+    /// Invariants over @p mem's thread's local lists: sized slabs are
+    /// non-full, owned, correctly classed; lists acyclic.
+    void check_local_invariants(cxl::MemSession& mem);
+
+    /// Aggregate statistics for benchmarks.
+    struct Stats {
+        std::uint32_t length = 0;       ///< slabs ever created
+        std::uint32_t global_free = 0;  ///< slabs on the global free list
+        std::uint64_t data_bytes = 0;   ///< length * slab size
+    };
+
+    Stats stats(cxl::MemSession& mem);
+
+    std::uint64_t slab_size() const { return slab_size_; }
+
+    /// Data offset of slab @p slab.
+    cxl::HeapOffset slab_data(std::uint32_t slab) const;
+
+  private:
+    // ---- descriptor field access (SWccDesc) ----
+    cxl::HeapOffset desc(std::uint32_t slab) const;
+    cxl::HeapOffset hwcc(std::uint32_t slab) const;
+
+    std::uint32_t next_raw(cxl::MemSession& mem, std::uint32_t slab);
+    void set_next_raw(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t raw);
+    std::uint32_t prev_raw(cxl::MemSession& mem, std::uint32_t slab);
+    void set_prev_raw(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t raw);
+    cxl::ThreadId owner(cxl::MemSession& mem, std::uint32_t slab);
+    void set_owner(cxl::MemSession& mem, std::uint32_t slab,
+                   cxl::ThreadId tid);
+    /// Size class + 1; 0 = none.
+    std::uint8_t class_biased(cxl::MemSession& mem, std::uint32_t slab);
+    void set_class_biased(cxl::MemSession& mem, std::uint32_t slab,
+                          std::uint8_t biased);
+    SlabState state(cxl::MemSession& mem, std::uint32_t slab);
+    void set_state(cxl::MemSession& mem, std::uint32_t slab, SlabState s);
+
+    /// Flush + fence the whole descriptor: required before any transition
+    /// after which another thread may become the writer (paper §3.2.2).
+    void flush_desc(cxl::MemSession& mem, std::uint32_t slab);
+
+    // ---- bitset ----
+    std::uint32_t blocks_of(std::uint32_t cls) const;
+    std::uint32_t bitset_words(std::uint32_t cls) const;
+    void bitset_fill(cxl::MemSession& mem, std::uint32_t slab,
+                     std::uint32_t cls);
+    /// First free block, or kNoBlock.
+    std::uint32_t bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
+                              std::uint32_t cls);
+    void bitset_clear(cxl::MemSession& mem, std::uint32_t slab,
+                      std::uint32_t block);
+    bool bitset_test(cxl::MemSession& mem, std::uint32_t slab,
+                     std::uint32_t block);
+    void bitset_set(cxl::MemSession& mem, std::uint32_t slab,
+                    std::uint32_t block);
+    bool bitset_none(cxl::MemSession& mem, std::uint32_t slab,
+                     std::uint32_t cls);
+    std::uint32_t bitset_count(cxl::MemSession& mem, std::uint32_t slab,
+                               std::uint32_t cls);
+
+    static constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+    // ---- local list operations (owner-only) ----
+    cxl::HeapOffset local_row(cxl::ThreadId tid) const;
+    cxl::HeapOffset sized_head_off(cxl::ThreadId tid,
+                                   std::uint32_t cls) const;
+    cxl::HeapOffset unsized_head_off(cxl::ThreadId tid) const;
+    cxl::HeapOffset unsized_count_off(cxl::ThreadId tid) const;
+
+    void push_sized(cxl::MemSession& mem, std::uint32_t cls,
+                    std::uint32_t slab);
+    void remove_sized(cxl::MemSession& mem, std::uint32_t cls,
+                      std::uint32_t slab);
+    void push_unsized(cxl::MemSession& mem, std::uint32_t slab);
+    /// Pops the unsized head; list must be nonempty.
+    std::uint32_t pop_unsized(cxl::MemSession& mem);
+    bool on_unsized_list(cxl::MemSession& mem, std::uint32_t slab);
+
+    // ---- operations ----
+    bool refill(pod::ThreadContext& ctx, ThreadState& ts, std::uint32_t cls);
+    void init_from_unsized(pod::ThreadContext& ctx, std::uint32_t slab,
+                           std::uint32_t cls);
+    bool pop_global(pod::ThreadContext& ctx, ThreadState& ts);
+    bool extend(pod::ThreadContext& ctx, ThreadState& ts);
+    void full_transition(pod::ThreadContext& ctx, std::uint32_t slab,
+                         std::uint32_t cls);
+    void free_local(pod::ThreadContext& ctx, ThreadState& ts,
+                    std::uint32_t slab, std::uint32_t block);
+    void free_remote(pod::ThreadContext& ctx, ThreadState& ts,
+                     std::uint32_t slab);
+    /// Takes ownership of an unlinked, empty slab onto the unsized list.
+    void acquire_to_unsized(pod::ThreadContext& ctx, std::uint32_t slab);
+    /// Moves one slab from TL unsized to the global free list.
+    void push_global_one(pod::ThreadContext& ctx, ThreadState& ts);
+    /// Enforces the unsized-list length threshold (paper §3.1.1).
+    void trim_unsized(pod::ThreadContext& ctx, ThreadState& ts);
+    /// Reclaims an idle, completely-empty warm slab from any of this
+    /// thread's sized lists (memory-pressure fallback).
+    bool scavenge_warm_slab(pod::ThreadContext& ctx, ThreadState& ts);
+    void install_slab_mappings(pod::ThreadContext& ctx, std::uint32_t slab);
+
+    /// Mapping range of slab @p slab's SWcc descriptor (page-rounded).
+    pod::MappedRange desc_mapping(std::uint32_t slab) const;
+
+    const Layout* layout_;
+    bool large_;
+    cxlsync::DetectableCas* dcas_;
+    RecoveryLog* log_;
+
+    std::uint32_t num_slabs_;
+    std::uint32_t num_classes_;
+    std::uint64_t slab_size_;
+    cxl::HeapOffset len_word_;
+    cxl::HeapOffset free_word_;
+    cxl::HeapOffset data_base_;
+    cxl::HeapOffset swcc_base_;
+    std::uint64_t desc_stride_;
+    cxl::HeapOffset hwcc_base_;
+    cxl::HeapOffset local_base_;
+
+    /// TL unsized lists longer than this spill to the global free list
+    /// (Config::unsized_limit).
+    std::uint32_t unsized_limit_;
+};
+
+} // namespace cxlalloc

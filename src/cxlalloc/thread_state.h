@@ -1,0 +1,38 @@
+/// @file
+/// Volatile (host-side) per-thread allocator state. Everything here is
+/// reconstructible from shared heap metadata, so it dies with the thread
+/// and is rebuilt on attach or recovery (paper §3.4.2).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cxlalloc/interval_set.h"
+#include "sync/detectable_cas.h"
+
+namespace cxlalloc {
+
+struct ThreadState {
+    /// Last detectable-CAS version used (15-bit circular). Restored from
+    /// the recovery record on adoption of a crashed slot.
+    std::uint16_t version = 0;
+
+    /// Free huge-heap virtual address space owned by this thread
+    /// (HugeLocal.free). Rebuilt from the reservation array and the huge
+    /// descriptor list.
+    IntervalSet huge_free;
+
+    /// Free huge descriptor indices from this thread's pool slice.
+    std::vector<std::uint32_t> free_descs;
+
+    /// Allocates the next CAS version.
+    std::uint16_t
+    next_version()
+    {
+        version = (version + 1) & cxlsync::kVersionMask;
+        return version;
+    }
+};
+
+} // namespace cxlalloc

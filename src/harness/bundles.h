@@ -1,0 +1,283 @@
+/// @file
+/// Shared benchmark harness: constructs any evaluated allocator by name on
+/// a fresh pod, runs per-thread workloads, and reports wall-clock plus
+/// simulated time and memory (see DESIGN.md §2 on why both).
+///
+/// Memory-mode naming follows Fig. 12: "local" = host DRAM latencies,
+/// "hwcc" = CXL memory with inter-host HWcc, "mcas" = CXL memory with no
+/// HWcc (all synchronization through the NMP engine).
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/boostish.h"
+#include "baselines/cxlalloc_adapter.h"
+#include "baselines/cxlshmish.h"
+#include "baselines/lightningish.h"
+#include "baselines/mimic.h"
+#include "baselines/rallocish.h"
+#include "common/stats.h"
+#include "cxlalloc/allocator.h"
+#include "pod/pod.h"
+
+namespace bench {
+
+/// Memory substrate for a run (Fig. 12 series).
+enum class MemoryMode { Local, CxlHwcc, CxlMcas };
+
+inline const char*
+to_string(MemoryMode m)
+{
+    switch (m) {
+      case MemoryMode::Local:
+        return "local";
+      case MemoryMode::CxlHwcc:
+        return "hwcc";
+      case MemoryMode::CxlMcas:
+        return "mcas";
+    }
+    return "?";
+}
+
+/// The seven allocators of the paper's evaluation (Table 1).
+inline std::vector<std::string>
+all_allocators()
+{
+    return {"cxlalloc",     "cxlalloc-nonrecoverable",
+            "mimalloc-like", "ralloc-like",
+            "cxl-shm-like",  "boost-like",
+            "lightning-like"};
+}
+
+/// One fully constructed allocator-under-test on its own fresh pod.
+struct Bundle {
+    std::string name;
+    MemoryMode mode = MemoryMode::Local;
+    std::unique_ptr<pod::Pod> pod;
+    std::unique_ptr<cxlalloc::CxlAllocator> cxl_heap; // when cxlalloc
+    std::unique_ptr<baselines::PodAllocator> alloc;
+    pod::Process* process = nullptr;
+    cxl::LatencyModel latency;
+    bool use_latency_model = false;
+    /// Device offset of the extra region callers requested (index arrays).
+    cxl::HeapOffset extra_base = 0;
+
+    std::unique_ptr<pod::ThreadContext>
+    thread(pod::Process* proc = nullptr)
+    {
+        auto ctx = pod->create_thread(proc != nullptr ? proc : process);
+        alloc->attach_thread(*ctx);
+        if (use_latency_model) {
+            ctx->mem().set_latency_model(&latency);
+        }
+        return ctx;
+    }
+};
+
+/// Heap geometry knobs for a run.
+struct Geometry {
+    std::uint32_t small_slabs = 2048;       // 64 MiB
+    std::uint32_t large_slabs = 96;         // 48 MiB
+    std::uint32_t huge_regions = 16;
+    std::uint64_t huge_region_size = 8 << 20;
+    std::uint64_t extra_bytes = 0;          ///< index arrays, queue meta...
+    /// Full hardware coherence (the paper's DRAM-machine experiments,
+    /// Figs. 7-10): atomics work anywhere, including the extra region.
+    bool full_hwcc = false;
+    /// Enforce PC-T mapping checks per access (Fig. 10 huge study).
+    bool checked_mappings = false;
+};
+
+/// Builds @p which ("cxlalloc", "ralloc-like", ...) on a fresh device.
+inline Bundle
+make_bundle(const std::string& which, const Geometry& geom,
+            MemoryMode mode = MemoryMode::Local)
+{
+    Bundle b;
+    b.name = which;
+    b.mode = mode;
+    switch (mode) {
+      case MemoryMode::Local:
+        b.latency = cxl::LatencyModel::local_dram();
+        break;
+      case MemoryMode::CxlHwcc:
+        b.latency = cxl::LatencyModel::cxl_hwcc();
+        break;
+      case MemoryMode::CxlMcas:
+        b.latency = cxl::LatencyModel::cxl_mcas();
+        break;
+    }
+    b.use_latency_model = mode != MemoryMode::Local;
+    cxl::CoherenceMode coherence = mode == MemoryMode::CxlMcas
+                                       ? cxl::CoherenceMode::NoHwcc
+                                       : (geom.full_hwcc
+                                              ? cxl::CoherenceMode::FullHwcc
+                                              : cxl::CoherenceMode::PartialHwcc);
+
+    if (which == "cxlalloc" || which == "cxlalloc-nonrecoverable") {
+        cxlalloc::Config cfg;
+        cfg.small_slabs = geom.small_slabs;
+        cfg.large_slabs = geom.large_slabs;
+        cfg.huge_regions = geom.huge_regions;
+        cfg.huge_region_size = geom.huge_region_size;
+        cfg.recoverable = which == "cxlalloc";
+        pod::PodConfig pc;
+        pc.device = cxlalloc::Layout(cfg).device_config(coherence);
+        pc.checked_mappings = geom.checked_mappings;
+        b.extra_base = pc.device.size;
+        pc.device.size += (geom.extra_bytes + cxl::kPageSize - 1) &
+                          ~(cxl::kPageSize - 1);
+        b.pod = std::make_unique<pod::Pod>(pc);
+        b.cxl_heap = std::make_unique<cxlalloc::CxlAllocator>(*b.pod, cfg);
+        b.process = b.pod->create_process();
+        b.cxl_heap->attach(*b.process);
+        b.alloc =
+            std::make_unique<baselines::CxlallocAdapter>(b.cxl_heap.get());
+        return b;
+    }
+
+    // Baselines share a flat arena; ralloc's metadata goes at the front of
+    // the sync region so it works under mCAS.
+    std::uint64_t arena_size =
+        static_cast<std::uint64_t>(geom.small_slabs) * (32 << 10) +
+        static_cast<std::uint64_t>(geom.large_slabs) * (512 << 10) +
+        geom.huge_regions * geom.huge_region_size;
+    std::uint32_t ralloc_slabs =
+        static_cast<std::uint32_t>(arena_size / (64 << 10));
+    std::uint64_t meta_bytes =
+        baselines::Rallocish::meta_size(ralloc_slabs) + 4096;
+    std::uint64_t arena =
+        (64 + meta_bytes + cxl::kPageSize - 1) & ~(cxl::kPageSize - 1);
+
+    pod::PodConfig pc;
+    pc.device.mode = coherence;
+    pc.checked_mappings = geom.checked_mappings;
+    pc.device.sync_region_size = arena; // metadata prefix is coherent
+    b.extra_base = arena + arena_size;
+    pc.device.size = ((b.extra_base + geom.extra_bytes + cxl::kPageSize - 1) &
+                      ~(cxl::kPageSize - 1));
+    b.pod = std::make_unique<pod::Pod>(pc);
+    b.process = b.pod->create_process();
+
+    if (which == "mimalloc-like") {
+        b.alloc = std::make_unique<baselines::Mimic>(*b.pod, arena,
+                                                     arena_size);
+    } else if (which == "boost-like") {
+        b.alloc = std::make_unique<baselines::Boostish>(*b.pod, arena,
+                                                        arena_size);
+    } else if (which == "lightning-like") {
+        b.alloc = std::make_unique<baselines::Lightningish>(*b.pod, arena,
+                                                            arena_size);
+    } else if (which == "cxl-shm-like") {
+        b.alloc = std::make_unique<baselines::Cxlshmish>(*b.pod, arena,
+                                                         arena_size);
+    } else if (which == "ralloc-like") {
+        b.alloc = std::make_unique<baselines::Rallocish>(
+            *b.pod, /*meta=*/64, /*data=*/arena, ralloc_slabs);
+    } else {
+        std::fprintf(stderr, "unknown allocator '%s'\n", which.c_str());
+        std::abort();
+    }
+    return b;
+}
+
+/// Result of one multi-threaded run.
+struct RunResult {
+    double wall_s = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t sim_ns = 0; ///< max over threads (critical path)
+    std::uint64_t committed_bytes = 0;
+    std::uint64_t hwcc_bytes = 0;
+    std::uint64_t metadata_bytes = 0;
+    cxl::MemEventCounters events;
+
+    double
+    mops_wall() const
+    {
+        return wall_s > 0 ? static_cast<double>(ops) / wall_s / 1e6 : 0;
+    }
+
+    double
+    mops_sim() const
+    {
+        return sim_ns > 0
+                   ? static_cast<double>(ops) / static_cast<double>(sim_ns) *
+                         1e3
+                   : 0;
+    }
+};
+
+/// Runs @p body once per thread (each on its own pod process when
+/// @p process_per_thread) and aggregates results. @p body returns the
+/// number of operations it performed.
+inline RunResult
+run_threads(Bundle& b, std::uint32_t nthreads,
+            const std::function<std::uint64_t(pod::ThreadContext&,
+                                              std::uint32_t)>& body,
+            bool process_per_thread = false)
+{
+    std::vector<std::thread> workers;
+    std::vector<std::uint64_t> ops(nthreads, 0);
+    std::vector<std::uint64_t> sim(nthreads, 0);
+    std::vector<cxl::MemEventCounters> events(nthreads);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t w = 0; w < nthreads; w++) {
+        workers.emplace_back([&, w] {
+            pod::Process* proc = b.process;
+            if (process_per_thread) {
+                proc = b.pod->create_process();
+                if (b.cxl_heap != nullptr) {
+                    b.cxl_heap->attach(*proc);
+                }
+            }
+            auto ctx = b.thread(proc);
+            ops[w] = body(*ctx, w);
+            sim[w] = ctx->mem().sim_ns();
+            events[w] = ctx->mem().counters();
+            b.pod->release_thread(std::move(ctx));
+        });
+    }
+    for (auto& th : workers) {
+        th.join();
+    }
+    RunResult r;
+    r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    for (std::uint32_t w = 0; w < nthreads; w++) {
+        r.ops += ops[w];
+        r.sim_ns = std::max(r.sim_ns, sim[w]);
+        r.events += events[w];
+    }
+    r.committed_bytes = b.pod->device().committed_bytes();
+    r.metadata_bytes = b.alloc->metadata_overhead_bytes();
+    auto probe = b.thread();
+    r.hwcc_bytes = b.alloc->hwcc_bytes(probe->mem());
+    b.pod->release_thread(std::move(probe));
+    return r;
+}
+
+/// Prints one benchmark series row.
+inline void
+print_row(const char* figure, const std::string& workload,
+          const std::string& alloc, std::uint32_t threads,
+          const RunResult& r, const char* note = "")
+{
+    std::printf("%-6s %-16s %-24s t=%-2u  %9.3f Mops/s (wall)  "
+                "mem=%-11s hwcc=%-11s%s%s\n",
+                figure, workload.c_str(), alloc.c_str(), threads,
+                r.mops_wall(),
+                cxlcommon::format_bytes(r.committed_bytes + r.metadata_bytes)
+                    .c_str(),
+                cxlcommon::format_bytes(r.hwcc_bytes).c_str(),
+                note[0] != '\0' ? "  " : "", note);
+}
+
+} // namespace bench

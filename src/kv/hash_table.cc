@@ -1,0 +1,261 @@
+#include "kv/hash_table.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/random.h"
+
+namespace kv {
+
+namespace {
+
+/// The reclaiming thread's context, published around EBR exit so deferred
+/// frees can reach the allocator (reclamation always happens on the thread
+/// whose Guard is being destroyed).
+thread_local pod::ThreadContext* tls_reclaim_ctx = nullptr;
+
+constexpr std::uint64_t kHeader = 24;
+
+} // namespace
+
+HashTable::HashTable(pod::Pod& pod, cxl::HeapOffset buckets,
+                     std::uint64_t num_buckets,
+                     baselines::PodAllocator* alloc)
+    : pod_(pod), buckets_(buckets), num_buckets_(num_buckets), alloc_(alloc),
+      ebr_(cxl::kMaxThreads + 1)
+{
+    CXL_ASSERT(num_buckets > 0, "hash table needs buckets");
+}
+
+std::uint64_t
+HashTable::hash_bytes(const void* key, std::uint32_t klen)
+{
+    // FNV-1a, finished with a splitmix avalanche.
+    const auto* bytes = static_cast<const unsigned char*>(key);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint32_t i = 0; i < klen; i++) {
+        h = (h ^ bytes[i]) * 0x100000001b3ULL;
+    }
+    return cxlcommon::splitmix64(h);
+}
+
+HashTable::Guard::Guard(HashTable* t, pod::ThreadContext& ctx)
+    : table(t), me(ctx.tid())
+{
+    tls_reclaim_ctx = &ctx;
+    table->ebr_.enter(me);
+}
+
+HashTable::Guard::~Guard()
+{
+    table->ebr_.exit(me);
+    tls_reclaim_ctx = nullptr;
+}
+
+void
+HashTable::reclaim_node(void* ctx, std::uint64_t offset)
+{
+    auto* table = static_cast<HashTable*>(ctx);
+    if (tls_reclaim_ctx == nullptr) {
+        // Teardown drain without a thread context: the arena is being
+        // discarded wholesale, so skipping the free is harmless.
+        return;
+    }
+    table->alloc_->deallocate(*tls_reclaim_ctx, offset);
+}
+
+bool
+HashTable::key_matches(std::uint64_t node, std::uint64_t hash,
+                       const void* key, std::uint32_t klen)
+{
+    auto* raw = pod_.device().raw(node);
+    std::uint64_t node_hash;
+    std::memcpy(&node_hash, raw + 8, 8);
+    if (node_hash != hash) {
+        return false;
+    }
+    std::uint32_t node_klen;
+    std::memcpy(&node_klen, raw + 16, 4);
+    return node_klen == klen && std::memcmp(raw + kHeader, key, klen) == 0;
+}
+
+std::uint64_t
+HashTable::alloc_node(pod::ThreadContext& ctx, const void* key,
+                      std::uint32_t klen, const void* value,
+                      std::uint32_t vlen)
+{
+    std::uint64_t node = alloc_->allocate(ctx, kHeader + klen + vlen);
+    if (node == 0) {
+        return 0;
+    }
+    std::uint64_t hash = hash_bytes(key, klen);
+    auto* raw = ctx.mem().data_ptr(node, kHeader + klen + vlen);
+    std::memcpy(raw + 8, &hash, 8);
+    std::memcpy(raw + 16, &klen, 4);
+    std::memcpy(raw + 20, &vlen, 4);
+    std::memcpy(raw + kHeader, key, klen);
+    if (vlen > 0) {
+        std::memcpy(raw + kHeader + klen, value, vlen);
+    }
+    return node;
+}
+
+void
+HashTable::link_node(pod::ThreadContext& ctx, std::uint64_t node)
+{
+    Guard guard(this, ctx);
+    std::uint64_t hash;
+    std::memcpy(&hash, pod_.device().raw(node + 8), 8);
+    std::atomic<std::uint64_t>& head = bucket(hash % num_buckets_);
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    do {
+        next_ref(node).store(h, std::memory_order_relaxed);
+    } while (!head.compare_exchange_weak(h, node, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+    size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+HashTable::contains_node(pod::ThreadContext& ctx, std::uint64_t node)
+{
+    Guard guard(this, ctx);
+    std::uint64_t hash;
+    std::memcpy(&hash, pod_.device().raw(node + 8), 8);
+    std::uint64_t cur =
+        bucket(hash % num_buckets_).load(std::memory_order_acquire) & ~kMark;
+    while (cur != 0) {
+        std::uint64_t next = next_word(cur);
+        if (cur == node) {
+            return !(next & kMark);
+        }
+        cur = next & ~kMark;
+    }
+    return false;
+}
+
+bool
+HashTable::insert(pod::ThreadContext& ctx, const void* key,
+                  std::uint32_t klen, const void* value, std::uint32_t vlen)
+{
+    std::uint64_t node = alloc_node(ctx, key, klen, value, vlen);
+    if (node == 0) {
+        return false;
+    }
+    link_node(ctx, node);
+    return true;
+}
+
+bool
+HashTable::get(pod::ThreadContext& ctx, const void* key, std::uint32_t klen,
+               void* out, std::uint32_t cap, std::uint32_t* vlen_out)
+{
+    std::uint64_t hash = hash_bytes(key, klen);
+    Guard guard(this, ctx);
+    std::uint64_t node =
+        bucket(hash % num_buckets_).load(std::memory_order_acquire) & ~kMark;
+    while (node != 0) {
+        std::uint64_t next = next_word(node);
+        if (!(next & kMark) && key_matches(node, hash, key, klen)) {
+            // Refcount-per-access designs (cxl-shm) pin the object here —
+            // the hot-key contention the paper measures on YCSB-A/D.
+            alloc_->on_access(ctx, node);
+            auto* raw = pod_.device().raw(node);
+            std::uint32_t vlen;
+            std::memcpy(&vlen, raw + 20, 4);
+            if (vlen_out != nullptr) {
+                *vlen_out = vlen;
+            }
+            if (out != nullptr && cap > 0) {
+                std::memcpy(out, raw + kHeader + klen,
+                            vlen < cap ? vlen : cap);
+            }
+            alloc_->after_access(ctx, node);
+            return true;
+        }
+        node = next & ~kMark;
+    }
+    return false;
+}
+
+bool
+HashTable::remove(pod::ThreadContext& ctx, const void* key,
+                  std::uint32_t klen)
+{
+    std::uint64_t hash = hash_bytes(key, klen);
+    Guard guard(this, ctx);
+retry:
+    std::atomic<std::uint64_t>* prev = &bucket(hash % num_buckets_);
+    std::uint64_t node = prev->load(std::memory_order_acquire) & ~kMark;
+    while (node != 0) {
+        std::uint64_t next = next_word(node);
+        if (next & kMark) {
+            // Help finish the in-progress deletion: unlink the marked node
+            // from prev. Exactly one unlink CAS can succeed (a marked
+            // predecessor's next word carries the mark bit and cannot
+            // match), so the retire happens once.
+            std::uint64_t expected = node;
+            if (prev->compare_exchange_strong(expected, next & ~kMark,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                ebr_.retire(guard.me,
+                            cxlsync::Retired{reclaim_node, this, node});
+                node = next & ~kMark;
+                continue;
+            }
+            prev = &next_ref(node);
+            node = next & ~kMark;
+            continue;
+        }
+        if (!key_matches(node, hash, key, klen)) {
+            prev = &next_ref(node);
+            node = next & ~kMark;
+            continue;
+        }
+        // Logical delete: mark the node's next pointer.
+        if (!next_ref(node).compare_exchange_strong(
+                next, next | kMark, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            goto retry; // raced; rescan the bucket
+        }
+        // Physical unlink (best effort; a failed CAS leaves the marked
+        // node for later traversals, which skip it).
+        std::uint64_t expected = node;
+        if (prev->compare_exchange_strong(expected, next & ~kMark,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            ebr_.retire(guard.me, cxlsync::Retired{reclaim_node, this, node});
+        }
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+HashTable::quiesce(pod::ThreadContext& ctx)
+{
+    tls_reclaim_ctx = &ctx;
+    ebr_.drain_all();
+    tls_reclaim_ctx = nullptr;
+}
+
+void
+HashTable::clear(pod::ThreadContext& ctx)
+{
+    tls_reclaim_ctx = &ctx;
+    ebr_.drain_all();
+    tls_reclaim_ctx = nullptr;
+    for (std::uint64_t b = 0; b < num_buckets_; b++) {
+        std::uint64_t node = bucket(b).load(std::memory_order_relaxed);
+        bucket(b).store(0, std::memory_order_relaxed);
+        node &= ~kMark;
+        while (node != 0) {
+            std::uint64_t next = next_word(node) & ~kMark;
+            alloc_->deallocate(ctx, node);
+            node = next;
+        }
+    }
+    size_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace kv

@@ -1,0 +1,150 @@
+/// @file
+/// Lock-free, non-resizable hash table — the index used in the paper's
+/// key-value store evaluation (§5.2.1): "we adapt cxl-shm's non-resizable
+/// lock-free hash table to support all allocators ... In order to support
+/// deletion, we also adapt it to use token-passing epoch-based
+/// reclamation [40]".
+///
+/// The bucket array lives in a reserved device region (the index is not
+/// itself a benchmarked allocation); nodes come from the PodAllocator under
+/// test. Buckets are Harris-style singly linked lists: deletion first marks
+/// the node's next pointer, then unlinks, then retires the node to the
+/// epoch reclamation scheme.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "baselines/pod_allocator.h"
+#include "pod/pod.h"
+#include "sync/token_epoch.h"
+
+namespace kv {
+
+/// Node layout (device offsets relative to the node):
+///   +0  next   u64 (low bit = deletion mark)
+///   +8  hash   u64
+///   +16 klen   u32
+///   +20 vlen   u32
+///   +24 key bytes, then value bytes
+class HashTable {
+  public:
+    /// @param buckets  device offset of a zeroed region holding
+    ///                 @p num_buckets 8-byte bucket heads.
+    HashTable(pod::Pod& pod, cxl::HeapOffset buckets,
+              std::uint64_t num_buckets, baselines::PodAllocator* alloc);
+
+    /// Space the bucket array needs.
+    static std::uint64_t
+    footprint(std::uint64_t num_buckets)
+    {
+        return num_buckets * 8;
+    }
+
+    /// Inserts a key/value pair (newest insert shadows older ones).
+    /// Returns false if the allocator could not serve the node (e.g.
+    /// cxl-shm-style allocators on values > 1 KiB).
+    bool insert(pod::ThreadContext& ctx, const void* key, std::uint32_t klen,
+                const void* value, std::uint32_t vlen);
+
+    /// Builds an unlinked node (for detectably-recoverable callers that
+    /// record the node offset before publishing it). 0 on alloc failure.
+    std::uint64_t alloc_node(pod::ThreadContext& ctx, const void* key,
+                             std::uint32_t klen, const void* value,
+                             std::uint32_t vlen);
+
+    /// Publishes a node built by alloc_node. Idempotence is the caller's
+    /// job (check contains_node first on recovery paths).
+    void link_node(pod::ThreadContext& ctx, std::uint64_t node);
+
+    /// True if @p node is currently linked (and unmarked) in its bucket.
+    bool contains_node(pod::ThreadContext& ctx, std::uint64_t node);
+
+    /// Looks up @p key; if found, copies up to @p cap value bytes into
+    /// @p out (when non-null), stores the value length, and returns true.
+    bool get(pod::ThreadContext& ctx, const void* key, std::uint32_t klen,
+             void* out, std::uint32_t cap, std::uint32_t* vlen_out);
+
+    /// Removes the newest node for @p key; the node is reclaimed through
+    /// epoch-based reclamation once no reader can hold it.
+    bool remove(pod::ThreadContext& ctx, const void* key,
+                std::uint32_t klen);
+
+    /// Number of live entries (approximate under concurrency).
+    std::uint64_t size() const { return size_.load(); }
+
+    /// Visits every live node offset (quiescent use: recovery/GC roots).
+    template <typename F>
+    void
+    for_each_node(F&& visit)
+    {
+        for (std::uint64_t b = 0; b < num_buckets_; b++) {
+            std::uint64_t node = bucket(b).load(std::memory_order_acquire);
+            while ((node & ~kMark) != 0) {
+                std::uint64_t off = node & ~kMark;
+                std::uint64_t next = next_word(off);
+                if (!(next & kMark)) {
+                    visit(off);
+                }
+                node = next;
+            }
+        }
+    }
+
+    /// Frees every node back to the allocator (bench teardown; quiescent).
+    void clear(pod::ThreadContext& ctx);
+
+    /// Drains the epoch-reclamation limbo lists (quiescent use): retired
+    /// nodes return to the allocator without touching live entries.
+    void quiesce(pod::ThreadContext& ctx);
+
+    baselines::PodAllocator& allocator() { return *alloc_; }
+
+    static std::uint64_t hash_bytes(const void* key, std::uint32_t klen);
+
+  private:
+    static constexpr std::uint64_t kMark = 1;
+
+    std::atomic<std::uint64_t>&
+    bucket(std::uint64_t index)
+    {
+        return *reinterpret_cast<std::atomic<std::uint64_t>*>(
+            pod_.device().raw(buckets_ + index * 8));
+    }
+
+    std::atomic<std::uint64_t>&
+    next_ref(std::uint64_t node)
+    {
+        return *reinterpret_cast<std::atomic<std::uint64_t>*>(
+            pod_.device().raw(node));
+    }
+
+    std::uint64_t
+    next_word(std::uint64_t node)
+    {
+        return next_ref(node).load(std::memory_order_acquire);
+    }
+
+    bool key_matches(std::uint64_t node, std::uint64_t hash, const void* key,
+                     std::uint32_t klen);
+
+    /// RAII epoch guard that also publishes the reclaiming context.
+    struct Guard {
+        Guard(HashTable* table, pod::ThreadContext& ctx);
+        ~Guard();
+        HashTable* table;
+        std::uint32_t me;
+    };
+
+    static void reclaim_node(void* ctx, std::uint64_t offset);
+
+    pod::Pod& pod_;
+    cxl::HeapOffset buckets_;
+    std::uint64_t num_buckets_;
+    baselines::PodAllocator* alloc_;
+    cxlsync::TokenEpoch ebr_;
+    std::atomic<std::uint64_t> size_{0};
+};
+
+} // namespace kv

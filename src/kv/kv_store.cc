@@ -1,0 +1,29 @@
+#include "kv/kv_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace kv {
+
+void
+KvStore::format_key(std::uint64_t id, std::uint32_t klen, char* out)
+{
+    CXL_ASSERT(klen >= 8 && klen <= 95, "key length out of supported range");
+    // Key = decimal id, left-padded with 'k' to the requested width,
+    // mirroring YCSB's "userNNNN" shape at arbitrary lengths.
+    char digits[24];
+    int n = std::snprintf(digits, sizeof digits, "%llu",
+                          static_cast<unsigned long long>(id));
+    if (static_cast<std::uint32_t>(n) >= klen) {
+        std::memcpy(out, digits + (static_cast<std::uint32_t>(n) - klen),
+                    klen);
+        return;
+    }
+    std::uint32_t pad = klen - static_cast<std::uint32_t>(n);
+    std::memset(out, 'k', pad);
+    std::memcpy(out + pad, digits, static_cast<std::size_t>(n));
+}
+
+} // namespace kv

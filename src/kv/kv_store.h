@@ -1,0 +1,85 @@
+/// @file
+/// KvStore: the in-memory key-value store used end-to-end in the paper's
+/// macro-benchmarks (Fig. 8). Binds the lock-free hash-table index to a
+/// PodAllocator under test and provides the key/value shapes the workloads
+/// (YCSB, memcached traces) generate.
+
+#pragma once
+
+#include <cstdint>
+
+#include "kv/hash_table.h"
+
+namespace kv {
+
+/// Result counters for a workload run over the store.
+struct StoreCounters {
+    std::uint64_t inserts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t updates = 0;
+    /// Operations the allocator could not serve (e.g. >1 KiB on a
+    /// cxl-shm-style allocator) — the paper reports these as crashes.
+    std::uint64_t alloc_failures = 0;
+
+    StoreCounters&
+    operator+=(const StoreCounters& o)
+    {
+        inserts += o.inserts;
+        reads += o.reads;
+        hits += o.hits;
+        removes += o.removes;
+        updates += o.updates;
+        alloc_failures += o.alloc_failures;
+        return *this;
+    }
+};
+
+/// A key-value store over one allocator.
+class KvStore {
+  public:
+    KvStore(pod::Pod& pod, cxl::HeapOffset bucket_region,
+            std::uint64_t num_buckets, baselines::PodAllocator* alloc)
+        : table_(pod, bucket_region, num_buckets, alloc)
+    {
+    }
+
+    /// Builds a key of exactly @p klen bytes from the 64-bit key id
+    /// (workload keys are 8-82 bytes, Table 2).
+    static void format_key(std::uint64_t id, std::uint32_t klen, char* out);
+
+    bool
+    insert(pod::ThreadContext& ctx, std::uint64_t id, std::uint32_t klen,
+           const void* value, std::uint32_t vlen)
+    {
+        char key[96];
+        format_key(id, klen, key);
+        return table_.insert(ctx, key, klen, value, vlen);
+    }
+
+    bool
+    get(pod::ThreadContext& ctx, std::uint64_t id, std::uint32_t klen,
+        void* out, std::uint32_t cap)
+    {
+        char key[96];
+        format_key(id, klen, key);
+        std::uint32_t vlen = 0;
+        return table_.get(ctx, key, klen, out, cap, &vlen);
+    }
+
+    bool
+    remove(pod::ThreadContext& ctx, std::uint64_t id, std::uint32_t klen)
+    {
+        char key[96];
+        format_key(id, klen, key);
+        return table_.remove(ctx, key, klen);
+    }
+
+    HashTable& table() { return table_; }
+
+  private:
+    HashTable table_;
+};
+
+} // namespace kv

@@ -1,0 +1,43 @@
+/// @file
+/// The SIGSEGV-handler analog that provides temporal pointer consistency
+/// (PC-T, paper §3.3).
+///
+/// In the real system, each process installs a signal handler; when a thread
+/// dereferences a pointer into heap memory whose mapping another process
+/// created, the handler inspects heap metadata, installs the mapping with
+/// mmap(MAP_FIXED), and reissues the faulting instruction. Here, Process
+/// intercepts accesses to unmapped simulated pages and asks the registered
+/// FaultResolver (the allocator) whether and how to back them.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/mem_ops.h"
+#include "cxl/types.h"
+
+namespace pod {
+
+class Process;
+
+/// A mapping the resolver wants installed in the faulting process.
+struct MappedRange {
+    cxl::HeapOffset start = 0;
+    std::uint64_t len = 0;
+};
+
+/// Implemented by the allocator: decides whether a faulting offset lies
+/// within heap memory that should be backed by a mapping.
+class FaultResolver {
+  public:
+    virtual ~FaultResolver() = default;
+
+    /// Inspects heap metadata for @p offset. On success fills @p out with
+    /// the range to install (which must cover @p offset) and returns true;
+    /// returns false if the offset is not valid heap memory, in which case
+    /// the fault is a genuine segfault.
+    virtual bool resolve_fault(Process& process, cxl::MemSession& mem,
+                               cxl::HeapOffset offset, MappedRange* out) = 0;
+};
+
+} // namespace pod

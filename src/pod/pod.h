@@ -1,0 +1,94 @@
+/// @file
+/// Pod: the top-level simulated system — one shared CXL device, its NMP
+/// engine, the set of sharing processes, and the pod-global thread slots.
+
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cxl/device.h"
+#include "cxl/nmp.h"
+#include "cxl/types.h"
+#include "pod/process.h"
+#include "pod/thread_context.h"
+
+namespace pod {
+
+/// Pod-wide configuration.
+struct PodConfig {
+    cxl::DeviceConfig device;
+    /// When true, processes run in checked-mapping mode: PC-T is enforced
+    /// per access and faults go through the handler.
+    bool checked_mappings = false;
+};
+
+/// State of a pod-global thread slot.
+enum class SlotState : std::uint8_t {
+    Free,
+    Live,
+    /// Thread crashed; its slot (and in-heap state) awaits recovery.
+    Crashed,
+};
+
+/// The simulated CXL pod.
+class Pod {
+  public:
+    explicit Pod(const PodConfig& config);
+
+    cxl::Device& device() { return device_; }
+    cxl::Nmp& nmp() { return nmp_; }
+    const PodConfig& config() const { return config_; }
+
+    /// Spawns a simulated process (a host-side construct, so a plain mutex
+    /// is fine here — only shared *device* state must be lock-free).
+    Process* create_process();
+
+    /// Creates a thread in @p process, assigning the lowest free pod-global
+    /// thread slot. Thread IDs are 1-based; 0 means "no thread".
+    std::unique_ptr<ThreadContext> create_thread(Process* process);
+
+    /// How much state a crash destroys.
+    enum class CrashSeverity {
+        /// The process dies but the host survives: the host's coherent CPU
+        /// cache lives on, so the dead thread's unflushed stores remain
+        /// visible (and eventually written back). This is the failure the
+        /// paper's recovery protocol targets (OOM kill, software bug).
+        Process,
+        /// The host (OS) dies: unflushed cache contents are lost. Only
+        /// state the SWcc protocol explicitly flushed survives.
+        Host,
+    };
+
+    /// Marks @p context's slot as crashed and destroys the context. Under
+    /// CrashSeverity::Process the simulated cache is written back; under
+    /// Host it is dropped.
+    void mark_crashed(std::unique_ptr<ThreadContext> context,
+                      CrashSeverity severity = CrashSeverity::Process);
+
+    /// Adopts a crashed slot for recovery: a (possibly different) process
+    /// resumes the dead thread's identity to repair its heap state.
+    std::unique_ptr<ThreadContext> adopt_thread(Process* process,
+                                                cxl::ThreadId tid);
+
+    /// Releases a live thread's slot on clean exit.
+    void release_thread(std::unique_ptr<ThreadContext> context);
+
+    SlotState slot_state(cxl::ThreadId tid) const;
+
+    /// Thread IDs currently in Crashed state (recovery work list).
+    std::vector<cxl::ThreadId> crashed_threads() const;
+
+  private:
+    PodConfig config_;
+    cxl::Device device_;
+    cxl::Nmp nmp_;
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::array<SlotState, cxl::kMaxThreads + 1> slots_{};
+};
+
+} // namespace pod

@@ -1,0 +1,97 @@
+/// @file
+/// A simulated process sharing the CXL device (paper §3.3).
+///
+/// Substitution note: real processes have private virtual address spaces;
+/// the OS cannot guarantee that concurrent mmap calls in different processes
+/// return consistent addresses (PC-S) or that one process's mappings are
+/// visible in another (PC-T). This class models exactly the state the
+/// allocator's protocols manage: a table of virtual-address-space
+/// *reservations* (the mmap(PROT_NONE) regions of Fig. 2) and a per-process
+/// page-granular table of *installed mappings*. Accesses to unmapped pages
+/// fault into the registered FaultResolver, the signal-handler analog.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cxl/mem_ops.h"
+#include "cxl/types.h"
+#include "pod/fault_handler.h"
+
+namespace pod {
+
+class Pod;
+
+/// One simulated process.
+class Process : public cxl::MappingGuard {
+  public:
+    /// @param checked  when true, every MemSession access verifies mappings
+    ///                 (slow, faithful); when false, PC-T checking is off
+    ///                 (fast path for throughput benchmarks).
+    Process(Pod* pod, std::uint32_t pid, bool checked);
+
+    std::uint32_t pid() const { return pid_; }
+    Pod& pod() { return *pod_; }
+
+    /// Registers a virtual-address-space reservation. Models
+    /// mmap(PROT_NONE) at heap initialization: it pins a contiguous offset
+    /// range for the allocator's exclusive use and must not overlap any
+    /// existing reservation (that would break PC-S).
+    void reserve(std::string name, cxl::HeapOffset start, std::uint64_t len);
+
+    /// Installs a memory mapping over [start, start+len) — the
+    /// mmap(MAP_FIXED) analog. Thread-safe and idempotent.
+    void install_mapping(cxl::HeapOffset start, std::uint64_t len);
+
+    /// Removes the mapping over [start, start+len) — the munmap analog.
+    void remove_mapping(cxl::HeapOffset start, std::uint64_t len);
+
+    /// True if the page containing @p offset is mapped in this process.
+    bool is_mapped(cxl::HeapOffset offset) const;
+
+    /// Registers the allocator as this process's fault resolver.
+    void
+    set_resolver(FaultResolver* resolver)
+    {
+        resolver_ = resolver;
+    }
+
+    /// MappingGuard hook: called by MemSession before each access when the
+    /// process is in checked mode.
+    void on_access(cxl::MemSession& mem, cxl::HeapOffset offset,
+                   std::uint64_t len) override;
+
+    /// Bytes of device memory currently mapped by this process.
+    std::uint64_t mapped_bytes() const;
+
+    /// Number of faults resolved by the handler (PC-T events).
+    std::uint64_t faults_resolved() const { return faults_resolved_.load(); }
+
+    bool checked() const { return checked_; }
+
+  private:
+    struct Reservation {
+        std::string name;
+        cxl::HeapOffset start;
+        std::uint64_t len;
+    };
+
+    Pod* pod_;
+    std::uint32_t pid_;
+    bool checked_;
+    FaultResolver* resolver_ = nullptr;
+
+    mutable std::mutex reservation_mu_;
+    std::vector<Reservation> reservations_;
+
+    /// One bit per device page: mapped in this process?
+    std::vector<std::atomic<std::uint64_t>> page_bitmap_;
+    std::atomic<std::uint64_t> mapped_pages_{0};
+    std::atomic<std::uint64_t> faults_resolved_{0};
+};
+
+} // namespace pod

@@ -1,0 +1,17 @@
+#include "pod/thread_context.h"
+
+#include "pod/pod.h"
+#include "pod/process.h"
+
+namespace pod {
+
+ThreadContext::ThreadContext(Process* process, cxl::ThreadId tid)
+    : process_(process), tid_(tid),
+      mem_(&process->pod().device(), &process->pod().nmp(), tid)
+{
+    if (process->checked()) {
+        mem_.set_mapping_guard(process);
+    }
+}
+
+} // namespace pod

@@ -1,0 +1,68 @@
+#include "sync/detectable_cas.h"
+
+#include "common/assert.h"
+
+namespace cxlsync {
+
+DetectableCas::Result
+DetectableCas::try_cas(cxl::MemSession& mem, cxl::HeapOffset word_offset,
+                       std::uint32_t expected, std::uint32_t desired,
+                       std::uint16_t version)
+{
+    std::uint64_t current = mem.atomic_load64(word_offset);
+    if (DcasWord::value(current) != expected) {
+        return Result{false, DcasWord::value(current)};
+    }
+    // Before displacing a tagged word, publish the displaced owner's success
+    // so its recovery can detect it even after the word moves on.
+    if (detectable_ && DcasWord::tid(current) != cxl::kNoThread) {
+        record_help(mem, DcasWord::tid(current), DcasWord::version(current));
+    }
+    std::uint64_t desired_word =
+        DcasWord::pack(desired, mem.tid(), version);
+    std::uint64_t expected_word = current;
+    if (mem.cas64(word_offset, expected_word, desired_word)) {
+        return Result{true, expected};
+    }
+    return Result{false, DcasWord::value(expected_word)};
+}
+
+bool
+DetectableCas::did_succeed(cxl::MemSession& mem,
+                           cxl::HeapOffset word_offset, std::uint16_t version)
+{
+    CXL_ASSERT(detectable_, "recovery query on nonrecoverable DetectableCas");
+    std::uint64_t current = mem.atomic_load64(word_offset);
+    if (DcasWord::tid(current) == mem.tid() &&
+        DcasWord::version(current) == version) {
+        return true;
+    }
+    std::uint64_t help = mem.atomic_load64(help_entry(mem.tid()));
+    // Help entries store (version + 1) so that a zero entry means "nothing
+    // recorded" even for version 0.
+    if (help == 0) {
+        return false;
+    }
+    return version_geq(static_cast<std::uint16_t>(help - 1), version);
+}
+
+void
+DetectableCas::record_help(cxl::MemSession& mem, cxl::ThreadId tid,
+                           std::uint16_t version)
+{
+    cxl::HeapOffset entry = help_entry(tid);
+    std::uint64_t biased = static_cast<std::uint64_t>(version) + 1;
+    std::uint64_t current = mem.atomic_load64(entry);
+    while (true) {
+        if (current != 0 &&
+            version_geq(static_cast<std::uint16_t>(current - 1), version)) {
+            return; // already recorded (or newer)
+        }
+        if (mem.cas64(entry, current, biased)) {
+            return;
+        }
+        // current reloaded by cas64 on failure; loop.
+    }
+}
+
+} // namespace cxlsync

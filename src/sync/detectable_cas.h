@@ -1,0 +1,122 @@
+/// @file
+/// Detectable CAS (paper §3.4.2, after Attiya et al. [10]).
+///
+/// A recovering thread must be able to ask: "did the CAS I was executing
+/// when I crashed take effect?" Plain CAS cannot answer this — the value
+/// may have been overwritten since. Detectable CAS embeds a (thread id,
+/// version) tag in each CAS target word and maintains a global help array:
+/// before any thread displaces a tagged word, it records the displaced tag
+/// in the help array. A CAS by thread t with version v therefore succeeded
+/// iff the word still carries (t, v) or help[t] has advanced to >= v.
+///
+/// Word format (64 bits, as in the paper — CAS targets are at most 32 bits,
+/// widened to 8 B of HWcc memory per slab):
+///     [ value:32 | tid:16 | version:16 ]
+/// A zero word decodes as value 0 with no owner, so zero-filled memory is a
+/// valid initial state.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/mem_ops.h"
+#include "cxl/types.h"
+
+namespace cxlsync {
+
+/// Packing helpers for detectable-CAS words.
+struct DcasWord {
+    static std::uint64_t
+    pack(std::uint32_t value, cxl::ThreadId tid, std::uint16_t version)
+    {
+        return (static_cast<std::uint64_t>(value) << 32) |
+               (static_cast<std::uint64_t>(tid) << 16) | version;
+    }
+
+    static std::uint32_t value(std::uint64_t word)
+    {
+        return static_cast<std::uint32_t>(word >> 32);
+    }
+
+    static cxl::ThreadId tid(std::uint64_t word)
+    {
+        return static_cast<cxl::ThreadId>((word >> 16) & 0xffff);
+    }
+
+    static std::uint16_t version(std::uint64_t word)
+    {
+        return static_cast<std::uint16_t>(word & 0xffff);
+    }
+};
+
+/// Versions are 15-bit circular counters (the allocator's 8-byte recovery
+/// record budgets 15 bits for the version field; see cxlalloc/recovery.h).
+inline constexpr std::uint16_t kVersionBits = 15;
+inline constexpr std::uint16_t kVersionMask = (1u << kVersionBits) - 1;
+
+/// Wrap-aware version comparison over the 15-bit circular space; only the
+/// in-flight window matters.
+inline bool
+version_geq(std::uint16_t a, std::uint16_t b)
+{
+    std::uint16_t diff = (a - b) & kVersionMask;
+    return diff < (1u << (kVersionBits - 1));
+}
+
+/// Detectable CAS over words in the HWcc (or device-biased) region.
+class DetectableCas {
+  public:
+    /// @param help_base  offset of the help array: (kMaxThreads + 1) 64-bit
+    ///                   words in HWcc memory; entry t holds the highest
+    ///                   version of thread t observed displaced.
+    /// @param detectable when false (the cxlalloc-nonrecoverable ablation)
+    ///                   help recording is skipped and recovery queries are
+    ///                   unsupported.
+    explicit DetectableCas(cxl::HeapOffset help_base, bool detectable = true)
+        : help_base_(help_base), detectable_(detectable)
+    {
+    }
+
+    struct Result {
+        bool success;
+        /// Value observed in the word (on failure, the fresh value).
+        std::uint32_t observed;
+    };
+
+    /// One detectable CAS attempt of @p expected -> @p desired on the
+    /// 32-bit value stored at @p word_offset, tagged with the caller's
+    /// identity and @p version. Callers retry on failure.
+    Result try_cas(cxl::MemSession& mem, cxl::HeapOffset word_offset,
+                   std::uint32_t expected, std::uint32_t desired,
+                   std::uint16_t version);
+
+    /// Reads the 32-bit value currently stored at @p word_offset.
+    std::uint32_t
+    read(cxl::MemSession& mem, cxl::HeapOffset word_offset)
+    {
+        return DcasWord::value(mem.atomic_load64(word_offset));
+    }
+
+    /// Recovery query: did thread @p mem.tid()'s CAS tagged @p version on
+    /// @p word_offset take effect?
+    bool did_succeed(cxl::MemSession& mem, cxl::HeapOffset word_offset,
+                     std::uint16_t version);
+
+    bool detectable() const { return detectable_; }
+
+  private:
+    /// Records that @p tid's CAS tagged @p version is known to have
+    /// succeeded (its tag was observed in a word).
+    void record_help(cxl::MemSession& mem, cxl::ThreadId tid,
+                     std::uint16_t version);
+
+    cxl::HeapOffset help_entry(cxl::ThreadId tid) const
+    {
+        return help_base_ + static_cast<cxl::HeapOffset>(tid) * 8;
+    }
+
+    cxl::HeapOffset help_base_;
+    bool detectable_;
+};
+
+} // namespace cxlsync

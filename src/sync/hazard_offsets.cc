@@ -1,0 +1,75 @@
+#include "sync/hazard_offsets.h"
+
+#include "common/assert.h"
+
+namespace cxlsync {
+
+std::uint32_t
+HazardOffsets::try_publish(cxl::MemSession& mem, cxl::HeapOffset offset)
+{
+    CXL_ASSERT(offset != 0, "cannot publish null hazard offset");
+    for (std::uint32_t slot = 0; slot < slots_; slot++) {
+        cxl::HeapOffset at = slot_offset(mem.tid(), slot);
+        if (mem.load<std::uint64_t>(at) == 0) {
+            mem.store<std::uint64_t>(at, offset);
+            // Huge-heap SWcc rule: flush + fence after every write so other
+            // hosts observe the hazard before we install the mapping.
+            mem.flush(at, 8);
+            mem.fence();
+            return slot;
+        }
+    }
+    return kNoSlot;
+}
+
+std::uint32_t
+HazardOffsets::publish(cxl::MemSession& mem, cxl::HeapOffset offset)
+{
+    std::uint32_t slot = try_publish(mem, offset);
+    CXL_FATAL_IF(slot == kNoSlot,
+                 "hazard offset row full; raise slots_per_thread");
+    return slot;
+}
+
+void
+HazardOffsets::remove(cxl::MemSession& mem, std::uint32_t slot)
+{
+    CXL_ASSERT(slot < slots_, "hazard slot out of range");
+    cxl::HeapOffset at = slot_offset(mem.tid(), slot);
+    mem.store<std::uint64_t>(at, 0);
+    mem.flush(at, 8);
+    mem.fence();
+}
+
+bool
+HazardOffsets::remove_value(cxl::MemSession& mem, cxl::HeapOffset offset)
+{
+    for (std::uint32_t slot = 0; slot < slots_; slot++) {
+        cxl::HeapOffset at = slot_offset(mem.tid(), slot);
+        if (mem.load<std::uint64_t>(at) == offset) {
+            remove(mem, slot);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+HazardOffsets::is_published(cxl::MemSession& mem, cxl::HeapOffset offset)
+{
+    for (std::uint32_t tid = 0; tid <= cxl::kMaxThreads; tid++) {
+        for (std::uint32_t slot = 0; slot < slots_; slot++) {
+            cxl::HeapOffset at =
+                slot_offset(static_cast<cxl::ThreadId>(tid), slot);
+            // Huge-heap SWcc rule: flush before every read so we never act
+            // on a stale cached copy of another thread's hazard slot.
+            mem.flush(at, 8);
+            if (mem.load<std::uint64_t>(at) == offset) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace cxlsync

@@ -1,0 +1,82 @@
+/// @file
+/// Hazard offsets (paper §3.3.2): a variant of hazard pointers [51] that
+/// protects *memory mappings* rather than objects.
+///
+/// Protocol rules:
+///  - publish the offset before mapping a huge allocation;
+///  - remove it after unmapping;
+///  - reclaim a huge allocation only if its descriptor's free bit is set
+///    and its offset is published in no thread's hazard list.
+///
+/// Unlike classic hazard pointers, no post-publication validation step is
+/// needed: the racing free would be a use-after-free in the application and
+/// is excluded for correct programs (paper §3.3.2, last paragraph).
+///
+/// Hazard slots live in SWcc memory. They are single-writer (the owning
+/// thread), multi-reader; following the paper's huge-heap rule, writers
+/// flush+fence after every write and readers flush before every read.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cxl/mem_ops.h"
+#include "cxl/types.h"
+
+namespace cxlsync {
+
+/// Fixed-size per-thread hazard offset lists over a shared-memory region.
+class HazardOffsets {
+  public:
+    /// Layout: (kMaxThreads + 1) rows of @p slots_per_thread 8-byte slots
+    /// starting at @p base. A zero slot is empty (offset 0 is never valid
+    /// huge data, so raw offsets are stored).
+    HazardOffsets(cxl::HeapOffset base, std::uint32_t slots_per_thread)
+        : base_(base), slots_(slots_per_thread)
+    {
+    }
+
+    /// Bytes of shared memory the table occupies.
+    static std::uint64_t
+    footprint(std::uint32_t slots_per_thread)
+    {
+        return static_cast<std::uint64_t>(cxl::kMaxThreads + 1) *
+               slots_per_thread * 8;
+    }
+
+    /// Publishes @p offset in a free slot of the calling thread's row.
+    /// Returns the slot index; aborts if the row is full (callers size the
+    /// row for the worst case: mappings held concurrently by one thread).
+    std::uint32_t publish(cxl::MemSession& mem, cxl::HeapOffset offset);
+
+    /// Like publish(), but returns kNoSlot instead of aborting when the
+    /// row is full, so callers can reclaim (or fail gracefully).
+    std::uint32_t try_publish(cxl::MemSession& mem, cxl::HeapOffset offset);
+
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    /// Clears slot @p slot of the calling thread's row.
+    void remove(cxl::MemSession& mem, std::uint32_t slot);
+
+    /// Clears the first slot of the calling thread's row containing
+    /// @p offset; returns false if not found.
+    bool remove_value(cxl::MemSession& mem, cxl::HeapOffset offset);
+
+    /// Scans every thread's row: is @p offset published anywhere?
+    bool is_published(cxl::MemSession& mem, cxl::HeapOffset offset);
+
+    std::uint32_t slots_per_thread() const { return slots_; }
+
+    /// Offset of slot @p slot in thread @p tid's row.
+    cxl::HeapOffset
+    slot_offset(cxl::ThreadId tid, std::uint32_t slot) const
+    {
+        return base_ + (static_cast<cxl::HeapOffset>(tid) * slots_ + slot) * 8;
+    }
+
+  private:
+    cxl::HeapOffset base_;
+    std::uint32_t slots_;
+};
+
+} // namespace cxlsync

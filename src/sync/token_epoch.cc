@@ -1,0 +1,95 @@
+#include "sync/token_epoch.h"
+
+#include "common/assert.h"
+
+namespace cxlsync {
+
+TokenEpoch::TokenEpoch(std::uint32_t nthreads)
+    : nthreads_(nthreads), slots_(nthreads)
+{
+    CXL_ASSERT(nthreads > 0, "TokenEpoch needs at least one participant");
+}
+
+TokenEpoch::~TokenEpoch()
+{
+    drain_all();
+}
+
+void
+TokenEpoch::enter(std::uint32_t me)
+{
+    CXL_ASSERT(me < nthreads_, "participant out of range");
+    std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    slots_[me].announce.store(e, std::memory_order_seq_cst);
+}
+
+void
+TokenEpoch::exit(std::uint32_t me)
+{
+    Slot& slot = slots_[me];
+    slot.announce.store(kQuiescent, std::memory_order_release);
+
+    // Each participant reclaims its *own* stale bucket: with the 3-bucket
+    // scheme, bucket (e+1) % 3 holds entries retired at epoch <= e-2, which
+    // no reader can still reference once the epoch reached e.
+    std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    if (slot.seen_epoch != e) {
+        auto& limbo = slot.limbo[(e + 1) % 3];
+        for (const Retired& r : limbo) {
+            r.fn(r.ctx, r.arg);
+        }
+        limbo.clear();
+        slot.seen_epoch = e;
+    }
+
+    // The token holder attempts to advance the epoch — the point of token
+    // passing is bounding how often the announcement array is scanned. A
+    // non-holder still tries occasionally: the token can park on a thread
+    // that stopped participating (finished its work, or crashed), and
+    // reclamation must stay live without it.
+    slot.exit_count++;
+    if (token_.load(std::memory_order_relaxed) == me) {
+        try_advance(e);
+        token_.store((me + 1) % nthreads_, std::memory_order_release);
+    } else if (slot.exit_count % kFallbackPeriod == 0) {
+        try_advance(e);
+    }
+}
+
+void
+TokenEpoch::retire(std::uint32_t me, Retired r)
+{
+    std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    slots_[me].limbo[e % 3].push_back(r);
+}
+
+void
+TokenEpoch::try_advance(std::uint64_t e)
+{
+    // The epoch may advance only once every active reader has observed it:
+    // a reader announcing an older epoch may still reference nodes retired
+    // two epochs ago.
+    for (std::uint32_t t = 0; t < nthreads_; t++) {
+        std::uint64_t a = slots_[t].announce.load(std::memory_order_acquire);
+        if (a != kQuiescent && a < e) {
+            return;
+        }
+    }
+    global_epoch_.compare_exchange_strong(e, e + 1,
+                                          std::memory_order_acq_rel);
+}
+
+void
+TokenEpoch::drain_all()
+{
+    for (auto& slot : slots_) {
+        for (auto& bucket : slot.limbo) {
+            for (const Retired& r : bucket) {
+                r.fn(r.ctx, r.arg);
+            }
+            bucket.clear();
+        }
+    }
+}
+
+} // namespace cxlsync

@@ -1,0 +1,83 @@
+/// @file
+/// Token-passing epoch-based reclamation (paper §5.2.1, after Kim, Brown
+/// and Singh [40]).
+///
+/// The evaluation's key-value index supports deletion; freed nodes must not
+/// be reclaimed while concurrent readers may still hold references. Classic
+/// EBR has every thread scan all announcements; the token-passing variant
+/// circulates a token, and only the holder tries to advance the epoch and
+/// reclaim, bounding scan overhead ("batch free can be harmful").
+///
+/// This is host-side bench/application infrastructure (index bookkeeping),
+/// so it lives in ordinary process memory, not on the simulated device.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cxlsync {
+
+/// Deferred reclamation callback.
+struct Retired {
+    void (*fn)(void* ctx, std::uint64_t arg);
+    void* ctx;
+    std::uint64_t arg;
+};
+
+/// Token-passing EBR for up to @p nthreads participants.
+class TokenEpoch {
+  public:
+    explicit TokenEpoch(std::uint32_t nthreads);
+
+    ~TokenEpoch();
+
+    TokenEpoch(const TokenEpoch&) = delete;
+    TokenEpoch& operator=(const TokenEpoch&) = delete;
+
+    /// Enters a read-side critical section for participant @p me.
+    void enter(std::uint32_t me);
+
+    /// Leaves the critical section. If @p me holds the token, it attempts
+    /// to advance the epoch, reclaims safe limbo lists, and passes the
+    /// token on.
+    void exit(std::uint32_t me);
+
+    /// Defers reclamation of @p r until two epoch advances have proven no
+    /// reader can still hold a reference.
+    void retire(std::uint32_t me, Retired r);
+
+    /// Drains every limbo list; callable only when no thread is inside a
+    /// critical section (e.g. teardown).
+    void drain_all();
+
+    std::uint64_t epoch() const { return global_epoch_.load(); }
+
+  private:
+    struct alignas(64) Slot {
+        /// Announced epoch; kQuiescent when outside any critical section.
+        std::atomic<std::uint64_t> announce{kQuiescent};
+        /// Limbo lists bucketed by epoch % 3. Owner-only.
+        std::vector<Retired> limbo[3];
+        /// Last epoch at which the owner reclaimed its stale bucket.
+        std::uint64_t seen_epoch = 0;
+        /// Exits by the owner (drives the fallback advance period).
+        std::uint64_t exit_count = 0;
+    };
+
+    static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+    /// A non-holder scans/advances once per this many exits, so reclamation
+    /// stays live when the token parks on an inactive thread.
+    static constexpr std::uint64_t kFallbackPeriod = 64;
+
+    void try_advance(std::uint64_t e);
+
+    std::uint32_t nthreads_;
+    std::atomic<std::uint64_t> global_epoch_{1};
+    std::atomic<std::uint32_t> token_{0};
+    std::vector<Slot> slots_;
+};
+
+} // namespace cxlsync

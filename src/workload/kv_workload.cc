@@ -1,0 +1,183 @@
+#include "workload/kv_workload.h"
+
+#include <cmath>
+#include <vector>
+
+namespace workload {
+
+KvWorkloadSpec
+ycsb_load()
+{
+    KvWorkloadSpec s;
+    s.name = "YCSB-Load";
+    s.insert_pct = 1.0;
+    s.zipfian = false;
+    s.key_min = s.key_max = 8;
+    s.val_min = s.val_max = 960;
+    return s;
+}
+
+KvWorkloadSpec
+ycsb_a()
+{
+    // Modified per the paper: 25% insert + 25% delete + 50% read.
+    KvWorkloadSpec s;
+    s.name = "YCSB-A";
+    s.insert_pct = 0.25;
+    s.remove_pct = 0.25;
+    s.zipfian = true;
+    s.key_min = s.key_max = 8;
+    s.val_min = s.val_max = 960;
+    return s;
+}
+
+KvWorkloadSpec
+ycsb_d()
+{
+    KvWorkloadSpec s;
+    s.name = "YCSB-D";
+    s.insert_pct = 0.05;
+    s.zipfian = true;
+    s.key_min = s.key_max = 8;
+    s.val_min = s.val_max = 960;
+    return s;
+}
+
+KvWorkloadSpec
+mc12()
+{
+    KvWorkloadSpec s;
+    s.name = "MC-12";
+    s.insert_pct = 0.797;
+    s.zipfian = false;
+    s.key_min = s.key_max = 44;
+    s.val_min = 0;
+    s.val_max = 307 << 10;
+    s.heavy_tail = true;
+    return s;
+}
+
+KvWorkloadSpec
+mc15()
+{
+    KvWorkloadSpec s;
+    s.name = "MC-15";
+    s.insert_pct = 0.999;
+    s.zipfian = false;
+    s.key_min = 14;
+    s.key_max = 19;
+    s.val_min = 0;
+    s.val_max = 144;
+    s.heavy_tail = true;
+    return s;
+}
+
+KvWorkloadSpec
+mc31()
+{
+    KvWorkloadSpec s;
+    s.name = "MC-31";
+    s.insert_pct = 0.93;
+    s.zipfian = false;
+    s.key_min = 40;
+    s.key_max = 46;
+    s.val_min = 0;
+    s.val_max = 15;
+    s.heavy_tail = true;
+    return s;
+}
+
+KvWorkloadSpec
+mc37()
+{
+    KvWorkloadSpec s;
+    s.name = "MC-37";
+    s.insert_pct = 0.388;
+    s.zipfian = true;
+    s.key_min = 68;
+    s.key_max = 82;
+    s.val_min = 0;
+    s.val_max = 325 << 10;
+    s.heavy_tail = true;
+    return s;
+}
+
+std::vector<KvWorkloadSpec>
+all_kv_workloads()
+{
+    return {ycsb_load(), ycsb_a(), ycsb_d(), mc12(), mc15(), mc31(), mc37()};
+}
+
+KvOpStream::KvOpStream(const KvWorkloadSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed), insert_cursor_(seed << 20)
+{
+    if (spec_.zipfian) {
+        zipf_.emplace(spec_.keyspace, 0.99);
+    }
+}
+
+std::uint32_t
+KvOpStream::key_len(const KvWorkloadSpec& spec, std::uint64_t key)
+{
+    if (spec.key_min == spec.key_max) {
+        return spec.key_min;
+    }
+    std::uint64_t h = key;
+    h = cxlcommon::splitmix64(h);
+    return spec.key_min +
+           static_cast<std::uint32_t>(h % (spec.key_max - spec.key_min + 1));
+}
+
+std::uint64_t
+KvOpStream::sample_key()
+{
+    if (zipf_) {
+        return zipf_->sample(rng_);
+    }
+    return rng_.next_below(spec_.keyspace);
+}
+
+std::uint32_t
+KvOpStream::value_size()
+{
+    if (spec_.val_min == spec_.val_max) {
+        return spec_.val_min;
+    }
+    double r = rng_.next_double();
+    if (spec_.heavy_tail) {
+        // Production caches are dominated by small objects with a long
+        // tail (the Twitter study [66]); a cubed uniform biases small.
+        r = r * r * r;
+    }
+    return spec_.val_min +
+           static_cast<std::uint32_t>(
+               r * static_cast<double>(spec_.val_max - spec_.val_min));
+}
+
+KvOp
+KvOpStream::next()
+{
+    double r = rng_.next_double();
+    KvOp op;
+    if (r < spec_.insert_pct) {
+        op.type = OpType::Insert;
+        // New keys within the shared keyspace so later reads can hit them.
+        op.key = sample_key();
+    } else if (r < spec_.insert_pct + spec_.remove_pct) {
+        op.type = OpType::Remove;
+        op.key = sample_key();
+    } else if (r < spec_.insert_pct + spec_.remove_pct + spec_.update_pct) {
+        op.type = OpType::Update;
+        op.key = sample_key();
+    } else {
+        op.type = OpType::Read;
+        op.key = sample_key();
+    }
+    op.klen = key_len(spec_, op.key);
+    op.vlen = (op.type == OpType::Insert || op.type == OpType::Update)
+                  ? value_size()
+                  : 0;
+    return op;
+}
+
+} // namespace workload

@@ -1,0 +1,86 @@
+/// @file
+/// Key-value workload specifications and operation streams (paper Table 2):
+/// YCSB Load/A/D and synthesized equivalents of the Twitter memcached
+/// traces MC-12/15/31/37.
+///
+/// Substitution note (DESIGN.md §2): the real MC traces are SNIA downloads
+/// (6.7 GiB of production data). McSynth draws operations matching the
+/// published summary statistics — insert fraction, key distribution, key
+/// size range, value size range — which is what exercises the allocator.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+#include <string>
+
+#include "common/random.h"
+#include "common/zipfian.h"
+
+namespace workload {
+
+enum class OpType : std::uint8_t { Insert, Read, Remove, Update };
+
+/// One key-value operation. Key length is a deterministic function of the
+/// key id so lookups and inserts agree.
+struct KvOp {
+    OpType type;
+    std::uint64_t key;
+    std::uint32_t klen;
+    std::uint32_t vlen; ///< meaningful for Insert/Update
+};
+
+/// A Table 2 row.
+struct KvWorkloadSpec {
+    std::string name;
+    double insert_pct;         ///< fraction of ops that insert
+    double remove_pct = 0;     ///< fraction that delete
+    double update_pct = 0;     ///< fraction that update in place
+    bool zipfian = false;      ///< "Skew" vs "Uniform" key distribution
+    std::uint32_t key_min;     ///< key size range (bytes)
+    std::uint32_t key_max;
+    std::uint32_t val_min;     ///< value size range (bytes)
+    std::uint32_t val_max;
+    bool heavy_tail = false;   ///< bias value sizes small with a long tail
+    std::uint64_t keyspace = 100'000; ///< distinct key ids
+};
+
+/// The paper's seven workloads (Table 2). YCSB-A is the modified variant:
+/// 25 % insert + 25 % delete (instead of 50 % update) to stress the
+/// allocator.
+KvWorkloadSpec ycsb_load();
+KvWorkloadSpec ycsb_a();
+KvWorkloadSpec ycsb_d();
+KvWorkloadSpec mc12();
+KvWorkloadSpec mc15();
+KvWorkloadSpec mc31();
+KvWorkloadSpec mc37();
+
+/// All seven, in paper order.
+std::vector<KvWorkloadSpec> all_kv_workloads();
+
+/// Deterministic per-thread stream of operations for a spec.
+class KvOpStream {
+  public:
+    KvOpStream(const KvWorkloadSpec& spec, std::uint64_t seed);
+
+    KvOp next();
+
+    /// Key length for @p key under @p spec (deterministic).
+    static std::uint32_t key_len(const KvWorkloadSpec& spec,
+                                 std::uint64_t key);
+
+    const KvWorkloadSpec& spec() const { return spec_; }
+
+  private:
+    std::uint64_t sample_key();
+    std::uint32_t value_size();
+
+    KvWorkloadSpec spec_;
+    cxlcommon::Xoshiro rng_;
+    std::optional<cxlcommon::ScrambledZipfian> zipf_;
+    std::uint64_t insert_cursor_;
+};
+
+} // namespace workload

@@ -1,0 +1,83 @@
+#include "workload/micro.h"
+
+#include <thread>
+
+#include "common/assert.h"
+
+namespace workload {
+
+std::uint64_t
+run_threadtest(baselines::PodAllocator& alloc, pod::ThreadContext& ctx,
+               std::uint64_t rounds, std::uint64_t batch, std::uint64_t size)
+{
+    std::vector<cxl::HeapOffset> held(batch, 0);
+    std::uint64_t pairs = 0;
+    for (std::uint64_t r = 0; r < rounds; r++) {
+        for (std::uint64_t i = 0; i < batch; i++) {
+            held[i] = alloc.allocate(ctx, size);
+            CXL_ASSERT(held[i] != 0, "threadtest: allocator exhausted");
+        }
+        for (std::uint64_t i = 0; i < batch; i++) {
+            alloc.deallocate(ctx, held[i]);
+        }
+        pairs += batch;
+    }
+    return pairs;
+}
+
+XmallocRing::XmallocRing(std::uint32_t n, std::size_t ring_capacity)
+    : participants(n)
+{
+    for (std::uint32_t i = 0; i < n; i++) {
+        rings.push_back(std::make_unique<SpscRing>(ring_capacity));
+    }
+}
+
+std::uint64_t
+run_xmalloc(baselines::PodAllocator& alloc, pod::ThreadContext& ctx,
+            XmallocRing& ring, std::uint32_t index, std::uint64_t count,
+            std::uint64_t size, bool touch)
+{
+    SpscRing& outbox = *ring.rings[index];
+    SpscRing& inbox = *ring.rings[(index + ring.participants - 1) %
+                                  ring.participants];
+    std::uint64_t sent = 0;
+    std::uint64_t freed = 0;
+    std::uint64_t pending = 0; // allocated, waiting for outbox space
+    while (sent < count || freed < count) {
+        // Drain the inbox: every pop is a REMOTE free (the object was
+        // allocated by our left neighbour).
+        std::uint64_t incoming;
+        bool progressed = false;
+        while (freed < count && inbox.pop(&incoming)) {
+            if (touch) {
+                // Dereference before freeing: faults the mapping into this
+                // process if the producer lives elsewhere (PC-T).
+                volatile std::byte sink = *alloc.pointer(ctx, incoming, 1);
+                (void)sink;
+            }
+            alloc.deallocate(ctx, incoming);
+            freed++;
+            progressed = true;
+        }
+        if (sent < count) {
+            if (pending == 0) {
+                pending = alloc.allocate(ctx, size);
+                CXL_ASSERT(pending != 0, "xmalloc: allocator exhausted");
+            }
+            if (outbox.push(pending)) {
+                pending = 0;
+                sent++;
+                progressed = true;
+            }
+        }
+        if (!progressed) {
+            // Blocked on a neighbour (full outbox / empty inbox): let it
+            // run — essential on machines with fewer cores than threads.
+            std::this_thread::yield();
+        }
+    }
+    return sent + freed;
+}
+
+} // namespace workload

@@ -1,0 +1,101 @@
+/// @file
+/// Allocator micro-benchmark drivers (paper §5.2.2, §5.3):
+///  - threadtest: the highest-possible-throughput probe — each thread
+///    repeatedly allocates a batch of fixed-size objects and frees them,
+///    entirely thread-locally;
+///  - xmalloc: a producer-consumer workload where every object allocated
+///    by one thread is freed by its ring neighbour, stressing the
+///    remote-free path (CAS/mCAS).
+/// Both are reused at object size 1 GiB-scale for the huge-allocation
+/// study (threadtest-huge / xmalloc-huge, Fig. 10).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/pod_allocator.h"
+#include "pod/thread_context.h"
+
+namespace workload {
+
+/// threadtest inner loop for one thread: @p rounds rounds of allocating
+/// @p batch objects of @p size bytes and freeing them all.
+/// Returns the number of alloc+free pairs executed.
+std::uint64_t run_threadtest(baselines::PodAllocator& alloc,
+                             pod::ThreadContext& ctx, std::uint64_t rounds,
+                             std::uint64_t batch, std::uint64_t size);
+
+/// Single-producer single-consumer ring used to hand allocations between
+/// xmalloc neighbours.
+class SpscRing {
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : capacity_(capacity), slots_(std::make_unique<Slot[]>(capacity))
+    {
+    }
+
+    bool
+    push(std::uint64_t value)
+    {
+        std::size_t t = tail_.load(std::memory_order_relaxed);
+        Slot& slot = slots_[t % capacity_];
+        if (slot.full.load(std::memory_order_acquire)) {
+            return false;
+        }
+        slot.value = value;
+        slot.full.store(true, std::memory_order_release);
+        tail_.store(t + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    bool
+    pop(std::uint64_t* value)
+    {
+        std::size_t h = head_.load(std::memory_order_relaxed);
+        Slot& slot = slots_[h % capacity_];
+        if (!slot.full.load(std::memory_order_acquire)) {
+            return false;
+        }
+        *value = slot.value;
+        slot.full.store(false, std::memory_order_release);
+        head_.store(h + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+  private:
+    struct Slot {
+        std::uint64_t value = 0;
+        std::atomic<bool> full{false};
+    };
+
+    std::size_t capacity_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+};
+
+/// Shared state for one xmalloc run with N participants in a ring.
+struct XmallocRing {
+    explicit XmallocRing(std::uint32_t participants,
+                         std::size_t ring_capacity = 256);
+
+    std::uint32_t participants;
+    std::vector<std::unique_ptr<SpscRing>> rings; ///< rings[i]: i -> i+1
+};
+
+/// xmalloc inner loop for participant @p index: allocates @p count objects
+/// of @p size, pushing each to the right neighbour and freeing everything
+/// arriving from the left. Returns alloc+free pairs completed by this
+/// thread. All participants must run concurrently.
+/// When @p touch is true, the consumer reads one byte of each incoming
+/// object before freeing it — in a cross-process setting this drives the
+/// PC-T fault handler (Fig. 10's xmalloc-huge).
+std::uint64_t run_xmalloc(baselines::PodAllocator& alloc,
+                          pod::ThreadContext& ctx, XmallocRing& ring,
+                          std::uint32_t index, std::uint64_t count,
+                          std::uint64_t size, bool touch = false);
+
+} // namespace workload

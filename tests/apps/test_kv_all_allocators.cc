@@ -1,0 +1,110 @@
+/// The key-value store integration over EVERY allocator (the Fig. 8
+/// configuration at test scale): correctness must be allocator-independent.
+
+#include <gtest/gtest.h>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "harness/bundles.h"
+#include "common/random.h"
+#include "kv/kv_store.h"
+#include "workload/kv_workload.h"
+
+namespace {
+
+class KvOverAllocator : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KvOverAllocator, YcsbAMixCorrectness)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 1024;
+    geom.large_slabs = 16;
+    geom.huge_regions = 4;
+    geom.extra_bytes = kv::HashTable::footprint(4096);
+    bench::Bundle b = bench::make_bundle(GetParam(), geom);
+    kv::KvStore store(*b.pod, b.extra_base, 4096, b.alloc.get());
+
+    auto ctx = b.thread();
+    workload::KvOpStream stream(workload::ycsb_a(), 5);
+    std::vector<char> value(960, 'x');
+    std::vector<char> out(1024);
+    // Oracle: live copies per key (duplicate inserts shadow; remove drops
+    // the newest copy).
+    std::map<std::uint64_t, int> copies;
+    for (int i = 0; i < 8000; i++) {
+        workload::KvOp op = stream.next();
+        switch (op.type) {
+          case workload::OpType::Insert:
+          case workload::OpType::Update:
+            ASSERT_TRUE(store.insert(*ctx, op.key, op.klen, value.data(),
+                                     op.vlen));
+            copies[op.key]++;
+            break;
+          case workload::OpType::Remove: {
+            bool removed = store.remove(*ctx, op.key, op.klen);
+            EXPECT_EQ(removed, copies[op.key] > 0) << "remove disagrees";
+            if (removed) {
+                copies[op.key]--;
+            }
+            break;
+          }
+          case workload::OpType::Read: {
+            bool hit =
+                store.get(*ctx, op.key, op.klen, out.data(), out.size());
+            EXPECT_EQ(hit, copies[op.key] > 0)
+                << "lookup disagrees with oracle for key " << op.key;
+            break;
+          }
+        }
+    }
+    store.table().clear(*ctx);
+    b.pod->release_thread(std::move(ctx));
+}
+
+TEST_P(KvOverAllocator, TwoThreadMix)
+{
+    bench::Geometry geom;
+    geom.small_slabs = 1024;
+    geom.large_slabs = 16;
+    geom.huge_regions = 4;
+    geom.extra_bytes = kv::HashTable::footprint(4096);
+    bench::Bundle b = bench::make_bundle(GetParam(), geom);
+    kv::KvStore store(*b.pod, b.extra_base, 4096, b.alloc.get());
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; w++) {
+        workers.emplace_back([&, w] {
+            auto ctx = b.thread();
+            workload::KvOpStream stream(workload::ycsb_a(), 100 + w);
+            std::vector<char> value(960, 'y');
+            std::vector<char> out(1024);
+            for (int i = 0; i < 4000; i++) {
+                workload::KvOp op = stream.next();
+                if (op.type == workload::OpType::Insert) {
+                    store.insert(*ctx, op.key, op.klen, value.data(),
+                                 op.vlen);
+                } else if (op.type == workload::OpType::Remove) {
+                    store.remove(*ctx, op.key, op.klen);
+                } else {
+                    store.get(*ctx, op.key, op.klen, out.data(), out.size());
+                }
+            }
+            b.pod->release_thread(std::move(ctx));
+        });
+    }
+    for (auto& w : workers) {
+        w.join();
+    }
+    auto probe = b.thread();
+    store.table().clear(*probe);
+    b.pod->release_thread(std::move(probe));
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, KvOverAllocator,
+                         ::testing::Values("cxlalloc",
+                                           "cxlalloc-nonrecoverable",
+                                           "mimalloc-like", "ralloc-like",
+                                           "cxl-shm-like", "boost-like",
+                                           "lightning-like"));
+
+} // namespace

@@ -1,0 +1,95 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxlcommon::BlockBitset;
+
+TEST(BlockBitset, FillSetsExactlyCount)
+{
+    BlockBitset<4096> bits;
+    bits.fill(100);
+    EXPECT_EQ(bits.count(), 100u);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(99));
+    EXPECT_FALSE(bits.test(100));
+    EXPECT_FALSE(bits.test(4095));
+}
+
+TEST(BlockBitset, FillFullCapacity)
+{
+    BlockBitset<4096> bits;
+    bits.fill(4096);
+    EXPECT_EQ(bits.count(), 4096u);
+    EXPECT_TRUE(bits.test(4095));
+}
+
+TEST(BlockBitset, FillWordBoundary)
+{
+    BlockBitset<256> bits;
+    bits.fill(64);
+    EXPECT_EQ(bits.count(), 64u);
+    EXPECT_TRUE(bits.test(63));
+    EXPECT_FALSE(bits.test(64));
+}
+
+TEST(BlockBitset, PopFirstReturnsAscendingIndices)
+{
+    BlockBitset<128> bits;
+    bits.fill(3);
+    EXPECT_EQ(bits.pop_first(), 0u);
+    EXPECT_EQ(bits.pop_first(), 1u);
+    EXPECT_EQ(bits.pop_first(), 2u);
+    EXPECT_EQ(bits.pop_first(), 128u); // empty sentinel
+}
+
+TEST(BlockBitset, PopFirstSkipsEmptyWords)
+{
+    BlockBitset<256> bits;
+    bits.clear_all();
+    bits.set(200);
+    EXPECT_EQ(bits.pop_first(), 200u);
+    EXPECT_TRUE(bits.none());
+}
+
+TEST(BlockBitset, SetResetRoundTrip)
+{
+    BlockBitset<64> bits;
+    bits.clear_all();
+    bits.set(5);
+    EXPECT_TRUE(bits.test(5));
+    bits.reset(5);
+    EXPECT_FALSE(bits.test(5));
+    EXPECT_TRUE(bits.none());
+}
+
+TEST(BlockBitset, ZeroFilledMemoryIsEmpty)
+{
+    // Zero-is-valid requirement: a zeroed bitset must decode as "no blocks
+    // free".
+    alignas(BlockBitset<128>) unsigned char raw[sizeof(BlockBitset<128>)] = {};
+    auto* bits = reinterpret_cast<BlockBitset<128>*>(raw);
+    EXPECT_TRUE(bits->none());
+    EXPECT_EQ(bits->pop_first(), 128u);
+}
+
+class BitsetFillParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetFillParam, CountMatchesFill)
+{
+    BlockBitset<4096> bits;
+    bits.fill(GetParam());
+    EXPECT_EQ(bits.count(), GetParam());
+    std::size_t popped = 0;
+    while (bits.pop_first() != 4096u) {
+        popped++;
+    }
+    EXPECT_EQ(popped, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitsetFillParam,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 1000, 4095,
+                                           4096));
+
+} // namespace

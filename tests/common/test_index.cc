@@ -1,0 +1,41 @@
+#include "common/index.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxlcommon::OptIndex;
+
+TEST(OptIndex, DefaultIsNone)
+{
+    OptIndex idx;
+    EXPECT_TRUE(idx.is_none());
+    EXPECT_FALSE(idx.is_some());
+    EXPECT_EQ(idx.raw(), 0u);
+}
+
+TEST(OptIndex, ZeroIndexIsRepresentable)
+{
+    // The whole point of the biased encoding: slab index 0 must be
+    // distinguishable from "no slab".
+    OptIndex idx = OptIndex::some(0);
+    EXPECT_TRUE(idx.is_some());
+    EXPECT_EQ(idx.get(), 0u);
+    EXPECT_EQ(idx.raw(), 1u);
+}
+
+TEST(OptIndex, RoundTripThroughRaw)
+{
+    OptIndex idx = OptIndex::some(41);
+    OptIndex back = OptIndex::from_raw(idx.raw());
+    EXPECT_EQ(back, idx);
+    EXPECT_EQ(back.get(), 41u);
+}
+
+TEST(OptIndex, NoneEqualsDefault)
+{
+    EXPECT_EQ(OptIndex::none(), OptIndex());
+    EXPECT_NE(OptIndex::some(0), OptIndex::none());
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+#include "common/offset_ptr.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace {
+
+using cxlcommon::OffsetPtr;
+
+struct Node {
+    int value;
+    OffsetPtr<Node> next;
+};
+
+TEST(OffsetPtr, NullByDefault)
+{
+    OffsetPtr<int> p;
+    EXPECT_EQ(p.get(), nullptr);
+    EXPECT_FALSE(p);
+}
+
+TEST(OffsetPtr, ZeroFilledIsNull)
+{
+    // PC-S requirement: zero-initialized shared memory decodes as null.
+    alignas(OffsetPtr<int>) unsigned char raw[sizeof(OffsetPtr<int>)] = {};
+    auto* p = reinterpret_cast<OffsetPtr<int>*>(raw);
+    EXPECT_EQ(p->get(), nullptr);
+}
+
+TEST(OffsetPtr, PointsWithinSameBuffer)
+{
+    std::vector<unsigned char> heap(4096);
+    auto* a = reinterpret_cast<Node*>(heap.data());
+    auto* b = reinterpret_cast<Node*>(heap.data() + 512);
+    a->value = 1;
+    b->value = 2;
+    a->next = b;
+    EXPECT_EQ(a->next->value, 2);
+}
+
+TEST(OffsetPtr, SurvivesBufferRelocation)
+{
+    // The heart of offset pointers: a linked structure memcpy'd to a
+    // different base address (a process mapping the heap elsewhere) still
+    // resolves, because distances are self-relative.
+    std::vector<unsigned char> original(4096);
+    auto* a = reinterpret_cast<Node*>(original.data());
+    auto* b = reinterpret_cast<Node*>(original.data() + 256);
+    a->value = 10;
+    b->value = 20;
+    a->next = b;
+    b->next = nullptr;
+
+    std::vector<unsigned char> relocated(4096);
+    std::memcpy(relocated.data(), original.data(), original.size());
+    auto* a2 = reinterpret_cast<Node*>(relocated.data());
+    ASSERT_NE(a2->next.get(), nullptr);
+    EXPECT_EQ(a2->next->value, 20);
+    EXPECT_EQ(a2->next.get(),
+              reinterpret_cast<Node*>(relocated.data() + 256));
+    EXPECT_EQ(a2->next->next.get(), nullptr);
+}
+
+TEST(OffsetPtr, CopyRebindsToSameTarget)
+{
+    std::vector<unsigned char> heap(1024);
+    auto* n = reinterpret_cast<Node*>(heap.data());
+    n->value = 7;
+    OffsetPtr<Node> p;
+    p = n;
+    OffsetPtr<Node> q(p); // q lives at a different address than p
+    EXPECT_EQ(q.get(), n);
+    OffsetPtr<Node> r;
+    r = p;
+    EXPECT_EQ(r.get(), n);
+}
+
+TEST(OffsetPtr, AssignNullptrClears)
+{
+    int x = 5;
+    OffsetPtr<int> p;
+    p = &x;
+    EXPECT_TRUE(p);
+    p = nullptr;
+    EXPECT_FALSE(p);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxlcommon::Xoshiro;
+
+TEST(Xoshiro, DeterministicForSeed)
+{
+    Xoshiro a(42);
+    Xoshiro b(42);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge)
+{
+    Xoshiro a(1);
+    Xoshiro b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++) {
+        if (a.next() == b.next()) {
+            same++;
+        }
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, NextBelowInRange)
+{
+    Xoshiro rng(7);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+TEST(Xoshiro, NextRangeInclusive)
+{
+    Xoshiro rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 20000; i++) {
+        std::uint64_t v = rng.next_range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval)
+{
+    Xoshiro rng(11);
+    double sum = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; i++) {
+        double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    // Mean of U[0,1) should be close to 0.5.
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Splitmix, AdvancesState)
+{
+    std::uint64_t s = 0;
+    std::uint64_t a = cxlcommon::splitmix64(s);
+    std::uint64_t b = cxlcommon::splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxlcommon::LatencyRecorder;
+using cxlcommon::RunningStat;
+
+TEST(LatencyRecorder, PercentilesOfKnownDistribution)
+{
+    LatencyRecorder rec;
+    for (std::uint64_t i = 1; i <= 100; i++) {
+        rec.record(i * 10);
+    }
+    EXPECT_EQ(rec.count(), 100u);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(50)), 500, 10);
+    EXPECT_NEAR(static_cast<double>(rec.percentile(99)), 990, 10);
+    EXPECT_EQ(rec.percentile(0), 10u);
+    EXPECT_EQ(rec.percentile(100), 1000u);
+}
+
+TEST(LatencyRecorder, RecordAfterPercentileResorts)
+{
+    LatencyRecorder rec;
+    rec.record(100);
+    EXPECT_EQ(rec.percentile(50), 100u);
+    rec.record(1);
+    EXPECT_EQ(rec.percentile(0), 1u);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples)
+{
+    LatencyRecorder a;
+    LatencyRecorder b;
+    a.record(1);
+    b.record(3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.percentile(100), 3u);
+}
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(RunningStat, SingleSampleHasZeroStddev)
+{
+    RunningStat s;
+    s.add(42);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(cxlcommon::format_bytes(512), "512.00 B");
+    EXPECT_EQ(cxlcommon::format_bytes(1536), "1.50 KiB");
+    EXPECT_EQ(cxlcommon::format_bytes(3ULL << 30), "3.00 GiB");
+}
+
+TEST(Format, Rate)
+{
+    EXPECT_EQ(cxlcommon::format_rate(1500.0), "1.50K ops/s");
+    EXPECT_EQ(cxlcommon::format_rate(2.5e6), "2.50M ops/s");
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+#include "common/zipfian.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace {
+
+using cxlcommon::ScrambledZipfian;
+using cxlcommon::Xoshiro;
+using cxlcommon::Zipfian;
+
+TEST(Zipfian, SamplesWithinRange)
+{
+    Zipfian z(1000, 0.99);
+    Xoshiro rng(3);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(z.sample(rng), 1000u);
+    }
+}
+
+TEST(Zipfian, RankZeroIsHottest)
+{
+    Zipfian z(10000, 0.99);
+    Xoshiro rng(5);
+    std::vector<std::uint64_t> counts(10000, 0);
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; i++) {
+        counts[z.sample(rng)]++;
+    }
+    // Rank 0 should dominate every other rank.
+    for (std::size_t r = 1; r < 100; r++) {
+        EXPECT_GE(counts[0], counts[r]);
+    }
+    // And take a visible share of total mass (zipf 0.99 on 10k keys gives
+    // the head roughly 10% of samples).
+    EXPECT_GT(counts[0], kN / 20);
+}
+
+TEST(Zipfian, SkewIncreasesHeadMass)
+{
+    Xoshiro rng1(7);
+    Xoshiro rng2(7);
+    Zipfian mild(1000, 0.5);
+    Zipfian heavy(1000, 0.99);
+    int head_mild = 0;
+    int head_heavy = 0;
+    for (int i = 0; i < 50000; i++) {
+        head_mild += mild.sample(rng1) < 10;
+        head_heavy += heavy.sample(rng2) < 10;
+    }
+    EXPECT_GT(head_heavy, head_mild);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys)
+{
+    ScrambledZipfian z(1000);
+    Xoshiro rng(13);
+    std::vector<std::uint64_t> counts(1000, 0);
+    for (int i = 0; i < 100000; i++) {
+        std::uint64_t k = z.sample(rng);
+        ASSERT_LT(k, 1000u);
+        counts[k]++;
+    }
+    // The hottest key should not be key 0 deterministically adjacent to
+    // key 1; just confirm hot mass exists somewhere and range holds.
+    std::uint64_t max = 0;
+    for (auto c : counts) {
+        max = std::max(max, c);
+    }
+    EXPECT_GT(max, 1000u); // a hot key exists (uniform would be ~100)
+}
+
+TEST(Zipfian, LargePopulationConstructsQuickly)
+{
+    // The zeta tail approximation must keep this cheap.
+    Zipfian z(100'000'000ULL, 0.99);
+    Xoshiro rng(1);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_LT(z.sample(rng), 100'000'000ULL);
+    }
+}
+
+} // namespace

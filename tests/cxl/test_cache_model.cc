@@ -1,0 +1,123 @@
+#include "cxl/cache_model.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::ThreadCache;
+
+class CacheModelTest : public ::testing::Test {
+  protected:
+    CacheModelTest()
+        : dev_(DeviceConfig{.size = 1 << 20,
+                            .mode = CoherenceMode::PartialHwcc,
+                            .sync_region_size = 4096,
+                            .simulate_cache = true})
+    {
+    }
+
+    Device dev_;
+};
+
+TEST_F(CacheModelTest, WriteIsInvisibleUntilFlush)
+{
+    ThreadCache writer(&dev_);
+    ThreadCache reader(&dev_);
+    std::uint64_t offset = 8192;
+
+    std::uint32_t value = 0xdeadbeef;
+    writer.write(offset, &value, sizeof value);
+
+    // The SWcc hazard the paper's protocol exists to handle: the reader
+    // fetches from the device, which has not seen the write.
+    std::uint32_t seen = 1;
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u);
+
+    writer.flush(offset, sizeof value);
+
+    // The reader still holds its stale copy until it too flushes.
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u);
+
+    reader.flush(offset, sizeof seen);
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 0xdeadbeefu);
+}
+
+TEST_F(CacheModelTest, WriterReadsOwnWrites)
+{
+    ThreadCache cache(&dev_);
+    std::uint64_t v = 77;
+    cache.write(5000, &v, sizeof v);
+    std::uint64_t seen = 0;
+    cache.read(5000, &seen, sizeof seen);
+    EXPECT_EQ(seen, 77u);
+}
+
+TEST_F(CacheModelTest, CrossLineWriteSpansTwoLines)
+{
+    ThreadCache cache(&dev_);
+    std::uint64_t offset = 8192 + 60; // straddles a 64 B boundary
+    std::uint64_t v = 0x1122334455667788ULL;
+    cache.write(offset, &v, sizeof v);
+    EXPECT_EQ(cache.dirty_lines(), 2u);
+    cache.flush(offset, sizeof v);
+    EXPECT_EQ(cache.dirty_lines(), 0u);
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(offset), sizeof direct);
+    EXPECT_EQ(direct, v);
+}
+
+TEST_F(CacheModelTest, InvalidateAllDropsDirtyData)
+{
+    // A crash loses unflushed writes: invalidate_all models the dying
+    // thread's cache disappearing.
+    ThreadCache cache(&dev_);
+    std::uint64_t v = 99;
+    cache.write(4096, &v, sizeof v);
+    cache.invalidate_all();
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(4096), sizeof direct);
+    EXPECT_EQ(direct, 0u);
+}
+
+TEST_F(CacheModelTest, FlushCleanLineJustInvalidates)
+{
+    ThreadCache cache(&dev_);
+    std::uint64_t seen;
+    cache.read(4096, &seen, sizeof seen); // fill, clean
+    EXPECT_EQ(cache.resident_lines(), 1u);
+    cache.flush(4096, 8);
+    EXPECT_EQ(cache.resident_lines(), 0u);
+}
+
+TEST_F(CacheModelTest, StaleReadAfterRemoteWrite)
+{
+    // Reader caches a line; another thread updates the device (via its own
+    // flush); reader keeps seeing the stale value until it flushes.
+    ThreadCache reader(&dev_);
+    ThreadCache writer(&dev_);
+    std::uint64_t offset = 16384;
+
+    std::uint64_t seen;
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u);
+
+    std::uint64_t v = 1234;
+    writer.write(offset, &v, sizeof v);
+    writer.flush(offset, sizeof v);
+
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u) << "reader must see its stale cached copy";
+
+    reader.flush(offset, 8);
+    reader.read(offset, &seen, sizeof seen);
+    EXPECT_EQ(seen, 1234u);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+#include "cxl/device.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+
+DeviceConfig
+small_config(CoherenceMode mode)
+{
+    DeviceConfig cfg;
+    cfg.size = 1 << 20;
+    cfg.mode = mode;
+    cfg.sync_region_size = 64 << 10;
+    return cfg;
+}
+
+TEST(Device, FreshDeviceIsZeroFilled)
+{
+    Device dev(small_config(CoherenceMode::PartialHwcc));
+    for (std::uint64_t off = 0; off < dev.size(); off += 4099) {
+        EXPECT_EQ(*dev.raw(off), std::byte{0});
+    }
+}
+
+TEST(Device, SyncRegionBoundaryPartialHwcc)
+{
+    Device dev(small_config(CoherenceMode::PartialHwcc));
+    EXPECT_TRUE(dev.in_sync_region(0));
+    EXPECT_TRUE(dev.in_sync_region((64 << 10) - 1));
+    EXPECT_FALSE(dev.in_sync_region(64 << 10));
+    EXPECT_FALSE(dev.in_sync_region(dev.size() - 1));
+}
+
+TEST(Device, FullHwccCoversWholeDevice)
+{
+    Device dev(small_config(CoherenceMode::FullHwcc));
+    EXPECT_TRUE(dev.in_sync_region(dev.size() - 1));
+}
+
+TEST(Device, CommitAccountingCountsUniquePages)
+{
+    Device dev(small_config(CoherenceMode::PartialHwcc));
+    EXPECT_EQ(dev.committed_bytes(), 0u);
+    dev.note_committed(0, cxl::kPageSize);
+    EXPECT_EQ(dev.committed_bytes(), cxl::kPageSize);
+    // Re-committing the same page does not double count.
+    dev.note_committed(0, cxl::kPageSize);
+    EXPECT_EQ(dev.committed_bytes(), cxl::kPageSize);
+    // A range spanning a partial page rounds up to whole pages.
+    dev.note_committed(cxl::kPageSize, 1);
+    EXPECT_EQ(dev.committed_bytes(), 2 * cxl::kPageSize);
+}
+
+TEST(Device, CommitAccountingSpansUnalignedRanges)
+{
+    Device dev(small_config(CoherenceMode::PartialHwcc));
+    dev.note_committed(cxl::kPageSize - 1, 2); // touches two pages
+    EXPECT_EQ(dev.committed_bytes(), 2 * cxl::kPageSize);
+}
+
+TEST(Device, ResetCommitAccounting)
+{
+    Device dev(small_config(CoherenceMode::PartialHwcc));
+    dev.note_committed(0, 10 * cxl::kPageSize);
+    dev.reset_commit_accounting();
+    EXPECT_EQ(dev.committed_bytes(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,42 @@
+#include "cxl/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cxl::LatencyModel;
+
+TEST(LatencyModelTest, LocalDramMatchesPaperMeasurement)
+{
+    // Paper §5.4 MLC measurements: local DRAM 112 ns, CXL 357 ns.
+    EXPECT_EQ(LatencyModel::local_dram().read_ns, 112u);
+    EXPECT_EQ(LatencyModel::cxl_hwcc().read_ns, 357u);
+    EXPECT_EQ(LatencyModel::cxl_mcas().read_ns, 357u);
+}
+
+TEST(LatencyModelTest, McasCalibratedToFig11)
+{
+    // hw_cas p50 at 1 thread ~= 2.3 us.
+    EXPECT_EQ(LatencyModel::cxl_mcas().mcas_ns, 2300u);
+    // The mCAS mode has no plain CAS at all (no HWcc).
+    EXPECT_EQ(LatencyModel::cxl_mcas().cas_ns, 0u);
+}
+
+TEST(LatencyModelTest, FlushCasForcesMiss)
+{
+    // sw_flush_cas: the CAS is always an uncached CXL access.
+    LatencyModel m = LatencyModel::cxl_flush_cas();
+    EXPECT_GE(m.cas_ns, LatencyModel::cxl_hwcc().read_ns);
+    EXPECT_GT(m.cas_contended_ns, LatencyModel::cxl_hwcc().cas_contended_ns);
+}
+
+TEST(LatencyModelTest, CxlCostsDominateLocal)
+{
+    LatencyModel local = LatencyModel::local_dram();
+    LatencyModel cxl_mem = LatencyModel::cxl_hwcc();
+    EXPECT_GT(cxl_mem.read_ns, local.read_ns);
+    EXPECT_GT(cxl_mem.flush_ns, local.flush_ns);
+    EXPECT_GT(cxl_mem.cas_ns, local.cas_ns);
+}
+
+} // namespace

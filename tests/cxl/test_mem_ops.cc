@@ -1,0 +1,181 @@
+#include "cxl/mem_ops.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::LatencyModel;
+using cxl::MemSession;
+using cxl::Nmp;
+
+struct Rig {
+    explicit Rig(CoherenceMode mode, bool simulate_cache = false)
+        : dev(DeviceConfig{.size = 1 << 20,
+                           .mode = mode,
+                           .sync_region_size = 64 << 10,
+                           .simulate_cache = simulate_cache}),
+          nmp(&dev)
+    {
+    }
+
+    MemSession
+    session(cxl::ThreadId tid)
+    {
+        return MemSession(&dev, &nmp, tid);
+    }
+
+    Device dev;
+    Nmp nmp;
+};
+
+TEST(MemSession, LoadStoreRoundTrip)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    s.store<std::uint32_t>(100000, 0xabcd);
+    EXPECT_EQ(s.load<std::uint32_t>(100000), 0xabcdu);
+    s.store<std::uint16_t>(100004, 7);
+    EXPECT_EQ(s.load<std::uint16_t>(100004), 7u);
+}
+
+TEST(MemSession, CasDispatchesToHardwareCasUnderHwcc)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    std::uint64_t expected = 0;
+    EXPECT_TRUE(s.cas64(128, expected, 5));
+    EXPECT_EQ(s.counters().cas_ops, 1u);
+    EXPECT_EQ(s.counters().mcas_ops, 0u);
+    EXPECT_EQ(s.atomic_load64(128), 5u);
+}
+
+TEST(MemSession, CasFailureReloadsExpected)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    std::uint64_t expected = 0;
+    ASSERT_TRUE(s.cas64(128, expected, 5));
+    expected = 0; // stale
+    EXPECT_FALSE(s.cas64(128, expected, 9));
+    EXPECT_EQ(expected, 5u);
+    EXPECT_EQ(s.counters().cas_failures, 1u);
+}
+
+TEST(MemSession, CasDispatchesToMcasUnderNoHwcc)
+{
+    Rig rig(CoherenceMode::NoHwcc);
+    MemSession s = rig.session(1);
+    std::uint64_t expected = 0;
+    EXPECT_TRUE(s.cas64(128, expected, 5));
+    EXPECT_EQ(s.counters().mcas_ops, 1u);
+    EXPECT_EQ(s.counters().cas_ops, 0u);
+    EXPECT_EQ(rig.nmp.total_ops(), 1u);
+}
+
+TEST(MemSession, CachedSwccAccessGoesThroughThreadCache)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*simulate_cache=*/true);
+    MemSession writer = rig.session(1);
+    MemSession reader = rig.session(2);
+    std::uint64_t offset = 200000; // outside sync region -> SWcc
+
+    writer.store<std::uint64_t>(offset, 11);
+    EXPECT_EQ(reader.load<std::uint64_t>(offset), 0u)
+        << "unflushed SWcc write must be invisible to other threads";
+
+    writer.flush(offset, 8);
+    writer.fence();
+    EXPECT_EQ(reader.load<std::uint64_t>(offset), 0u)
+        << "reader holds a stale copy until it flushes";
+    reader.flush(offset, 8);
+    EXPECT_EQ(reader.load<std::uint64_t>(offset), 11u);
+}
+
+TEST(MemSession, SyncRegionBypassesCacheSim)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*simulate_cache=*/true);
+    MemSession writer = rig.session(1);
+    MemSession reader = rig.session(2);
+    writer.atomic_store64(128, 77);
+    EXPECT_EQ(reader.atomic_load64(128), 77u)
+        << "HWcc region is hardware-coherent: no flush required";
+}
+
+TEST(MemSession, DropCacheLosesUnflushedWrites)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*simulate_cache=*/true);
+    MemSession s = rig.session(1);
+    s.store<std::uint64_t>(200000, 42);
+    s.drop_cache(); // crash
+    MemSession s2 = rig.session(3);
+    EXPECT_EQ(s2.load<std::uint64_t>(200000), 0u);
+}
+
+TEST(MemSession, LatencyModelAccruesSimTime)
+{
+    Rig rig(CoherenceMode::NoHwcc);
+    MemSession s = rig.session(1);
+    LatencyModel model = LatencyModel::cxl_mcas();
+    s.set_latency_model(&model);
+    std::uint64_t expected = 0;
+    s.cas64(128, expected, 1);
+    EXPECT_EQ(s.sim_ns(), model.mcas_ns);
+    s.flush(200000, 64);
+    EXPECT_EQ(s.sim_ns(), model.mcas_ns + model.flush_ns);
+    s.fence();
+    EXPECT_EQ(s.sim_ns(), model.mcas_ns + model.flush_ns + model.fence_ns);
+}
+
+TEST(MemSession, FlushSpanningLinesChargesPerLine)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    LatencyModel model = LatencyModel::cxl_hwcc();
+    s.set_latency_model(&model);
+    s.flush(200000, 256); // 4 lines
+    EXPECT_EQ(s.sim_ns(), 4 * model.flush_ns);
+}
+
+TEST(MemSession, BulkBytesRoundTrip)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*simulate_cache=*/true);
+    MemSession s = rig.session(1);
+    char msg[] = "hello cxl pod";
+    s.write_bytes(300000, msg, sizeof msg);
+    char out[sizeof msg] = {};
+    s.read_bytes(300000, out, sizeof msg);
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(MemSession, ConcurrentCasIncrementsAreLinearizable)
+{
+    for (CoherenceMode mode :
+         {CoherenceMode::PartialHwcc, CoherenceMode::NoHwcc}) {
+        Rig rig(mode);
+        constexpr int kThreads = 4;
+        constexpr int kIncrements = 500;
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; t++) {
+            threads.emplace_back([&rig, t] {
+                MemSession s =
+                    rig.session(static_cast<cxl::ThreadId>(t + 1));
+                for (int i = 0; i < kIncrements; i++) {
+                    std::uint64_t expected = s.atomic_load64(512);
+                    while (!s.cas64(512, expected, expected + 1)) {
+                    }
+                }
+            });
+        }
+        for (auto& th : threads) {
+            th.join();
+        }
+        MemSession check = rig.session(kThreads + 1);
+        EXPECT_EQ(check.atomic_load64(512), kThreads * kIncrements);
+    }
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/// Edge cases and misuse guards of the memory-access layer.
+
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "cxl/mem_ops.h"
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::MemSession;
+using cxl::Nmp;
+
+struct Rig {
+    explicit Rig(CoherenceMode mode, bool sim = false)
+        : dev(DeviceConfig{.size = 1 << 20,
+                           .mode = mode,
+                           .sync_region_size = 64 << 10,
+                           .simulate_cache = sim}),
+          nmp(&dev)
+    {
+    }
+
+    MemSession session(cxl::ThreadId tid) { return MemSession(&dev, &nmp, tid); }
+
+    Device dev;
+    Nmp nmp;
+};
+
+TEST(MemOpsEdge, CasOutsideSyncRegionDies)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    std::uint64_t expected = 0;
+    EXPECT_DEATH(s.cas64(512 << 10, expected, 1), "CAS outside");
+}
+
+TEST(MemOpsEdge, FullHwccAllowsCasAnywhere)
+{
+    Rig rig(CoherenceMode::FullHwcc);
+    MemSession s = rig.session(1);
+    std::uint64_t expected = 0;
+    EXPECT_TRUE(s.cas64(512 << 10, expected, 1));
+}
+
+TEST(MemOpsEdge, MisalignedAtomicDies)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    EXPECT_DEATH(s.atomic_load64(12345), "misaligned");
+}
+
+TEST(MemOpsEdge, AccessPastDeviceEndDies)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    EXPECT_DEATH(s.load<std::uint64_t>(rig.dev.size() - 4), "past device");
+}
+
+TEST(MemOpsEdge, InvalidThreadIdDies)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    EXPECT_DEATH(rig.session(0), "valid thread id");
+    EXPECT_DEATH(rig.session(cxl::kMaxThreads + 1), "valid thread id");
+}
+
+TEST(MemOpsEdge, CountersAccumulateAndReset)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    s.store<std::uint32_t>(200000, 1);
+    (void)s.load<std::uint32_t>(200000);
+    s.flush(200000, 4);
+    s.fence();
+    std::uint64_t expected = 0;
+    s.cas64(128, expected, 1);
+    EXPECT_EQ(s.counters().stores, 1u);
+    EXPECT_EQ(s.counters().loads, 1u);
+    EXPECT_EQ(s.counters().flushes, 1u);
+    EXPECT_EQ(s.counters().fences, 1u);
+    EXPECT_EQ(s.counters().cas_ops, 1u);
+    s.reset_accounting();
+    EXPECT_EQ(s.counters().stores, 0u);
+    EXPECT_EQ(s.sim_ns(), 0u);
+}
+
+TEST(MemOpsEdge, CounterAggregationOperator)
+{
+    cxl::MemEventCounters a;
+    cxl::MemEventCounters b;
+    a.loads = 3;
+    b.loads = 4;
+    a.mcas_conflicts = 1;
+    b.mcas_conflicts = 2;
+    a += b;
+    EXPECT_EQ(a.loads, 7u);
+    EXPECT_EQ(a.mcas_conflicts, 3u);
+}
+
+TEST(MemOpsEdge, McasConflictCountedAndRecovered)
+{
+    // Force a real Fig. 6(b) conflict through the session layer.
+    Rig rig(CoherenceMode::NoHwcc);
+    MemSession s1 = rig.session(1);
+    MemSession s2 = rig.session(2);
+    rig.nmp.spwr(1, 256, 0, 7); // leave thread 1's op in flight
+    std::uint64_t expected = 0;
+    EXPECT_FALSE(s2.cas64(256, expected, 9));
+    EXPECT_EQ(s2.counters().mcas_conflicts, 1u);
+    EXPECT_TRUE(rig.nmp.sprd(1).success);
+    // After the in-flight op completes, thread 2 succeeds (with the fresh
+    // expected value cas64 reloaded).
+    EXPECT_EQ(expected, 0u); // conflict happened before T1's write landed
+    expected = s2.atomic_load64(256);
+    EXPECT_TRUE(s2.cas64(256, expected, 9));
+}
+
+TEST(MemOpsEdge, WritebackAllPreservesDirtyData)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession s = rig.session(1);
+    s.store<std::uint64_t>(200000, 42);
+    // Process crash: cache written back, store survives.
+    s.cache().writeback_all();
+    MemSession fresh = rig.session(2);
+    EXPECT_EQ(fresh.load<std::uint64_t>(200000), 42u);
+}
+
+TEST(MemOpsEdge, SimulatedCacheLineGranularity)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession a = rig.session(1);
+    MemSession b = rig.session(2);
+    // Two fields on ONE line: flushing the line publishes both.
+    a.store<std::uint32_t>(200000, 1);
+    a.store<std::uint32_t>(200004, 2);
+    a.flush(200000, 1); // one byte -> whole line
+    b.flush(200000, 64);
+    EXPECT_EQ(b.load<std::uint32_t>(200000), 1u);
+    EXPECT_EQ(b.load<std::uint32_t>(200004), 2u);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+#include "cxl/nmp.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::McasResult;
+using cxl::Nmp;
+
+class NmpTest : public ::testing::Test {
+  protected:
+    NmpTest()
+        : dev_(DeviceConfig{.size = 1 << 20,
+                            .mode = CoherenceMode::NoHwcc,
+                            .sync_region_size = 64 << 10}),
+          nmp_(&dev_)
+    {
+    }
+
+    std::uint64_t
+    word(std::uint64_t offset)
+    {
+        // Device-biased memory is uncachable; model the direct read with an
+        // atomic load so the multithreaded test below is race-free.
+        return std::atomic_ref<std::uint64_t>(
+                   *reinterpret_cast<std::uint64_t*>(dev_.raw(offset)))
+            .load(std::memory_order_acquire);
+    }
+
+    Device dev_;
+    Nmp nmp_;
+};
+
+TEST_F(NmpTest, SuccessfulSwapWritesMemory)
+{
+    McasResult r = nmp_.mcas(1, 128, 0, 42);
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(r.conflict);
+    EXPECT_EQ(r.previous, 0u);
+    EXPECT_EQ(word(128), 42u);
+}
+
+TEST_F(NmpTest, MismatchFailsAndReturnsPrevious)
+{
+    nmp_.mcas(1, 128, 0, 42);
+    McasResult r = nmp_.mcas(2, 128, 0, 99);
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.conflict);
+    EXPECT_EQ(r.previous, 42u);
+    EXPECT_EQ(word(128), 42u);
+}
+
+TEST_F(NmpTest, CompetingInFlightOpOnSameAddressFails)
+{
+    // Fig. 6(b): T1 posts spwr first; T2's spwr to the same target while
+    // T1's pair is in flight dooms T2's operation.
+    nmp_.spwr(1, 256, 0, 1);
+    nmp_.spwr(2, 256, 0, 2);
+    McasResult r2 = nmp_.sprd(2);
+    EXPECT_TRUE(r2.conflict);
+    EXPECT_FALSE(r2.success);
+    McasResult r1 = nmp_.sprd(1);
+    EXPECT_TRUE(r1.success);
+    EXPECT_EQ(word(256), 1u);
+    EXPECT_EQ(nmp_.total_conflicts(), 1u);
+}
+
+TEST_F(NmpTest, DifferentAddressesDoNotConflict)
+{
+    nmp_.spwr(1, 256, 0, 1);
+    nmp_.spwr(2, 512, 0, 2);
+    EXPECT_TRUE(nmp_.sprd(2).success);
+    EXPECT_TRUE(nmp_.sprd(1).success);
+}
+
+TEST_F(NmpTest, ConflictDoomsTheLaterArrival)
+{
+    // The first-in-flight op completes even if the competitor's sprd is
+    // issued first.
+    nmp_.spwr(1, 256, 0, 7);
+    nmp_.spwr(2, 256, 0, 8);
+    McasResult r1 = nmp_.sprd(1);
+    EXPECT_TRUE(r1.success);
+    McasResult r2 = nmp_.sprd(2);
+    EXPECT_TRUE(r2.conflict);
+    EXPECT_EQ(word(256), 7u);
+}
+
+TEST_F(NmpTest, SerializedRetriesEventuallySucceed)
+{
+    // Software retries around conflicts: increment a counter from many
+    // threads using only mCAS.
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([this, t] {
+            auto tid = static_cast<cxl::ThreadId>(t + 1);
+            for (int i = 0; i < kIncrements; i++) {
+                while (true) {
+                    std::uint64_t cur = word(1024);
+                    McasResult r = nmp_.mcas(tid, 1024, cur, cur + 1);
+                    if (r.success) {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(word(1024), kThreads * kIncrements);
+}
+
+TEST_F(NmpTest, OpsAreCounted)
+{
+    nmp_.mcas(1, 128, 0, 1);
+    nmp_.mcas(1, 128, 1, 2);
+    EXPECT_EQ(nmp_.total_ops(), 2u);
+}
+
+} // namespace

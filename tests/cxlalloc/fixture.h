@@ -1,0 +1,80 @@
+/// @file
+/// Shared test rig: a pod + allocator with a small heap geometry.
+
+#pragma once
+
+#include <memory>
+
+#include "cxlalloc/allocator.h"
+#include "pod/pod.h"
+
+namespace cxltest {
+
+struct RigOptions {
+    cxl::CoherenceMode mode = cxl::CoherenceMode::PartialHwcc;
+    bool simulate_cache = false;
+    bool checked_mappings = false;
+    bool recoverable = true;
+    /// Extra device space past the heap layout (index bucket arrays etc.).
+    std::uint64_t extra_device_bytes = 0;
+};
+
+struct Rig {
+    explicit Rig(const RigOptions& opt = RigOptions{})
+        : config(small_config(opt)),
+          pod(pod_config(config, opt)),
+          alloc(pod, config)
+    {
+        process = pod.create_process();
+        alloc.attach(*process);
+    }
+
+    static cxlalloc::Config
+    small_config(const RigOptions& opt)
+    {
+        cxlalloc::Config cfg;
+        cfg.small_slabs = 128;           // 4 MiB small data
+        cfg.large_slabs = 16;            // 8 MiB large data
+        cfg.huge_regions = 8;
+        cfg.huge_region_size = 4 << 20;  // 32 MiB huge data
+        cfg.huge_descs_per_thread = 16;
+        cfg.hazard_slots_per_thread = 8;
+        cfg.recoverable = opt.recoverable;
+        return cfg;
+    }
+
+    static pod::PodConfig
+    pod_config(const cxlalloc::Config& cfg, const RigOptions& opt)
+    {
+        pod::PodConfig pc;
+        pc.device =
+            cxlalloc::Layout(cfg).device_config(opt.mode, opt.simulate_cache);
+        pc.device.size += (opt.extra_device_bytes + cxl::kPageSize - 1) &
+                          ~(cxl::kPageSize - 1);
+        pc.checked_mappings = opt.checked_mappings;
+        return pc;
+    }
+
+    std::unique_ptr<pod::ThreadContext>
+    thread(pod::Process* in_process = nullptr)
+    {
+        auto ctx = pod.create_thread(in_process ? in_process : process);
+        alloc.attach_thread(*ctx);
+        return ctx;
+    }
+
+    pod::Process*
+    new_process()
+    {
+        pod::Process* p = pod.create_process();
+        alloc.attach(*p);
+        return p;
+    }
+
+    cxlalloc::Config config;
+    pod::Pod pod;
+    cxlalloc::CxlAllocator alloc;
+    pod::Process* process;
+};
+
+} // namespace cxltest

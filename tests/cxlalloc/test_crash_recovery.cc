@@ -1,0 +1,383 @@
+/// White-box and black-box recovery tests (paper §5.1): crash a thread at
+/// defined (or random) points inside allocator operations, adopt its slot,
+/// run recovery, and verify the heap is consistent and nothing is lost
+/// except at most the in-flight block.
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/random.h"
+#include "cxlalloc/recovery.h"
+#include "fixture.h"
+
+namespace {
+
+using cxlalloc::crashpoint::kAfterDcas;
+using cxlalloc::crashpoint::kAfterRecord;
+using cxlalloc::crashpoint::kMidAlloc;
+using cxlalloc::crashpoint::kMidDetach;
+using cxlalloc::crashpoint::kMidFreeLocal;
+using cxlalloc::crashpoint::kMidHugeAlloc;
+using cxlalloc::crashpoint::kMidHugeFree;
+using cxlalloc::crashpoint::kMidHugeMap;
+using cxlalloc::crashpoint::kMidInit;
+using cxlalloc::crashpoint::kMidPushGlobal;
+using cxlalloc::crashpoint::kMidSteal;
+using cxltest::Rig;
+using cxltest::RigOptions;
+using pod::ThreadCrashed;
+
+/// Crashes `ctx` while running `op`, then adopts + recovers the slot.
+/// Returns false if the armed point was never reached (op completed).
+template <typename F>
+bool
+crash_and_recover(Rig& rig, std::unique_ptr<pod::ThreadContext>& ctx, F&& op,
+                  int point, std::uint32_t countdown = 1)
+{
+    ctx->arm_crash(point, countdown);
+    bool crashed = false;
+    try {
+        op(*ctx);
+    } catch (const ThreadCrashed&) {
+        crashed = true;
+    }
+    ctx->disarm_crash();
+    if (!crashed) {
+        return false;
+    }
+    cxl::ThreadId tid = ctx->tid();
+    rig.pod.mark_crashed(std::move(ctx));
+    ctx = rig.pod.adopt_thread(rig.process, tid);
+    rig.alloc.recover(*ctx);
+    return true;
+}
+
+void
+verify_consistent(Rig& rig, pod::ThreadContext& ctx)
+{
+    rig.alloc.check_invariants(ctx.mem());
+    rig.alloc.check_local_invariants(ctx.mem());
+    // The heap must still be fully usable from the recovered slot.
+    cxl::HeapOffset p = rig.alloc.allocate(ctx, 64);
+    ASSERT_NE(p, 0u);
+    rig.alloc.deallocate(ctx, p);
+}
+
+class WhiteBoxCrash : public ::testing::TestWithParam<int> {};
+
+TEST_P(WhiteBoxCrash, CrashInsideAllocThenRecover)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Warm up so every code path (init, detach, ...) is reachable.
+    std::vector<cxl::HeapOffset> warm;
+    for (int i = 0; i < 100; i++) {
+        warm.push_back(rig.alloc.allocate(*t, 512));
+    }
+    bool crashed = crash_and_recover(
+        rig, t, [&](pod::ThreadContext& c) { rig.alloc.allocate(c, 512); },
+        GetParam());
+    (void)crashed; // some points are not on this path; that is fine
+    verify_consistent(rig, *t);
+    for (auto p : warm) {
+        rig.alloc.deallocate(*t, p);
+    }
+    verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, WhiteBoxCrash,
+                         ::testing::Values(kAfterRecord, kMidInit,
+                                           kAfterDcas, kMidAlloc,
+                                           kMidDetach));
+
+TEST(CrashRecovery, CrashDuringInitSlabRedoesTransition)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // First allocation goes: extend -> unsized -> init. Crash mid-init.
+    bool crashed = crash_and_recover(
+        rig, t, [&](pod::ThreadContext& c) { rig.alloc.allocate(c, 64); },
+        kMidInit);
+    EXPECT_TRUE(crashed);
+    // After recovery the slab must be usable: allocations proceed without
+    // extending the heap again.
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 64);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(rig.alloc.stats(t->mem()).small.length, 1u);
+    verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, CrashAfterExtendDcasKeepsSlab)
+{
+    Rig rig;
+    auto t = rig.thread();
+    bool crashed = crash_and_recover(
+        rig, t, [&](pod::ThreadContext& c) { rig.alloc.allocate(c, 64); },
+        kAfterDcas);
+    EXPECT_TRUE(crashed);
+    // The length CAS landed before the crash; recovery must hand the slab
+    // to the recovered thread rather than leak it.
+    EXPECT_EQ(rig.alloc.stats(t->mem()).small.length, 1u);
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 64);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(rig.alloc.stats(t->mem()).small.length, 1u)
+        << "recovered slab was leaked: allocation extended the heap again";
+    verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, CrashDuringLocalFree)
+{
+    Rig rig;
+    auto t = rig.thread();
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 256);
+    bool crashed = crash_and_recover(
+        rig, t, [&](pod::ThreadContext& c) { rig.alloc.deallocate(c, p); },
+        kMidFreeLocal);
+    EXPECT_TRUE(crashed);
+    // Recovery completes the free: the same block is allocatable again.
+    cxl::HeapOffset q = rig.alloc.allocate(*t, 256);
+    EXPECT_EQ(q, p);
+    verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, CrashDuringRemoteFreeCompletesDecrement)
+{
+    Rig rig;
+    auto owner = rig.thread();
+    auto other = rig.thread();
+    cxl::HeapOffset p = rig.alloc.allocate(*owner, 512);
+    bool crashed = crash_and_recover(
+        rig, other, [&](pod::ThreadContext& c) { rig.alloc.deallocate(c, p); },
+        kAfterRecord);
+    EXPECT_TRUE(crashed);
+    verify_consistent(rig, *other);
+    verify_consistent(rig, *owner);
+    rig.pod.release_thread(std::move(owner));
+    rig.pod.release_thread(std::move(other));
+}
+
+TEST(CrashRecovery, CrashMidStealCompletesSteal)
+{
+    Rig rig;
+    auto owner = rig.thread();
+    auto other = rig.thread();
+    // Fill one whole 512 B slab (64 blocks) and remote-free all of it;
+    // the final decrement triggers the steal, where we crash.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 64; i++) {
+        ptrs.push_back(rig.alloc.allocate(*owner, 512));
+    }
+    for (int i = 0; i < 63; i++) {
+        rig.alloc.deallocate(*other, ptrs[i]);
+    }
+    bool crashed = crash_and_recover(
+        rig, other,
+        [&](pod::ThreadContext& c) { rig.alloc.deallocate(c, ptrs[63]); },
+        kMidSteal);
+    EXPECT_TRUE(crashed);
+    // The steal completed during recovery: the recovered thread can
+    // allocate 64 blocks without extending the heap.
+    std::uint32_t len = rig.alloc.stats(other->mem()).small.length;
+    for (int i = 0; i < 64; i++) {
+        ASSERT_NE(rig.alloc.allocate(*other, 512), 0u);
+    }
+    EXPECT_EQ(rig.alloc.stats(other->mem()).small.length, len);
+    verify_consistent(rig, *other);
+    rig.pod.release_thread(std::move(owner));
+    rig.pod.release_thread(std::move(other));
+}
+
+TEST(CrashRecovery, CrashDuringPushGlobalFinishesPush)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Build up enough empty slabs that a free triggers the global spill.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 8; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t, 1024));
+    }
+    bool crashed = false;
+    for (auto p : ptrs) {
+        if (!crashed) {
+            t->arm_crash(kMidPushGlobal, 1);
+            try {
+                rig.alloc.deallocate(*t, p);
+                t->disarm_crash();
+            } catch (const ThreadCrashed&) {
+                crashed = true;
+                cxl::ThreadId tid = t->tid();
+                rig.pod.mark_crashed(std::move(t));
+                t = rig.pod.adopt_thread(rig.process, tid);
+                rig.alloc.recover(*t);
+            }
+        } else {
+            rig.alloc.deallocate(*t, p);
+        }
+    }
+    EXPECT_TRUE(crashed);
+    // The mid-push slab must be on the global list (not lost).
+    verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, CrashDuringHugeAllocCompletesAllocation)
+{
+    Rig rig;
+    auto t = rig.thread();
+    for (int point : {kAfterRecord, kMidHugeAlloc, kMidHugeMap}) {
+        auto live_before = rig.alloc.stats(t->mem()).huge.live_allocations;
+        bool crashed = crash_and_recover(
+            rig, t,
+            [&](pod::ThreadContext& c) { rig.alloc.allocate(c, 1 << 20); },
+            point);
+        EXPECT_TRUE(crashed) << "point " << point;
+        rig.alloc.check_invariants(t->mem());
+        auto live_after = rig.alloc.stats(t->mem()).huge.live_allocations;
+        // Either nothing happened or the allocation completed during
+        // recovery (the pointer is leaked to the app's recovery, §5.2.1).
+        EXPECT_LE(live_after, live_before + 1);
+        // Heap still serves huge allocations afterwards.
+        cxl::HeapOffset p = rig.alloc.allocate(*t, 1 << 20);
+        ASSERT_NE(p, 0u);
+        rig.alloc.deallocate(*t, p);
+        rig.alloc.cleanup(*t);
+    }
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, CrashDuringHugeFreeCompletesFree)
+{
+    Rig rig;
+    auto t = rig.thread();
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 1 << 20);
+    bool crashed = crash_and_recover(
+        rig, t, [&](pod::ThreadContext& c) { rig.alloc.deallocate(c, p); },
+        kMidHugeFree);
+    EXPECT_TRUE(crashed);
+    EXPECT_EQ(rig.alloc.stats(t->mem()).huge.live_allocations, 0u);
+    rig.alloc.cleanup(*t);
+    // The address space is reusable.
+    cxl::HeapOffset q = rig.alloc.allocate(*t, 1 << 20);
+    ASSERT_NE(q, 0u);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, LiveThreadsNeverBlockOnCrashedThread)
+{
+    // The paper's core liveness claim (§3.4.1): a thread crashing inside
+    // an allocator operation must not block other live threads.
+    Rig rig;
+    auto victim = rig.thread();
+    auto live = rig.thread();
+    // Crash the victim mid-operation and do NOT recover it.
+    victim->arm_crash(kAfterRecord, 1);
+    try {
+        rig.alloc.allocate(*victim, 64);
+    } catch (const ThreadCrashed&) {
+    }
+    rig.pod.mark_crashed(std::move(victim));
+    // The live thread allocates and frees at will.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 1000; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*live, 8 + (i % 1000));
+        ASSERT_NE(p, 0u);
+        ptrs.push_back(p);
+    }
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*live, p);
+    }
+    rig.alloc.check_local_invariants(live->mem());
+    rig.pod.release_thread(std::move(live));
+}
+
+TEST(CrashRecovery, BlackBoxRandomCrashes)
+{
+    // Black-box testing (paper §5.1): crash at random points during a
+    // random workload, recover, and check invariants after every crash.
+    Rig rig;
+    cxlcommon::Xoshiro rng(2026);
+    auto t = rig.thread();
+    std::vector<cxl::HeapOffset> live;
+    int crashes = 0;
+    for (int i = 0; i < 8000; i++) {
+        t->arm_random_crash(rng.next(), 0.002);
+        bool freeing = rng.next_below(3) == 0 && !live.empty();
+        std::size_t pick = freeing ? rng.next_below(live.size()) : 0;
+        try {
+            if (!freeing) {
+                std::uint64_t size = 8 + rng.next_below(2040);
+                cxl::HeapOffset p = rig.alloc.allocate(*t, size);
+                if (p != 0) {
+                    live.push_back(p);
+                }
+            } else {
+                rig.alloc.deallocate(*t, live[pick]);
+                live[pick] = live.back();
+                live.pop_back();
+            }
+            t->disarm_crash();
+        } catch (const ThreadCrashed&) {
+            crashes++;
+            cxl::ThreadId tid = t->tid();
+            rig.pod.mark_crashed(std::move(t));
+            t = rig.pod.adopt_thread(rig.process, tid);
+            rig.alloc.recover(*t);
+            rig.alloc.check_invariants(t->mem());
+            rig.alloc.check_local_invariants(t->mem());
+            // Semantics after recovery: an interrupted allocation leaks at
+            // most its in-flight block (never entered `live`); an
+            // interrupted free is COMPLETED by recovery, so the offset
+            // must leave `live` exactly as if the call had returned.
+            if (freeing) {
+                live[pick] = live.back();
+                live.pop_back();
+            }
+        }
+    }
+    EXPECT_GT(crashes, 3) << "crash probability too low to be meaningful";
+    for (auto p : live) {
+        rig.alloc.deallocate(*t, p);
+    }
+    rig.alloc.check_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, NonrecoverableVariantSkipsLogging)
+{
+    RigOptions opt;
+    opt.recoverable = false;
+    Rig rig(opt);
+    auto t = rig.thread();
+    std::uint64_t flushes_before = t->mem().counters().flushes;
+    for (int i = 0; i < 100; i++) {
+        rig.alloc.deallocate(*t, rig.alloc.allocate(*t, 64));
+    }
+    std::uint64_t flushes = t->mem().counters().flushes - flushes_before;
+    // Without recovery records there is no per-op flush on the fast path.
+    EXPECT_LT(flushes, 20u);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(CrashRecovery, RecoverableOverheadIsPerOpRecord)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Warm up so the steady state is pure fast path.
+    for (int i = 0; i < 10; i++) {
+        rig.alloc.deallocate(*t, rig.alloc.allocate(*t, 64));
+    }
+    std::uint64_t flushes_before = t->mem().counters().flushes;
+    for (int i = 0; i < 100; i++) {
+        rig.alloc.deallocate(*t, rig.alloc.allocate(*t, 64));
+    }
+    std::uint64_t flushes = t->mem().counters().flushes - flushes_before;
+    // One record write+flush per operation (alloc + free = 2 per cycle).
+    EXPECT_EQ(flushes, 200u);
+    rig.pod.release_thread(std::move(t));
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/// Fragmentation behaviour, including the paper's acknowledged pathological
+/// case (§3.2.1): a counter-based remote-free protocol cannot reuse
+/// remotely freed blocks until the WHOLE slab is remotely freed, so a slab
+/// with a mix of local and remote frees can strand memory — and the
+/// disowned state is what bounds the damage.
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "fixture.h"
+
+namespace {
+
+using cxltest::Rig;
+
+TEST(Fragmentation, PaperPathologyStrandsPartiallyRemoteFreedSlab)
+{
+    // Construct the §3.2.1 pathological pattern: the owner allocates a
+    // full slab, one block is freed LOCALLY (so the counter can never
+    // reach zero), the rest are freed REMOTELY, and the owner stops
+    // allocating this class. The remotely freed blocks stay unusable —
+    // exactly what the paper concedes.
+    Rig rig;
+    auto owner = rig.thread();
+    auto other = rig.thread();
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 64; i++) { // one full 512 B slab
+        ptrs.push_back(rig.alloc.allocate(*owner, 512));
+    }
+    // Slab is now detached (full). Owner frees one block locally: slab
+    // returns to the sized list with one free block.
+    rig.alloc.deallocate(*owner, ptrs[0]);
+    // Everything else freed remotely: counter ends at 1, never 0.
+    for (int i = 1; i < 64; i++) {
+        rig.alloc.deallocate(*other, ptrs[i]);
+    }
+    // The OTHER thread cannot reuse any of the 63 blocks it freed; its
+    // allocations of this class come from fresh slabs.
+    std::uint32_t len_before = rig.alloc.stats(other->mem()).small.length;
+    for (int i = 0; i < 64; i++) {
+        ASSERT_NE(rig.alloc.allocate(*other, 512), 0u);
+    }
+    EXPECT_GT(rig.alloc.stats(other->mem()).small.length, len_before)
+        << "remotely freed blocks must NOT be reusable (counter protocol)";
+    // The OWNER still can reuse its locally-freed block.
+    cxl::HeapOffset again = rig.alloc.allocate(*owner, 512);
+    EXPECT_EQ(again, ptrs[0]);
+    rig.alloc.check_invariants(owner->mem());
+    rig.pod.release_thread(std::move(owner));
+    rig.pod.release_thread(std::move(other));
+}
+
+TEST(Fragmentation, DisownedStateEventuallyReclaimsMixedSlab)
+{
+    // The counterpart (§3.2.1): when a slab fills up WITH remote frees in
+    // its history, it is disowned — all future frees take the remote path
+    // and the whole slab IS eventually stolen and reused.
+    Rig rig;
+    auto owner = rig.thread();
+    auto other = rig.thread();
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 63; i++) {
+        ptrs.push_back(rig.alloc.allocate(*owner, 512));
+    }
+    rig.alloc.deallocate(*other, ptrs[0]); // remote free while non-full
+    ptrs[0] = rig.alloc.allocate(*owner, 512);
+    ptrs.push_back(rig.alloc.allocate(*owner, 512)); // fills -> disowned
+    // Now ALL frees (even the original owner's) take the remote path.
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*owner, p);
+    }
+    // The slab was fully remotely freed -> stolen by the owner thread and
+    // recyclable: allocating this class must NOT grow the heap.
+    std::uint32_t len = rig.alloc.stats(owner->mem()).small.length;
+    for (int i = 0; i < 64; i++) {
+        ASSERT_NE(rig.alloc.allocate(*owner, 512), 0u);
+    }
+    EXPECT_EQ(rig.alloc.stats(owner->mem()).small.length, len);
+    rig.pod.release_thread(std::move(owner));
+    rig.pod.release_thread(std::move(other));
+}
+
+TEST(Fragmentation, InternalFragmentationBoundedOnChurn)
+{
+    // Committed memory stays within a constant factor of the live bytes
+    // across a size-mixed churn ("our evaluation does not show excessive
+    // fragmentation", §3.2.1).
+    Rig rig;
+    auto t = rig.thread();
+    cxlcommon::Xoshiro rng(31);
+    std::vector<std::pair<cxl::HeapOffset, std::uint64_t>> live;
+    std::uint64_t live_bytes = 0;
+    for (int i = 0; i < 20000; i++) {
+        if (rng.next_below(2) == 0 || live.empty()) {
+            std::uint64_t size = 8 + rng.next_below(1016);
+            cxl::HeapOffset p = rig.alloc.allocate(*t, size);
+            ASSERT_NE(p, 0u);
+            live.emplace_back(p, size);
+            live_bytes += size;
+        } else {
+            std::size_t pick = rng.next_below(live.size());
+            live_bytes -= live[pick].second;
+            rig.alloc.deallocate(*t, live[pick].first);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    std::uint64_t committed = rig.pod.device().committed_bytes();
+    // Allow generous slop for metadata + warm slabs, but catch unbounded
+    // fragmentation: the heap must stay within ~4x of live payload.
+    EXPECT_LT(committed, live_bytes * 4 + (4 << 20))
+        << "live=" << live_bytes << " committed=" << committed;
+    for (auto [p, size] : live) {
+        rig.alloc.deallocate(*t, p);
+    }
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(Fragmentation, HugeAddressSpaceCoalesces)
+{
+    // Interval-set coalescing prevents huge address-space fragmentation:
+    // after any alloc/free sequence completes, one thread's region is one
+    // fragment again.
+    Rig rig;
+    auto t = rig.thread();
+    std::vector<cxl::HeapOffset> held;
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 4; i++) {
+            cxl::HeapOffset p = rig.alloc.allocate(*t, (i + 1) << 19);
+            ASSERT_NE(p, 0u);
+            held.push_back(p);
+        }
+        for (auto p : held) {
+            rig.alloc.deallocate(*t, p);
+        }
+        held.clear();
+        rig.alloc.cleanup(*t);
+    }
+    const auto& free_set = rig.alloc.thread_state(t->tid()).huge_free;
+    EXPECT_LE(free_set.fragments(), 2u)
+        << "freed huge regions should coalesce";
+    rig.pod.release_thread(std::move(t));
+}
+
+} // namespace

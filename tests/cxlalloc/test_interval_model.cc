@@ -1,0 +1,147 @@
+/// Model-checking test for IntervalSet: every operation is mirrored
+/// against a plain per-byte reference bitmap over a small universe, so any
+/// divergence in membership, totals or coalescing is caught exactly.
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/random.h"
+#include "cxlalloc/interval_set.h"
+
+namespace {
+
+using cxlalloc::IntervalSet;
+
+class Model {
+  public:
+    explicit Model(std::size_t universe) : free_(universe, false) {}
+
+    void
+    insert(std::uint64_t start, std::uint64_t len)
+    {
+        for (std::uint64_t i = start; i < start + len; i++) {
+            free_[i] = true;
+        }
+    }
+
+    void
+    remove(std::uint64_t start, std::uint64_t len)
+    {
+        for (std::uint64_t i = start; i < start + len; i++) {
+            free_[i] = false;
+        }
+    }
+
+    bool
+    contains(std::uint64_t start, std::uint64_t len) const
+    {
+        for (std::uint64_t i = start; i < start + len; i++) {
+            if (!free_[i]) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t n = 0;
+        for (bool b : free_) {
+            n += b;
+        }
+        return n;
+    }
+
+    std::size_t
+    fragments() const
+    {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < free_.size(); i++) {
+            if (free_[i] && (i == 0 || !free_[i - 1])) {
+                n++;
+            }
+        }
+        return n;
+    }
+
+    /// Finds whether any run of @p len free bytes exists.
+    bool
+    can_fit(std::uint64_t len) const
+    {
+        std::uint64_t run = 0;
+        for (bool b : free_) {
+            run = b ? run + 1 : 0;
+            if (run >= len) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<bool> free_;
+};
+
+TEST(IntervalModel, RandomOpsAgreeWithReference)
+{
+    constexpr std::uint64_t kUniverse = 512;
+    IntervalSet set;
+    Model model(kUniverse);
+    cxlcommon::Xoshiro rng(2025);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> taken;
+
+    for (int step = 0; step < 5000; step++) {
+        std::uint64_t action = rng.next_below(2);
+        if (action == 0) {
+            // take: carve some length, mirror as remove on the model.
+            std::uint64_t len = 1 + rng.next_below(32);
+            std::uint64_t start = 0;
+            bool ok = set.take(len, &start);
+            ASSERT_EQ(ok, model.can_fit(len)) << "step " << step;
+            if (ok) {
+                ASSERT_TRUE(model.contains(start, len)) << "step " << step;
+                model.remove(start, len);
+                taken.emplace_back(start, len);
+            } else if (taken.empty()) {
+                // Bootstrap: seed the universe once it is empty-empty.
+                set.insert(0, kUniverse);
+                model.insert(0, kUniverse);
+            }
+        } else if (!taken.empty()) {
+            std::size_t pick = rng.next_below(taken.size());
+            auto [start, len] = taken[pick];
+            taken[pick] = taken.back();
+            taken.pop_back();
+            set.insert(start, len);
+            model.insert(start, len);
+        }
+        ASSERT_EQ(set.total(), model.total()) << "step " << step;
+        ASSERT_EQ(set.fragments(), model.fragments())
+            << "coalescing diverged at step " << step;
+    }
+}
+
+TEST(IntervalModel, SplitRemoveAgrees)
+{
+    constexpr std::uint64_t kUniverse = 256;
+    IntervalSet set;
+    Model model(kUniverse);
+    set.insert(0, kUniverse);
+    model.insert(0, kUniverse);
+    cxlcommon::Xoshiro rng(7);
+    // Punch random holes (only where the range is actually free).
+    for (int i = 0; i < 300; i++) {
+        std::uint64_t len = 1 + rng.next_below(16);
+        std::uint64_t start = rng.next_below(kUniverse - len);
+        if (model.contains(start, len)) {
+            set.remove(start, len);
+            model.remove(start, len);
+        }
+        ASSERT_EQ(set.total(), model.total());
+        ASSERT_EQ(set.fragments(), model.fragments());
+        ASSERT_EQ(set.contains(start, len), model.contains(start, len));
+    }
+}
+
+} // namespace

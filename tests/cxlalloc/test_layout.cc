@@ -1,0 +1,106 @@
+#include "cxlalloc/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cxlalloc;
+
+Config
+test_config()
+{
+    Config cfg;
+    cfg.small_slabs = 128;
+    cfg.large_slabs = 16;
+    cfg.huge_regions = 8;
+    cfg.huge_region_size = 4 << 20;
+    return cfg;
+}
+
+TEST(LayoutTest, RegionsAreOrderedAndDisjoint)
+{
+    Layout l(test_config());
+    EXPECT_GT(l.help_array(), 0u) << "offset 0 reserved as null";
+    EXPECT_LT(l.help_array(), l.small_len());
+    EXPECT_LT(l.small_len(), l.hwcc_end());
+    EXPECT_LE(l.hwcc_end(), l.recovery_row(0));
+    EXPECT_LT(l.recovery_row(0), l.small_local(0));
+    EXPECT_LT(l.small_local(0), l.small_swcc_desc(0));
+    EXPECT_LT(l.small_swcc_desc(0), l.small_data());
+    EXPECT_LT(l.small_data(), l.large_data());
+    EXPECT_LT(l.large_data(), l.huge_data());
+    EXPECT_LT(l.huge_data(), l.end());
+}
+
+TEST(LayoutTest, HwccRegionIsSmallFractionOfHeap)
+{
+    // The whole point of the metadata split (§3.2): HWcc bytes are tiny
+    // relative to the heap.
+    Layout l(test_config());
+    EXPECT_LT(l.hwcc_bytes() * 20, l.end());
+}
+
+TEST(LayoutTest, HwccPerSlabIsOneWord)
+{
+    Layout l(test_config());
+    EXPECT_EQ(l.small_hwcc_desc(1) - l.small_hwcc_desc(0), 8u);
+    EXPECT_EQ(l.large_hwcc_desc(1) - l.large_hwcc_desc(0), 8u);
+}
+
+TEST(LayoutTest, DataStridesMatchSlabSizes)
+{
+    Layout l(test_config());
+    EXPECT_EQ(l.small_slab_data(1) - l.small_slab_data(0), kSmallSlabSize);
+    EXPECT_EQ(l.large_slab_data(1) - l.large_slab_data(0), kLargeSlabSize);
+    EXPECT_EQ(l.huge_region_data(1) - l.huge_region_data(0),
+              test_config().huge_region_size);
+}
+
+TEST(LayoutTest, DeviceConfigCoversLayout)
+{
+    Layout l(test_config());
+    auto dev = l.device_config(cxl::CoherenceMode::PartialHwcc);
+    EXPECT_GE(dev.size, l.end());
+    EXPECT_EQ(dev.size % cxl::kPageSize, 0u);
+    EXPECT_EQ(dev.sync_region_size, l.hwcc_end());
+}
+
+TEST(LayoutTest, RegionPredicates)
+{
+    Layout l(test_config());
+    EXPECT_TRUE(l.in_small_data(l.small_data()));
+    EXPECT_FALSE(l.in_small_data(l.large_data()));
+    EXPECT_TRUE(l.in_large_data(l.large_data()));
+    EXPECT_TRUE(l.in_huge_data(l.huge_data()));
+    EXPECT_FALSE(l.in_huge_data(l.end()));
+}
+
+TEST(LayoutTest, DescStridesHoldBitsets)
+{
+    // Small descriptors: 16 B header + 512 B bitset (4096 blocks).
+    EXPECT_GE(Layout::kSmallDescStride, 16u + 4096 / 8);
+    // Large descriptors: 16 B header + 48 B bitset (341 blocks max).
+    std::uint64_t max_large_blocks = kLargeSlabSize / large_class_size(0);
+    EXPECT_GE(Layout::kLargeDescStride, 16 + (max_large_blocks + 7) / 8);
+}
+
+TEST(LayoutTest, PerThreadRowsDoNotShareCachelines)
+{
+    Layout l(test_config());
+    EXPECT_GE(l.recovery_row(2) - l.recovery_row(1), 64u);
+    EXPECT_GE(l.small_local(2) - l.small_local(1), 64u);
+    EXPECT_GE(l.huge_local(2) - l.huge_local(1), 64u);
+}
+
+TEST(LayoutTest, SameConfigSameLayout)
+{
+    // PC-S by construction: two processes computing the layout from the
+    // same config agree on every offset.
+    Layout a(test_config());
+    Layout b(test_config());
+    EXPECT_EQ(a.small_data(), b.small_data());
+    EXPECT_EQ(a.huge_data(), b.huge_data());
+    EXPECT_EQ(a.end(), b.end());
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/// Tests of the MADV_REMOVE analog (paper §3.3.1): slabs parked on the
+/// global free list return their backing memory to the device, and get it
+/// back when acquired — while the (monotonic) mapping itself stays.
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "fixture.h"
+
+namespace {
+
+using cxltest::Rig;
+
+TEST(MemoryReturn, GlobalSlabsDecommitBacking)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Build and fully free enough 1 KiB-class slabs that several spill to
+    // the global free list.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 12; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t, 1024));
+    }
+    std::uint64_t peak = rig.pod.device().committed_bytes();
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t, p);
+    }
+    auto stats = rig.alloc.stats(t->mem());
+    ASSERT_GT(stats.small.global_free, 0u);
+    std::uint64_t after = rig.pod.device().committed_bytes();
+    EXPECT_LE(after + static_cast<std::uint64_t>(stats.small.global_free) *
+                          (32 << 10),
+              peak)
+        << "each global slab should have returned its 32 KiB of backing";
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(MemoryReturn, ReacquiredSlabIsRecommitted)
+{
+    Rig rig;
+    auto t1 = rig.thread();
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 12; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t1, 1024));
+    }
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t1, p);
+    }
+    std::uint64_t decommitted = rig.pod.device().committed_bytes();
+    // A second thread pulls slabs back off the global list; backing must
+    // be recommitted and usable.
+    auto t2 = rig.thread();
+    for (int i = 0; i < 64; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t2, 1024);
+        ASSERT_NE(p, 0u);
+        std::memset(rig.alloc.pointer(*t2, p, 1024), 0x3c, 1024);
+    }
+    EXPECT_GT(rig.pod.device().committed_bytes(), decommitted);
+    rig.alloc.check_invariants(t2->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(MemoryReturn, MappingStaysMonotonicWhileBackingReturns)
+{
+    // Paper §3.3.1: "heap extension is monotonic — cxlalloc never unmaps
+    // small heap memory mappings"; only the backing is MADV_REMOVE'd.
+    cxltest::RigOptions opt;
+    opt.checked_mappings = true;
+    Rig rig(opt);
+    auto t = rig.thread();
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 12; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t, 1024));
+    }
+    cxl::HeapOffset probe = ptrs[0];
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t, p);
+    }
+    // Even for a slab now parked on the global list, the mapping remains
+    // installed in this process (no fault, no crash).
+    EXPECT_TRUE(rig.process->is_mapped(probe));
+    rig.pod.release_thread(std::move(t));
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+#include "cxlalloc/recovery.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cxlalloc;
+
+TEST(OpRecordTest, PackUnpackRoundTrip)
+{
+    OpRecord r;
+    r.op = Op::FreeRemote;
+    r.large_heap = true;
+    r.aux = 0x0abc;
+    r.version = 0x7abc & 0x7fff;
+    r.index = 0xdeadbeef;
+    OpRecord back = OpRecord::unpack(r.pack());
+    EXPECT_EQ(back.op, r.op);
+    EXPECT_EQ(back.large_heap, r.large_heap);
+    EXPECT_EQ(back.aux, r.aux);
+    EXPECT_EQ(back.version, r.version);
+    EXPECT_EQ(back.index, r.index);
+}
+
+TEST(OpRecordTest, ZeroWordIsNone)
+{
+    OpRecord r = OpRecord::unpack(0);
+    EXPECT_EQ(r.op, Op::None);
+    EXPECT_EQ(r.index, 0u);
+}
+
+TEST(OpRecordTest, MaxBlockIndexFits)
+{
+    OpRecord r;
+    r.op = Op::Alloc;
+    r.aux = 4095; // largest block index (32 KiB / 8 B - 1)
+    OpRecord back = OpRecord::unpack(r.pack());
+    EXPECT_EQ(back.aux, 4095);
+    EXPECT_FALSE(back.large_heap);
+}
+
+TEST(OpRecordTest, HeapBitIndependentOfAux)
+{
+    OpRecord r;
+    r.op = Op::Init;
+    r.large_heap = true;
+    r.aux = 0;
+    OpRecord back = OpRecord::unpack(r.pack());
+    EXPECT_TRUE(back.large_heap);
+    EXPECT_EQ(back.aux, 0);
+}
+
+class OpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpRoundTrip, EveryOpCodeSurvives)
+{
+    OpRecord r;
+    r.op = static_cast<Op>(GetParam());
+    r.index = 42;
+    r.version = 7;
+    EXPECT_EQ(OpRecord::unpack(r.pack()).op, r.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpRoundTrip, ::testing::Range(0, 13));
+
+} // namespace

@@ -1,0 +1,84 @@
+#include "cxlalloc/size_class.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cxlalloc;
+
+TEST(SizeClass, SmallClassesCoverRange)
+{
+    EXPECT_EQ(small_class_size(0), 8u);
+    EXPECT_EQ(small_class_size(kNumSmallClasses - 1), kSmallMax);
+}
+
+TEST(SizeClass, SmallClassesStrictlyIncreasing)
+{
+    for (std::uint32_t c = 1; c < kNumSmallClasses; c++) {
+        EXPECT_GT(small_class_size(c), small_class_size(c - 1));
+    }
+}
+
+TEST(SizeClass, LargeClassesStrictlyIncreasing)
+{
+    EXPECT_GT(large_class_size(0), kSmallMax);
+    EXPECT_EQ(large_class_size(kNumLargeClasses - 1), kLargeMax);
+    for (std::uint32_t c = 1; c < kNumLargeClasses; c++) {
+        EXPECT_GT(large_class_size(c), large_class_size(c - 1));
+    }
+}
+
+TEST(SizeClass, SmallClassForFitsAndIsTight)
+{
+    for (std::uint64_t size = 1; size <= kSmallMax; size++) {
+        std::uint32_t cls = small_class_for(size);
+        EXPECT_GE(small_class_size(cls), size);
+        if (cls > 0) {
+            EXPECT_LT(small_class_size(cls - 1), size)
+                << "class not minimal for size " << size;
+        }
+    }
+}
+
+TEST(SizeClass, LargeClassForFitsAndIsTight)
+{
+    for (std::uint64_t size = kSmallMax + 1; size <= kLargeMax;
+         size += 509) { // prime stride keeps the sweep cheap
+        std::uint32_t cls = large_class_for(size);
+        EXPECT_GE(large_class_size(cls), size);
+        if (cls > 0) {
+            EXPECT_LT(large_class_size(cls - 1), size);
+        }
+    }
+}
+
+TEST(SizeClass, InternalFragmentationBounded)
+{
+    // The ladder should waste at most ~34% for any size.
+    for (std::uint64_t size = 1; size <= kSmallMax; size++) {
+        std::uint64_t block = small_class_size(small_class_for(size));
+        EXPECT_LE(static_cast<double>(block),
+                  static_cast<double>(size) * 1.34 + 8.0);
+    }
+    for (std::uint64_t size = kSmallMax + 1; size <= kLargeMax; size += 101) {
+        std::uint64_t block = large_class_size(large_class_for(size));
+        EXPECT_LE(static_cast<double>(block),
+                  static_cast<double>(size) * 1.51);
+    }
+}
+
+TEST(SizeClass, BlocksPerSlab)
+{
+    EXPECT_EQ(small_blocks_per_slab(0), 4096u);                 // 32K / 8
+    EXPECT_EQ(small_blocks_per_slab(kNumSmallClasses - 1), 32u); // 32K / 1K
+    EXPECT_EQ(large_blocks_per_slab(kNumLargeClasses - 1), 1u); // 512K/512K
+}
+
+TEST(SizeClass, MaxBlocksFitRecoveryAuxField)
+{
+    // The recovery record stores block indices in 12 bits.
+    EXPECT_LE(small_blocks_per_slab(0), 4096u);
+    EXPECT_LE(large_blocks_per_slab(0), 4096u);
+}
+
+} // namespace

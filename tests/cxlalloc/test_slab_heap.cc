@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "fixture.h"
+
+namespace {
+
+using cxltest::Rig;
+using cxltest::RigOptions;
+
+TEST(SlabAlloc, BasicAllocateFree)
+{
+    Rig rig;
+    auto t = rig.pod.create_thread(rig.process);
+    rig.alloc.attach_thread(*t);
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 64);
+    ASSERT_NE(p, 0u);
+    EXPECT_TRUE(rig.alloc.layout().in_small_data(p));
+    // Writable through the data pointer.
+    std::byte* data = rig.alloc.pointer(*t, p, 64);
+    std::memset(data, 0xab, 64);
+    rig.alloc.deallocate(*t, p);
+    rig.alloc.check_invariants(t->mem());
+    rig.alloc.check_local_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, DistinctLiveAllocationsDoNotOverlap)
+{
+    Rig rig;
+    auto t = rig.thread();
+    std::set<cxl::HeapOffset> seen;
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 5000; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t, 48);
+        ASSERT_NE(p, 0u);
+        ASSERT_TRUE(seen.insert(p).second) << "duplicate allocation";
+        // 48 -> class 48: offsets must be 48 apart at least
+        ptrs.push_back(p);
+    }
+    for (auto it = seen.begin(); std::next(it) != seen.end(); ++it) {
+        EXPECT_GE(*std::next(it) - *it, 48u);
+    }
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t, p);
+    }
+    rig.alloc.check_local_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, FreedMemoryIsReused)
+{
+    Rig rig;
+    auto t = rig.thread();
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 128);
+    rig.alloc.deallocate(*t, p);
+    cxl::HeapOffset q = rig.alloc.allocate(*t, 128);
+    EXPECT_EQ(p, q) << "same-class free then alloc should reuse the block";
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, AllocationAlignedToClassSize)
+{
+    Rig rig;
+    auto t = rig.thread();
+    const cxl::HeapOffset base = rig.alloc.layout().small_data();
+    for (std::uint64_t size : {8u, 16u, 64u, 256u, 1024u}) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t, size);
+        ASSERT_NE(p, 0u);
+        EXPECT_EQ((p - base) % size, 0u) << "size " << size;
+    }
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, LargeHeapServesBigBlocks)
+{
+    Rig rig;
+    auto t = rig.thread();
+    cxl::HeapOffset p = rig.alloc.allocate(*t, 100 << 10); // 100 KiB
+    ASSERT_NE(p, 0u);
+    EXPECT_TRUE(rig.alloc.layout().in_large_data(p));
+    std::byte* data = rig.alloc.pointer(*t, p, 100 << 10);
+    std::memset(data, 0x5a, 100 << 10);
+    rig.alloc.deallocate(*t, p);
+    rig.alloc.check_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, FullSlabDetachesAndLocalFreeRelinks)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Fill exactly one slab of 1 KiB blocks (32 per slab).
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t, 1024));
+    }
+    // The next allocation must come from a different slab.
+    cxl::HeapOffset next = rig.alloc.allocate(*t, 1024);
+    EXPECT_NE((ptrs[0] - rig.alloc.layout().small_data()) / (32 << 10),
+              (next - rig.alloc.layout().small_data()) / (32 << 10));
+    // Free one block of the full (detached) slab: it relinks, and its free
+    // block is reused before extending further.
+    rig.alloc.deallocate(*t, ptrs[5]);
+    cxl::HeapOffset reuse = rig.alloc.allocate(*t, 1024);
+    EXPECT_EQ(reuse, ptrs[5]);
+    rig.alloc.check_local_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, EmptiedSlabRecyclesToOtherClass)
+{
+    Rig rig;
+    auto t = rig.thread();
+    std::uint32_t slabs_before = 0;
+    {
+        std::vector<cxl::HeapOffset> ptrs;
+        for (int i = 0; i < 64; i++) {
+            ptrs.push_back(rig.alloc.allocate(*t, 1024));
+        }
+        slabs_before = rig.alloc.stats(t->mem()).small.length;
+        for (auto p : ptrs) {
+            rig.alloc.deallocate(*t, p);
+        }
+    }
+    // Allocating a different class should reuse the recycled slabs rather
+    // than extend the heap.
+    std::vector<cxl::HeapOffset> other;
+    for (int i = 0; i < 1000; i++) {
+        other.push_back(rig.alloc.allocate(*t, 8));
+    }
+    EXPECT_LE(rig.alloc.stats(t->mem()).small.length, slabs_before + 1);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, RemoteFreeDecrementsAndStealReclaims)
+{
+    Rig rig;
+    auto producer = rig.thread();
+    auto consumer = rig.thread();
+    // Producer fills one whole slab (32 KiB / 512 B = 64 blocks) and hands
+    // every block to the consumer.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 64; i++) {
+        ptrs.push_back(rig.alloc.allocate(*producer, 512));
+    }
+    std::uint32_t len_before = rig.alloc.stats(producer->mem()).small.length;
+    // Consumer remote-frees everything; the last free steals the slab.
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*consumer, p);
+    }
+    // Consumer can now allocate from the stolen slab without extending.
+    for (int i = 0; i < 64; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*consumer, 512);
+        ASSERT_NE(p, 0u);
+    }
+    EXPECT_EQ(rig.alloc.stats(consumer->mem()).small.length, len_before)
+        << "steal should recycle the slab instead of extending the heap";
+    rig.alloc.check_invariants(producer->mem());
+    rig.pod.release_thread(std::move(producer));
+    rig.pod.release_thread(std::move(consumer));
+}
+
+TEST(SlabAlloc, MixedLocalRemoteFreesDisownAndReclaim)
+{
+    Rig rig;
+    auto a = rig.thread();
+    auto b = rig.thread();
+    // Thread a fills a slab; frees one block locally BEFORE the slab fills,
+    // then the slab fills with a remote free in the history -> disowned.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 63; i++) {
+        ptrs.push_back(rig.alloc.allocate(*a, 512));
+    }
+    rig.alloc.deallocate(*b, ptrs[0]); // one remote free while non-full
+    // Fill the slab back up (reuses nothing: remote frees are not visible
+    // to the owner's bitset), so the slab goes disowned at the fill point.
+    ptrs[0] = rig.alloc.allocate(*a, 512);
+    ptrs.push_back(rig.alloc.allocate(*a, 512));
+    // All remaining frees from the owner now take the remote path too.
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*a, p);
+    }
+    rig.alloc.check_invariants(a->mem());
+    rig.alloc.check_local_invariants(a->mem());
+    rig.alloc.check_local_invariants(b->mem());
+    rig.pod.release_thread(std::move(a));
+    rig.pod.release_thread(std::move(b));
+}
+
+TEST(SlabAlloc, UnsizedOverflowSpillsToGlobalList)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // Create and fully free many slabs of one class; the unsized list is
+    // capped, so the surplus must reach the global free list.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 12; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t, 1024));
+    }
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t, p);
+    }
+    auto stats = rig.alloc.stats(t->mem());
+    EXPECT_GT(stats.small.global_free, 0u);
+    rig.alloc.check_invariants(t->mem());
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, GlobalListFeedsOtherThreads)
+{
+    Rig rig;
+    auto t1 = rig.thread();
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 32 * 12; i++) {
+        ptrs.push_back(rig.alloc.allocate(*t1, 1024));
+    }
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t1, p);
+    }
+    std::uint32_t len_before = rig.alloc.stats(t1->mem()).small.length;
+    std::uint32_t global_before = rig.alloc.stats(t1->mem()).small.global_free;
+    ASSERT_GT(global_before, 0u);
+    // A fresh thread should draw from the global list, not extend.
+    auto t2 = rig.thread();
+    for (int i = 0; i < 32; i++) {
+        ASSERT_NE(rig.alloc.allocate(*t2, 1024), 0u);
+    }
+    EXPECT_EQ(rig.alloc.stats(t2->mem()).small.length, len_before);
+    EXPECT_LT(rig.alloc.stats(t2->mem()).small.global_free, global_before);
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(SlabAlloc, HeapExhaustionReturnsNull)
+{
+    Rig rig;
+    auto t = rig.thread();
+    // 16 large slabs of 512 KiB, one 512 KiB block each.
+    std::vector<cxl::HeapOffset> ptrs;
+    for (int i = 0; i < 16; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t, 512 << 10);
+        ASSERT_NE(p, 0u);
+        ptrs.push_back(p);
+    }
+    EXPECT_EQ(rig.alloc.allocate(*t, 512 << 10), 0u);
+    for (auto p : ptrs) {
+        rig.alloc.deallocate(*t, p);
+    }
+    // After freeing, allocation succeeds again.
+    EXPECT_NE(rig.alloc.allocate(*t, 512 << 10), 0u);
+    rig.pod.release_thread(std::move(t));
+}
+
+TEST(SlabAlloc, ZeroedHeapNeedsNoInitialization)
+{
+    // Paper §4: zeroed memory is a valid heap. The fixture performs no
+    // initialization pass — the first allocation on a fresh device must
+    // just work, including from a second process attached concurrently.
+    Rig rig;
+    auto* proc2 = rig.new_process();
+    auto t1 = rig.thread();
+    auto t2 = rig.thread(proc2);
+    cxl::HeapOffset p1 = rig.alloc.allocate(*t1, 64);
+    cxl::HeapOffset p2 = rig.alloc.allocate(*t2, 64);
+    EXPECT_NE(p1, 0u);
+    EXPECT_NE(p2, 0u);
+    EXPECT_NE(p1, p2);
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(SlabAlloc, CrossProcessSharedData)
+{
+    // PC-S: an offset allocated in one process names the same bytes in
+    // another.
+    Rig rig;
+    auto* proc2 = rig.new_process();
+    auto t1 = rig.thread();
+    auto t2 = rig.thread(proc2);
+    cxl::HeapOffset p = rig.alloc.allocate(*t1, 256);
+    std::byte* w = rig.alloc.pointer(*t1, p, 256);
+    std::memcpy(w, "cross-process hello", 20);
+    const std::byte* r = rig.alloc.pointer(*t2, p, 256);
+    EXPECT_EQ(std::memcmp(r, "cross-process hello", 20), 0);
+    rig.alloc.deallocate(*t2, p); // remote free from the other process
+    rig.alloc.check_invariants(t1->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(SlabAlloc, MultithreadedChurn)
+{
+    for (cxl::CoherenceMode mode :
+         {cxl::CoherenceMode::PartialHwcc, cxl::CoherenceMode::NoHwcc}) {
+        RigOptions opt;
+        opt.mode = mode;
+        Rig rig(opt);
+        constexpr int kThreads = 4;
+        constexpr int kOps = 4000;
+        std::vector<std::thread> workers;
+        for (int w = 0; w < kThreads; w++) {
+            workers.emplace_back([&rig, w] {
+                auto t = rig.thread();
+                cxlcommon::Xoshiro rng(w + 1);
+                std::vector<cxl::HeapOffset> live;
+                for (int i = 0; i < kOps; i++) {
+                    if (rng.next_below(3) != 0 || live.empty()) {
+                        std::uint64_t size = 8 + rng.next_below(1017);
+                        cxl::HeapOffset p = rig.alloc.allocate(*t, size);
+                        ASSERT_NE(p, 0u);
+                        live.push_back(p);
+                    } else {
+                        std::size_t pick = rng.next_below(live.size());
+                        rig.alloc.deallocate(*t, live[pick]);
+                        live[pick] = live.back();
+                        live.pop_back();
+                    }
+                }
+                for (auto p : live) {
+                    rig.alloc.deallocate(*t, p);
+                }
+                rig.alloc.check_local_invariants(t->mem());
+                rig.pod.release_thread(std::move(t));
+            });
+        }
+        for (auto& w : workers) {
+            w.join();
+        }
+        auto checker = rig.thread();
+        rig.alloc.check_invariants(checker->mem());
+        rig.pod.release_thread(std::move(checker));
+    }
+}
+
+TEST(SlabAlloc, ProducerConsumerPipeline)
+{
+    // The xmalloc pattern: every block allocated on one thread is freed on
+    // another, hammering the remote-free/steal path concurrently.
+    Rig rig;
+    constexpr int kItems = 20000;
+    std::vector<cxl::HeapOffset> queue(kItems, 0);
+    std::atomic<int> produced{0};
+    std::thread producer([&] {
+        auto t = rig.thread();
+        for (int i = 0; i < kItems; i++) {
+            cxl::HeapOffset p = rig.alloc.allocate(*t, 64);
+            ASSERT_NE(p, 0u);
+            queue[i] = p;
+            produced.store(i + 1, std::memory_order_release);
+        }
+        rig.pod.release_thread(std::move(t));
+    });
+    std::thread consumer([&] {
+        auto t = rig.thread();
+        for (int i = 0; i < kItems; i++) {
+            while (produced.load(std::memory_order_acquire) <= i) {
+            }
+            rig.alloc.deallocate(*t, queue[i]);
+        }
+        rig.pod.release_thread(std::move(t));
+    });
+    producer.join();
+    consumer.join();
+    auto checker = rig.thread();
+    rig.alloc.check_invariants(checker->mem());
+    auto stats = rig.alloc.stats(checker->mem());
+    // The heap never needs more slabs than the live working set plus the
+    // scheduling lag (on one core the producer can run ahead of the
+    // consumer, so the bound is the full footprint: 20000 * 64 B = 40
+    // slabs). Crucially, every fully-remotely-freed slab must have been
+    // stolen and recycled: after the run they sit on free lists instead of
+    // being leaked in the disowned/detached limbo.
+    EXPECT_LE(stats.small.length, 41u);
+    EXPECT_GT(stats.small.global_free, 0u)
+        << "consumer's steals never recycled slabs to the global list";
+    rig.pod.release_thread(std::move(checker));
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+#include "pod/pod.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pod::Pod;
+using pod::PodConfig;
+using pod::SlotState;
+using pod::ThreadContext;
+using pod::ThreadCrashed;
+
+PodConfig
+basic_config()
+{
+    PodConfig cfg;
+    cfg.device.size = 1 << 20;
+    cfg.device.sync_region_size = 64 << 10;
+    return cfg;
+}
+
+TEST(Pod, ThreadSlotsAssignedLowestFirst)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t1 = pod.create_thread(proc);
+    auto t2 = pod.create_thread(proc);
+    EXPECT_EQ(t1->tid(), 1);
+    EXPECT_EQ(t2->tid(), 2);
+    pod.release_thread(std::move(t1));
+    auto t3 = pod.create_thread(proc);
+    EXPECT_EQ(t3->tid(), 1) << "freed slot is reused";
+    pod.release_thread(std::move(t2));
+    pod.release_thread(std::move(t3));
+}
+
+TEST(Pod, CrashedSlotIsNotReusedUntilAdopted)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t1 = pod.create_thread(proc);
+    cxl::ThreadId tid = t1->tid();
+    pod.mark_crashed(std::move(t1));
+    EXPECT_EQ(pod.slot_state(tid), SlotState::Crashed);
+
+    auto t2 = pod.create_thread(proc);
+    EXPECT_NE(t2->tid(), tid) << "crashed slot must await recovery";
+
+    auto recovered = pod.adopt_thread(proc, tid);
+    EXPECT_EQ(recovered->tid(), tid);
+    EXPECT_EQ(pod.slot_state(tid), SlotState::Live);
+
+    pod.release_thread(std::move(t2));
+    pod.release_thread(std::move(recovered));
+}
+
+TEST(Pod, CrashedThreadsListsPendingRecovery)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t1 = pod.create_thread(proc);
+    auto t2 = pod.create_thread(proc);
+    pod.mark_crashed(std::move(t1));
+    pod.mark_crashed(std::move(t2));
+    auto crashed = pod.crashed_threads();
+    ASSERT_EQ(crashed.size(), 2u);
+    EXPECT_EQ(crashed[0], 1);
+    EXPECT_EQ(crashed[1], 2);
+}
+
+TEST(ThreadContextTest, WhiteBoxCrashFiresAtArmedPoint)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t = pod.create_thread(proc);
+    t->arm_crash(/*point=*/3, /*countdown=*/2);
+    t->maybe_crash(1); // different point: no crash
+    t->maybe_crash(3); // first hit: countdown 2 -> 1
+    EXPECT_THROW(t->maybe_crash(3), ThreadCrashed);
+    // Disarmed after firing.
+    t->maybe_crash(3);
+    pod.release_thread(std::move(t));
+}
+
+TEST(ThreadContextTest, RandomCrashEventuallyFires)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t = pod.create_thread(proc);
+    t->arm_random_crash(/*seed=*/5, /*prob=*/0.05);
+    bool crashed = false;
+    for (int i = 0; i < 1000 && !crashed; i++) {
+        try {
+            t->maybe_crash(0);
+        } catch (const ThreadCrashed&) {
+            crashed = true;
+        }
+    }
+    EXPECT_TRUE(crashed);
+    pod.release_thread(std::move(t));
+}
+
+TEST(ThreadContextTest, DisarmedThreadNeverCrashes)
+{
+    Pod pod(basic_config());
+    auto* proc = pod.create_process();
+    auto t = pod.create_thread(proc);
+    t->arm_random_crash(5, 0.5);
+    t->disarm_crash();
+    for (int i = 0; i < 100; i++) {
+        t->maybe_crash(0);
+    }
+    pod.release_thread(std::move(t));
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/// Pod resource-limit and misuse tests.
+
+#include <gtest/gtest.h>
+
+#include "pod/pod.h"
+
+namespace {
+
+using pod::Pod;
+using pod::PodConfig;
+
+PodConfig
+tiny_config()
+{
+    PodConfig cfg;
+    cfg.device.size = 1 << 20;
+    cfg.device.sync_region_size = 64 << 10;
+    return cfg;
+}
+
+TEST(PodLimits, ProcessLimitEnforced)
+{
+    Pod pod(tiny_config());
+    for (std::uint32_t i = 0; i < cxl::kMaxProcesses; i++) {
+        EXPECT_NE(pod.create_process(), nullptr);
+    }
+    EXPECT_DEATH(pod.create_process(), "too many processes");
+}
+
+TEST(PodLimits, ThreadSlotsExhaust)
+{
+    Pod pod(tiny_config());
+    auto* proc = pod.create_process();
+    std::vector<std::unique_ptr<pod::ThreadContext>> ctxs;
+    for (std::uint32_t i = 0; i < cxl::kMaxThreads; i++) {
+        ctxs.push_back(pod.create_thread(proc));
+    }
+    EXPECT_DEATH(pod.create_thread(proc), "no free thread slots");
+    for (auto& c : ctxs) {
+        pod.release_thread(std::move(c));
+    }
+}
+
+TEST(PodLimits, AdoptingLiveSlotDies)
+{
+    Pod pod(tiny_config());
+    auto* proc = pod.create_process();
+    auto t = pod.create_thread(proc);
+    cxl::ThreadId tid = t->tid();
+    EXPECT_DEATH(pod.adopt_thread(proc, tid), "not crashed");
+    pod.release_thread(std::move(t));
+}
+
+TEST(PodLimits, DeviceMisconfigurationDies)
+{
+    PodConfig cfg = tiny_config();
+    cfg.device.size = 12345; // not page aligned
+    EXPECT_DEATH(Pod pod(cfg), "page aligned");
+
+    PodConfig cfg2 = tiny_config();
+    cfg2.device.sync_region_size = cfg2.device.size + cxl::kPageSize;
+    EXPECT_DEATH(Pod pod2(cfg2), "sync region larger");
+}
+
+TEST(PodLimits, AllSlotsRecoverableAfterMassCrash)
+{
+    // Crash a batch of threads; every slot must be adoptable and the pod
+    // fully reusable afterwards.
+    Pod pod(tiny_config());
+    auto* proc = pod.create_process();
+    std::vector<cxl::ThreadId> dead;
+    for (int i = 0; i < 8; i++) {
+        auto t = pod.create_thread(proc);
+        dead.push_back(t->tid());
+        pod.mark_crashed(std::move(t));
+    }
+    EXPECT_EQ(pod.crashed_threads().size(), 8u);
+    for (cxl::ThreadId tid : dead) {
+        auto t = pod.adopt_thread(proc, tid);
+        EXPECT_EQ(t->tid(), tid);
+        pod.release_thread(std::move(t));
+    }
+    EXPECT_TRUE(pod.crashed_threads().empty());
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+#include "pod/process.h"
+
+#include <gtest/gtest.h>
+
+#include "pod/pod.h"
+
+namespace {
+
+using pod::FaultResolver;
+using pod::MappedRange;
+using pod::Pod;
+using pod::PodConfig;
+using pod::Process;
+
+PodConfig
+checked_config()
+{
+    PodConfig cfg;
+    cfg.device.size = 4 << 20;
+    cfg.device.mode = cxl::CoherenceMode::PartialHwcc;
+    cfg.device.sync_region_size = 64 << 10;
+    cfg.checked_mappings = true;
+    return cfg;
+}
+
+/// Test resolver: treats [heap_start, heap_start + heap_len) as valid heap
+/// memory backed at page granularity.
+class RangeResolver : public FaultResolver {
+  public:
+    RangeResolver(cxl::HeapOffset start, std::uint64_t len)
+        : start_(start), len_(len)
+    {
+    }
+
+    bool
+    resolve_fault(Process&, cxl::MemSession&, cxl::HeapOffset offset,
+                  MappedRange* out) override
+    {
+        if (offset < start_ || offset >= start_ + len_) {
+            return false;
+        }
+        faults++;
+        out->start = offset & ~(cxl::kPageSize - 1);
+        out->len = cxl::kPageSize;
+        return true;
+    }
+
+    int faults = 0;
+
+  private:
+    cxl::HeapOffset start_;
+    std::uint64_t len_;
+};
+
+TEST(Process, MappingInstallAndRemove)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    EXPECT_FALSE(p->is_mapped(0));
+    p->install_mapping(0, 2 * cxl::kPageSize);
+    EXPECT_TRUE(p->is_mapped(0));
+    EXPECT_TRUE(p->is_mapped(cxl::kPageSize));
+    EXPECT_FALSE(p->is_mapped(2 * cxl::kPageSize));
+    EXPECT_EQ(p->mapped_bytes(), 2 * cxl::kPageSize);
+    p->remove_mapping(0, cxl::kPageSize);
+    EXPECT_FALSE(p->is_mapped(0));
+    EXPECT_TRUE(p->is_mapped(cxl::kPageSize));
+    EXPECT_EQ(p->mapped_bytes(), cxl::kPageSize);
+}
+
+TEST(Process, MappingsArePerProcess)
+{
+    // PC-T is exactly the property that this is NOT automatic: a mapping in
+    // one process is invisible in another.
+    Pod pod(checked_config());
+    Process* a = pod.create_process();
+    Process* b = pod.create_process();
+    a->install_mapping(0, cxl::kPageSize);
+    EXPECT_TRUE(a->is_mapped(0));
+    EXPECT_FALSE(b->is_mapped(0));
+}
+
+TEST(Process, OverlappingReservationAborts)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    p->reserve("small-data", 0, 1 << 20);
+    EXPECT_DEATH(p->reserve("huge-data", 512 << 10, 1 << 20), "PC-S");
+}
+
+TEST(Process, DisjointReservationsCoexist)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    p->reserve("a", 0, 1 << 20);
+    p->reserve("b", 1 << 20, 1 << 20);
+    SUCCEED();
+}
+
+TEST(Process, FaultHandlerInstallsMappingOnAccess)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    RangeResolver resolver(1 << 20, 1 << 20);
+    p->set_resolver(&resolver);
+    auto thread = pod.create_thread(p);
+
+    // First access to heap memory faults and installs the page.
+    thread->mem().store<std::uint64_t>(1 << 20, 42);
+    EXPECT_EQ(resolver.faults, 1);
+    EXPECT_TRUE(p->is_mapped(1 << 20));
+    EXPECT_EQ(p->faults_resolved(), 1u);
+
+    // Subsequent access to the same page does not fault again.
+    EXPECT_EQ(thread->mem().load<std::uint64_t>(1 << 20), 42u);
+    EXPECT_EQ(resolver.faults, 1);
+
+    pod.release_thread(std::move(thread));
+}
+
+TEST(Process, PcTAcrossProcesses)
+{
+    // The paper's PC-T scenario: process A maps (and writes) memory;
+    // process B dereferences the same offset and must fault-in the mapping
+    // transparently rather than crash.
+    Pod pod(checked_config());
+    Process* a = pod.create_process();
+    Process* b = pod.create_process();
+    RangeResolver resolver(1 << 20, 1 << 20);
+    a->set_resolver(&resolver);
+    b->set_resolver(&resolver);
+    auto ta = pod.create_thread(a);
+    auto tb = pod.create_thread(b);
+
+    ta->mem().store<std::uint64_t>((1 << 20) + 8, 7);
+    EXPECT_FALSE(b->is_mapped(1 << 20));
+    EXPECT_EQ(tb->mem().load<std::uint64_t>((1 << 20) + 8), 7u);
+    EXPECT_TRUE(b->is_mapped(1 << 20));
+
+    pod.release_thread(std::move(ta));
+    pod.release_thread(std::move(tb));
+}
+
+TEST(Process, AccessOutsideHeapSegfaults)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    RangeResolver resolver(1 << 20, 1 << 20);
+    p->set_resolver(&resolver);
+    auto thread = pod.create_thread(p);
+    EXPECT_DEATH(thread->mem().store<std::uint64_t>(3 << 20, 1), "segfault");
+    pod.release_thread(std::move(thread));
+}
+
+TEST(Process, UncheckedProcessSkipsGuard)
+{
+    PodConfig cfg = checked_config();
+    cfg.checked_mappings = false;
+    Pod pod(cfg);
+    Process* p = pod.create_process();
+    auto thread = pod.create_thread(p);
+    // No resolver, no mappings: access succeeds because PC-T checking is
+    // disabled (benchmark fast path).
+    thread->mem().store<std::uint64_t>(3 << 20, 1);
+    EXPECT_EQ(thread->mem().load<std::uint64_t>(3 << 20), 1u);
+    pod.release_thread(std::move(thread));
+}
+
+} // namespace

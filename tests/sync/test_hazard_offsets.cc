@@ -1,0 +1,115 @@
+#include "sync/hazard_offsets.h"
+
+#include <gtest/gtest.h>
+
+#include "cxl/device.h"
+#include "cxl/nmp.h"
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::MemSession;
+using cxl::Nmp;
+using cxlsync::HazardOffsets;
+
+class HazardTest : public ::testing::Test {
+  protected:
+    HazardTest()
+        : dev_(DeviceConfig{.size = 4 << 20,
+                            .mode = CoherenceMode::PartialHwcc,
+                            .sync_region_size = 4096,
+                            .simulate_cache = true}),
+          nmp_(&dev_), hazards_(1 << 20, /*slots_per_thread=*/4)
+    {
+    }
+
+    MemSession
+    session(cxl::ThreadId tid)
+    {
+        return MemSession(&dev_, &nmp_, tid);
+    }
+
+    Device dev_;
+    Nmp nmp_;
+    HazardOffsets hazards_;
+};
+
+TEST_F(HazardTest, PublishThenVisibleToScan)
+{
+    MemSession a = session(1);
+    MemSession b = session(2);
+    hazards_.publish(a, 0x5000);
+    // The flush-after-write / flush-before-read discipline makes the hazard
+    // visible despite simulated (incoherent) caches.
+    EXPECT_TRUE(hazards_.is_published(b, 0x5000));
+    EXPECT_FALSE(hazards_.is_published(b, 0x6000));
+}
+
+TEST_F(HazardTest, RemoveBySlot)
+{
+    MemSession a = session(1);
+    std::uint32_t slot = hazards_.publish(a, 0x5000);
+    hazards_.remove(a, slot);
+    MemSession b = session(2);
+    EXPECT_FALSE(hazards_.is_published(b, 0x5000));
+}
+
+TEST_F(HazardTest, RemoveByValue)
+{
+    MemSession a = session(1);
+    hazards_.publish(a, 0x5000);
+    hazards_.publish(a, 0x7000);
+    EXPECT_TRUE(hazards_.remove_value(a, 0x5000));
+    EXPECT_FALSE(hazards_.remove_value(a, 0x5000));
+    MemSession b = session(2);
+    EXPECT_FALSE(hazards_.is_published(b, 0x5000));
+    EXPECT_TRUE(hazards_.is_published(b, 0x7000));
+}
+
+TEST_F(HazardTest, SlotsFillLowestFirstAndRecycle)
+{
+    MemSession a = session(1);
+    EXPECT_EQ(hazards_.publish(a, 0x1000), 0u);
+    EXPECT_EQ(hazards_.publish(a, 0x2000), 1u);
+    hazards_.remove(a, 0);
+    EXPECT_EQ(hazards_.publish(a, 0x3000), 0u);
+}
+
+TEST_F(HazardTest, RowExhaustionAborts)
+{
+    MemSession a = session(1);
+    for (int i = 0; i < 4; i++) {
+        hazards_.publish(a, 0x1000 + i * 8);
+    }
+    EXPECT_DEATH(hazards_.publish(a, 0x9000), "full");
+}
+
+TEST_F(HazardTest, PerThreadRowsAreIndependent)
+{
+    MemSession a = session(1);
+    MemSession b = session(2);
+    hazards_.publish(a, 0x5000);
+    hazards_.publish(b, 0x5000);
+    // Removing thread 1's publication leaves thread 2's intact: the mapping
+    // is still held somewhere in the pod, so reclamation must wait.
+    EXPECT_TRUE(hazards_.remove_value(a, 0x5000));
+    MemSession c = session(3);
+    EXPECT_TRUE(hazards_.is_published(c, 0x5000));
+    EXPECT_TRUE(hazards_.remove_value(b, 0x5000));
+    EXPECT_FALSE(hazards_.is_published(c, 0x5000));
+}
+
+TEST_F(HazardTest, CrashedThreadsHazardsRemainPublished)
+{
+    // A crashed process never removed its hazard: the offset must stay
+    // protected (conservative leak, reclaimed by that slot's recovery).
+    MemSession a = session(1);
+    hazards_.publish(a, 0x5000);
+    a.drop_cache(); // crash: note the publish flushed, so state survives
+    MemSession b = session(2);
+    EXPECT_TRUE(hazards_.is_published(b, 0x5000));
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+#include "sync/token_epoch.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using cxlsync::Retired;
+using cxlsync::TokenEpoch;
+
+std::atomic<int> g_freed{0};
+
+void
+count_free(void*, std::uint64_t)
+{
+    g_freed.fetch_add(1);
+}
+
+class TokenEpochTest : public ::testing::Test {
+  protected:
+    void SetUp() override { g_freed = 0; }
+};
+
+TEST_F(TokenEpochTest, RetiredNodeNotFreedWhileReaderActive)
+{
+    TokenEpoch ebr(2);
+    ebr.enter(0);
+    ebr.enter(1);
+    ebr.retire(0, Retired{count_free, nullptr, 0});
+    ebr.exit(0); // thread 1 still inside: epoch cannot advance
+    EXPECT_EQ(g_freed.load(), 0);
+    ebr.exit(1);
+}
+
+TEST_F(TokenEpochTest, RetiredNodeFreedAfterTwoAdvances)
+{
+    TokenEpoch ebr(1);
+    ebr.enter(0);
+    ebr.retire(0, Retired{count_free, nullptr, 0});
+    ebr.exit(0);
+    // Single participant: each exit advances; after enough rounds the
+    // limbo bucket cycles back and is freed.
+    for (int i = 0; i < 4 && g_freed.load() == 0; i++) {
+        ebr.enter(0);
+        ebr.exit(0);
+    }
+    EXPECT_EQ(g_freed.load(), 1);
+}
+
+TEST_F(TokenEpochTest, DrainAllFreesEverything)
+{
+    TokenEpoch ebr(2);
+    ebr.enter(0);
+    ebr.retire(0, Retired{count_free, nullptr, 0});
+    ebr.retire(0, Retired{count_free, nullptr, 1});
+    ebr.exit(0);
+    ebr.drain_all();
+    EXPECT_EQ(g_freed.load(), 2);
+}
+
+TEST_F(TokenEpochTest, DestructorDrains)
+{
+    {
+        TokenEpoch ebr(1);
+        ebr.enter(0);
+        ebr.retire(0, Retired{count_free, nullptr, 0});
+        ebr.exit(0);
+    }
+    EXPECT_EQ(g_freed.load(), 1);
+}
+
+TEST_F(TokenEpochTest, ConcurrentChurnFreesEventually)
+{
+    constexpr int kThreads = 4;
+    constexpr int kOps = 2000;
+    TokenEpoch ebr(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&ebr, t] {
+            for (int i = 0; i < kOps; i++) {
+                ebr.enter(t);
+                ebr.retire(t, Retired{count_free, nullptr, 0});
+                ebr.exit(t);
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    int freed_before_drain = g_freed.load();
+    EXPECT_GT(freed_before_drain, 0)
+        << "token passing must reclaim during execution, not only at drain";
+    ebr.drain_all();
+    EXPECT_EQ(g_freed.load(), kThreads * kOps);
+}
+
+TEST_F(TokenEpochTest, EpochAdvancesWhenAllQuiescent)
+{
+    TokenEpoch ebr(2);
+    std::uint64_t e0 = ebr.epoch();
+    ebr.enter(0);
+    ebr.exit(0); // holder of token: advance should happen
+    EXPECT_GT(ebr.epoch(), e0);
+}
+
+} // namespace
