@@ -59,8 +59,9 @@ measure(const std::string& name, const char* workload_name)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Ablation: HWcc (coherent) memory required by each design");
     for (const char* workload_name : {"threadtest", "ycsb-load"}) {
         Usage ralloc; // reference point, as in the paper
@@ -96,5 +97,6 @@ main()
               "(7.1% of ralloc's HWcc); 2.5%/0.09% on threadtest/xmalloc");
     std::puts("(9.4%/9.5% of ralloc's). cxl-shm and the mutex allocators "
               "need the whole heap coherent.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -89,8 +89,9 @@ compare(const char* workload_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Ablation: partial-failure tolerance overhead "
               "(cxlalloc vs cxlalloc-nonrecoverable)");
     for (std::uint32_t threads : {1u, 4u}) {
@@ -101,5 +102,6 @@ main()
     std::puts("\nPaper reference: 99.7% on KV macro-benchmarks, 94.7% on "
               "threadtest, 88.4% on xmalloc (detectable CAS on the");
     std::puts("remote-free path is the largest cost).");
+    bench::finish_metrics(opt);
     return 0;
 }

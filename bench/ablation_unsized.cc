@@ -72,8 +72,9 @@ run_with_limit(std::uint32_t limit, std::uint32_t threads)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Ablation: thread-local unsized free list spill threshold "
               "(xmalloc-small, producer/consumer slab flow)");
     for (std::uint32_t threads : {2u, 4u}) {
@@ -86,5 +87,6 @@ main()
               "global list (max CAS traffic); large limits cut the CAS");
     std::puts("traffic but let each thread hoard slabs (watch heap size). "
               "The default (4) balances the two.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -119,8 +119,9 @@ xmalloc_huge(std::uint32_t threads, std::uint32_t processes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Fig. 10: huge (8 MiB object) allocation microbenchmarks, "
               "thread count x process count (cxlalloc only;");
     std::puts("no baseline completes this workload). PC-T checks ON: "
@@ -146,5 +147,6 @@ main()
               "work, improving with process count (address-space");
     std::puts("parallelism); memory consumption stays modest because the "
               "benchmark never touches the data, only the mappings.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -15,10 +15,10 @@
 #include <vector>
 
 #include "common/random.h"
-#include "common/stats.h"
 #include "cxl/latency_model.h"
 #include "cxl/mem_ops.h"
 #include "pod/pod.h"
+#include "support.h"
 
 namespace {
 
@@ -41,9 +41,15 @@ to_string(Impl i)
     return "?";
 }
 
-cxlcommon::LatencyRecorder
+/// Runs one (impl, threads) cell; returns its scoped metrics snapshot.
+/// Latencies land in a fixed-footprint histogram per worker shard instead
+/// of the unbounded per-thread sample vectors this bench used to keep.
+obs::MetricsSnapshot
 run(Impl impl, std::uint32_t threads)
 {
+    obs::MetricsRegistry reg;
+    obs::MetricId hist = reg.histogram("cas_ns");
+    obs::MetricId ops = reg.counter("cas_logical_ops");
     pod::PodConfig pc;
     pc.device.size = 1 << 20;
     pc.device.mode = impl == Impl::HwCas ? cxl::CoherenceMode::NoHwcc
@@ -59,13 +65,12 @@ run(Impl impl, std::uint32_t threads)
                                          : cxl::LatencyModel::cxl_flush_cas());
 
     std::vector<std::thread> workers;
-    std::vector<cxlcommon::LatencyRecorder> recs(threads);
     for (std::uint32_t w = 0; w < threads; w++) {
         workers.emplace_back([&, w] {
             auto ctx = pod.create_thread(proc);
             cxl::MemSession& mem = ctx->mem();
             cxlcommon::Xoshiro rng(w + 1);
-            recs[w].reserve(kOpsPerThread);
+            obs::MetricsShard& shard = reg.shard(w + 1);
             for (std::uint64_t i = 0; i < kOpsPerThread; i++) {
                 // One logical CAS = retry until success; latency is the
                 // sum of attempt costs observed on the real shared word.
@@ -117,34 +122,43 @@ run(Impl impl, std::uint32_t threads)
                            (rng.next_below(100) == 0
                                 ? 2.0 + 4.0 * rng.next_double()
                                 : 0.0);
-                recs[w].record(static_cast<std::uint64_t>(
-                    static_cast<double>(ns) * j));
+                shard.record(hist, static_cast<std::uint64_t>(
+                                       static_cast<double>(ns) * j));
+                shard.add(ops);
             }
+            mem.publish_metrics(reg);
             pod.release_thread(std::move(ctx));
         });
     }
     for (auto& th : workers) {
         th.join();
     }
-    cxlcommon::LatencyRecorder merged;
-    for (auto& r : recs) {
-        merged.merge(r);
-    }
-    return merged;
+    return reg.snapshot();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
+    std::vector<std::uint32_t> thread_counts =
+        opt.smoke ? std::vector<std::uint32_t>{1u, 4u}
+                  : std::vector<std::uint32_t>{1u, 4u, 8u, 16u};
+
     std::puts("Fig. 11: CAS latency on a CXL memory location (modeled ns "
               "from calibrated costs + measured conflicts)");
     for (Impl impl : {Impl::SwCas, Impl::SwFlushCas, Impl::HwCas}) {
-        for (std::uint32_t threads : {1u, 4u, 8u, 16u}) {
-            cxlcommon::LatencyRecorder rec = run(impl, threads);
+        for (std::uint32_t threads : thread_counts) {
+            obs::MetricsSnapshot snap = run(impl, threads);
             std::printf("fig11  %-13s t=%-2u  %s\n", to_string(impl), threads,
-                        rec.summary().c_str());
+                        obs::summary(*snap.histogram("cas_ns")).c_str());
+            if (obs::MetricsRegistry* reg = bench::bundle_metrics()) {
+                char prefix[48];
+                std::snprintf(prefix, sizeof prefix, "fig11.%s.t%u.",
+                              to_string(impl), threads);
+                reg->absorb(snap, prefix);
+            }
         }
         std::puts("");
     }
@@ -154,5 +168,6 @@ main()
               "(~17% lower p50, ~20% lower p99): the engine serializes");
     std::puts("instead of bouncing cachelines. Neither sw variant is safe "
               "without inter-host HWcc.");
+    bench::finish_metrics(opt);
     return 0;
 }

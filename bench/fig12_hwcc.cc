@@ -59,8 +59,9 @@ run_one(const char* workload_name, const std::string& alloc_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Fig. 12: microbenchmark throughput under CXL HWcc "
               "assumptions (local DRAM / CXL+HWcc / CXL+mCAS)");
     const char* workloads[] = {"threadtest-small", "xmalloc-small"};
@@ -84,5 +85,6 @@ main()
     std::puts("on xmalloc every remote free is an mCAS: cxlalloc-mcas drops "
               "to ~1% of hwcc but scales past ralloc-mcas, whose shared");
     std::puts("slab metadata contends on the engine.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -226,8 +226,9 @@ series(const char* label)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::printf("Fig. 7: insert+remove %llu objects (8 B-1 KiB) through "
                 "recoverable structures with 0/1/2 thread crashes\n\n",
                 static_cast<unsigned long long>(kObjects));
@@ -239,5 +240,6 @@ main()
     std::puts("ralloc must either leak tens of KiB per crash (ralloc-leak) "
               "or block all threads in GC (ralloc-gc, a large");
     std::puts("share of execution time).");
+    bench::finish_metrics(opt);
     return 0;
 }

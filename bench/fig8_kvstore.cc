@@ -120,13 +120,27 @@ run_one(const WorkloadPlan& plan, const std::string& alloc_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
+    std::vector<WorkloadPlan> selected = plans();
+    std::vector<std::uint32_t> thread_counts{1u, 2u, 4u};
+    std::vector<std::string> allocators = bench::all_allocators();
+    if (opt.smoke) {
+        selected.resize(2); // ycsb-load + ycsb-a
+        for (WorkloadPlan& p : selected) {
+            p.total_ops /= 4;
+            p.preload /= 4;
+        }
+        thread_counts = {2u};
+        allocators = {"cxlalloc"};
+    }
+
     std::puts("Fig. 8: key-value store throughput and memory across "
               "allocators (YCSB + synthesized memcached traces)");
-    for (const WorkloadPlan& plan : plans()) {
-        for (std::uint32_t threads : {1u, 2u, 4u}) {
-            for (const std::string& name : bench::all_allocators()) {
+    for (const WorkloadPlan& plan : selected) {
+        for (std::uint32_t threads : thread_counts) {
+            for (const std::string& name : allocators) {
                 run_one(plan, name, threads);
             }
         }
@@ -138,5 +152,6 @@ main()
               "hot keys) and CRASHES on MC-12/MC-37 (>1 KiB);");
     std::puts("mimalloc, ralloc and cxlalloc cluster at the top — cxlalloc "
               "~94% of mimalloc on average, with ~0.02% HWcc memory.");
+    bench::finish_metrics(opt);
     return 0;
 }

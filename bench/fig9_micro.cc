@@ -13,15 +13,17 @@
 namespace {
 
 constexpr std::uint64_t kTotalPairs = 400'000; // split across threads
+constexpr std::uint64_t kSmokePairs = 16'384;  // --smoke run
 constexpr std::uint64_t kBatch = 512;
 constexpr std::uint64_t kObjectSize = 64;
 
 void
-threadtest_series(const std::string& name, std::uint32_t threads)
+threadtest_series(const std::string& name, std::uint32_t threads,
+                  std::uint64_t total_pairs)
 {
     bench::Geometry geom;
     bench::Bundle b = bench::make_bundle(name, geom);
-    std::uint64_t rounds = kTotalPairs / threads / kBatch;
+    std::uint64_t rounds = total_pairs / threads / kBatch;
     bench::RunResult r = bench::run_threads(
         b, threads, [&](pod::ThreadContext& ctx, std::uint32_t) {
             std::uint64_t pairs = workload::run_threadtest(
@@ -35,12 +37,13 @@ threadtest_series(const std::string& name, std::uint32_t threads)
 }
 
 void
-xmalloc_series(const std::string& name, std::uint32_t threads)
+xmalloc_series(const std::string& name, std::uint32_t threads,
+               std::uint64_t total_pairs)
 {
     bench::Geometry geom;
     bench::Bundle b = bench::make_bundle(name, geom);
     workload::XmallocRing ring(threads);
-    std::uint64_t per_thread = kTotalPairs / threads;
+    std::uint64_t per_thread = total_pairs / threads;
     bench::RunResult r = bench::run_threads(
         b, threads, [&](pod::ThreadContext& ctx, std::uint32_t w) {
             std::uint64_t done = workload::run_xmalloc(
@@ -60,19 +63,28 @@ xmalloc_series(const std::string& name, std::uint32_t threads)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
+    std::vector<std::uint32_t> thread_counts =
+        opt.smoke ? std::vector<std::uint32_t>{2u}
+                  : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
+    std::vector<std::string> allocators =
+        opt.smoke ? std::vector<std::string>{"cxlalloc"}
+                  : bench::all_allocators();
+    std::uint64_t total_pairs = opt.smoke ? kSmokePairs : kTotalPairs;
+
     std::puts("Fig. 9: small-heap allocator microbenchmarks "
               "(threadtest-small, xmalloc-small)");
-    for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
-        for (const std::string& name : bench::all_allocators()) {
-            threadtest_series(name, threads);
+    for (std::uint32_t threads : thread_counts) {
+        for (const std::string& name : allocators) {
+            threadtest_series(name, threads, total_pairs);
         }
     }
     std::puts("");
-    for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
-        for (const std::string& name : bench::all_allocators()) {
-            xmalloc_series(name, threads);
+    for (std::uint32_t threads : thread_counts) {
+        for (const std::string& name : allocators) {
+            xmalloc_series(name, threads, total_pairs);
         }
     }
     std::puts("\nPaper shape (Fig. 9): mimalloc fastest on threadtest "
@@ -80,5 +92,6 @@ main()
     std::puts("boost/lightning flat (global mutex); on xmalloc cxlalloc "
               "~81%, ralloc ~106% of mimalloc, falling off at high threads;");
     std::puts("cxl-shm below the lock-free group (per-op refcount+header).");
+    bench::finish_metrics(opt);
     return 0;
 }

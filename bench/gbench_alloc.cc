@@ -97,4 +97,38 @@ BENCHMARK_CAPTURE(BM_RemoteFreeBatch, ralloc_like,
                   std::string("ralloc-like"));
 BENCHMARK(BM_CxlallocMcasFastPath);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the repo-wide metrics
+// flags (which google-benchmark would reject) before handing the rest over.
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> gb_args;
+    std::vector<char*> our_args;
+    gb_args.push_back(argv[0]);
+    our_args.push_back(argv[0]);
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--metrics-json" || a == "--metrics-csv") {
+            our_args.push_back(argv[i]);
+            if (i + 1 < argc) {
+                our_args.push_back(argv[++i]);
+            }
+        } else if (a == "--smoke") {
+            our_args.push_back(argv[i]);
+        } else {
+            gb_args.push_back(argv[i]);
+        }
+    }
+    bench::Options opt = bench::parse_options(
+        static_cast<int>(our_args.size()), our_args.data());
+
+    int gb_argc = static_cast<int>(gb_args.size());
+    benchmark::Initialize(&gb_argc, gb_args.data());
+    if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::finish_metrics(opt);
+    return 0;
+}

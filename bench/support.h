@@ -1,7 +1,85 @@
 /// @file
-/// Benchmark-side alias for the shared allocator-bundle harness (kept in
-/// the library so tests reuse the same construction paths).
+/// Benchmark-side support: the shared allocator-bundle harness (kept in the
+/// library so tests reuse the same construction paths) plus the common
+/// command-line surface every bench binary exposes:
+///
+///   --metrics-json <path>   dump a machine-readable registry snapshot
+///   --metrics-csv <path>    same, as CSV rows
+///   --smoke                 shrink the run matrix (CI smoke tests)
+///
+/// Passing either --metrics-* flag turns on bundle instrumentation
+/// (bench::bundle_metrics), so un-flagged runs keep uninstrumented hot
+/// paths.
 
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "harness/bundles.h"
+#include "obs/export.h"
+
+namespace bench {
+
+struct Options {
+    std::string metrics_json;
+    std::string metrics_csv;
+    bool smoke = false;
+};
+
+inline Options
+parse_options(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto path_arg = [&](const char* flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a path argument\n", flag);
+                std::exit(2);
+            }
+            return std::string(argv[++i]);
+        };
+        if (a == "--metrics-json") {
+            o.metrics_json = path_arg("--metrics-json");
+        } else if (a == "--metrics-csv") {
+            o.metrics_csv = path_arg("--metrics-csv");
+        } else if (a == "--smoke") {
+            o.smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "unknown argument '%s' (supported: --metrics-json "
+                         "<path>, --metrics-csv <path>, --smoke)\n",
+                         a.c_str());
+            std::exit(2);
+        }
+    }
+    if (!o.metrics_json.empty() || !o.metrics_csv.empty()) {
+        bundle_metrics() = &obs::MetricsRegistry::global();
+    }
+    return o;
+}
+
+/// Dumps the global registry snapshot to the paths requested in @p o.
+/// Call once, at the end of main().
+inline void
+finish_metrics(const Options& o)
+{
+    if (bundle_metrics() == nullptr) {
+        return;
+    }
+    obs::MetricsSnapshot snap = bundle_metrics()->snapshot();
+    if (!o.metrics_json.empty() &&
+        obs::write_file(o.metrics_json, obs::to_json(snap))) {
+        std::printf("metrics: wrote JSON snapshot to %s\n",
+                    o.metrics_json.c_str());
+    }
+    if (!o.metrics_csv.empty() &&
+        obs::write_file(o.metrics_csv, obs::to_csv(snap))) {
+        std::printf("metrics: wrote CSV snapshot to %s\n",
+                    o.metrics_csv.c_str());
+    }
+}
+
+} // namespace bench

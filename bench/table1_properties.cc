@@ -25,8 +25,9 @@ recovery_str(baselines::AllocTraits::Recovery r)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Table 1: properties of memory allocators in the evaluation");
     std::puts("(Mem: M=volatile in-process, XP=cross-process, CXL, PM; "
               "Fail/Rec: B=blocking, NB=non-blocking, x=none)");
@@ -52,5 +53,6 @@ main()
               "XP/yes/x/B/x/x; lightning XP/yes/x/B/B/GC;");
     std::puts("cxl-shm CXL/yes/x/NB/NB/GC; ralloc PM/x/x/NB/B/App; "
               "cxlalloc XP,CXL/yes/yes/NB/NB/App.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -5,11 +5,13 @@
 #include <cstdio>
 
 #include "common/stats.h"
+#include "support.h"
 #include "workload/kv_workload.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::Options opt = bench::parse_options(argc, argv);
     std::puts("Table 2: in-memory key-value store workload summary");
     std::printf("%-10s %8s %8s %-9s %-12s %-14s | %-28s\n", "Workload",
                 "Ins.%", "Del.%", "KeyDistr", "KeySize", "ValueSize",
@@ -55,5 +57,6 @@ main()
               "YCSB-A 25% skew; YCSB-D 5% skew;");
     std::puts("MC-12 79.7% uniform 44B/0-307KiB; MC-15 99.9% 14-19B/0-144B; "
               "MC-31 93.0% 40-46B/0-15B; MC-37 38.8% skew 68-82B/0-325KiB.");
+    bench::finish_metrics(opt);
     return 0;
 }

@@ -1,0 +1,119 @@
+/// CI gate for the --metrics-json export: parses a snapshot produced by a
+/// bench run and asserts the cross-layer wiring actually fired — MemSession
+/// event counters, allocator op counters, and at least one populated
+/// latency histogram with ordered interpolated percentiles.
+///
+/// Usage: verify_metrics_json <snapshot.json>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char* what)
+{
+    std::printf("%-60s %s\n", what, ok ? "ok" : "FAIL");
+    if (!ok) {
+        failures++;
+    }
+}
+
+/// Sums all counters whose name starts with @p prefix.
+std::uint64_t
+prefixed_sum(const obs::json::Value& counters, const std::string& prefix)
+{
+    std::uint64_t total = 0;
+    if (counters.kind() != obs::json::Kind::Object) {
+        return 0;
+    }
+    for (const auto& [name, value] : counters.as_object()) {
+        if (name.rfind(prefix, 0) == 0) {
+            total += value.as_uint();
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <snapshot.json>\n", argv[0]);
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    std::string err;
+    obs::json::Value root = obs::json::parse(text, &err);
+    if (root.is_null()) {
+        std::fprintf(stderr, "JSON parse error: %s\n", err.c_str());
+        return 1;
+    }
+
+    const obs::json::Value* schema = root.find("schema");
+    check(schema != nullptr && schema->as_string() == "cxlalloc-metrics-v1",
+          "schema is cxlalloc-metrics-v1");
+
+    const obs::json::Value* counters = root.find("counters");
+    check(counters != nullptr, "counters object present");
+    if (counters != nullptr) {
+        check(prefixed_sum(*counters, "mem.") > 0,
+              "MemSession event counters (mem.*) nonzero");
+        check(prefixed_sum(*counters, "alloc.") > 0,
+              "allocator op counters (alloc.*) nonzero");
+        check(prefixed_sum(*counters, "run.ops") > 0,
+              "harness run.ops counter nonzero");
+    }
+
+    const obs::json::Value* hists = root.find("histograms");
+    check(hists != nullptr, "histograms object present");
+    bool populated = false;
+    bool ordered = true;
+    if (hists != nullptr && hists->kind() == obs::json::Kind::Object) {
+        for (const auto& [name, h] : hists->as_object()) {
+            if (h.find("count") == nullptr || h.find("count")->as_uint() == 0) {
+                continue;
+            }
+            populated = true;
+            double p50 = h.find("p50")->as_number();
+            double p90 = h.find("p90")->as_number();
+            double p99 = h.find("p99")->as_number();
+            double p999 = h.find("p999")->as_number();
+            double mn = h.find("min")->as_number();
+            double mx = h.find("max")->as_number();
+            bool this_ordered = mn <= p50 && p50 <= p90 && p90 <= p99 &&
+                                p99 <= p999 && p999 <= mx;
+            if (!this_ordered) {
+                std::fprintf(stderr, "  unordered percentiles in %s\n",
+                             name.c_str());
+            }
+            ordered = ordered && this_ordered;
+        }
+    }
+    check(populated, "at least one histogram has samples");
+    check(ordered, "percentiles ordered min<=p50<=p90<=p99<=p999<=max");
+
+    if (failures != 0) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::puts("metrics snapshot verified");
+    return 0;
+}

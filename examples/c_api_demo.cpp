@@ -62,6 +62,8 @@ main()
     });
     consumer.join();
 
+    cxlalloc_process_detach(proc_a);
+    cxlalloc_process_detach(proc_b);
     cxlalloc_pod_destroy(pod);
     std::puts("c_api_demo OK");
     return 0;

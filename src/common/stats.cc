@@ -12,13 +12,23 @@ std::uint64_t
 LatencyRecorder::percentile(double p)
 {
     CXL_ASSERT(!samples_.empty(), "percentile of empty recorder");
+    CXL_ASSERT(p >= 0.0 && p <= 100.0, "percentile outside [0, 100]");
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
+    // Linear interpolation between adjacent ranks; flooring the rank biases
+    // high percentiles (p99, p99.9) low on small sample counts.
     double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    auto idx = static_cast<std::size_t>(rank);
-    return samples_[idx];
+    auto lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    std::uint64_t base = samples_[lo];
+    if (frac <= 0.0 || lo + 1 >= samples_.size()) {
+        return base;
+    }
+    double interp = static_cast<double>(base) +
+                    frac * static_cast<double>(samples_[lo + 1] - base);
+    return static_cast<std::uint64_t>(std::llround(interp));
 }
 
 void

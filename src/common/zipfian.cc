@@ -1,10 +1,20 @@
 #include "common/zipfian.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
 
 namespace cxlcommon {
+
+namespace {
+
+/// Below this distance from theta == 1 the closed-form tail and the Gray
+/// et al. constants switch to their logarithmic / nudged forms: the power
+/// forms divide by (1 - theta) and blow up to inf/NaN.
+constexpr double kThetaOneEps = 1e-6;
+
+} // namespace
 
 double
 Zipfian::zeta(std::uint64_t n, double theta)
@@ -19,10 +29,17 @@ Zipfian::zeta(std::uint64_t n, double theta)
         sum += 1.0 / std::pow(static_cast<double>(i), theta);
     }
     if (n > m) {
-        // Integral approximation of the remaining tail.
+        // Integral approximation of the remaining tail. The antiderivative
+        // of x^-theta is x^(1-theta)/(1-theta) except at theta == 1, where
+        // it is ln(x); near 1 the power form divides by ~0.
         double a = static_cast<double>(m);
         double b = static_cast<double>(n);
-        sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) / (1 - theta);
+        if (std::abs(1.0 - theta) < kThetaOneEps) {
+            sum += std::log(b / a);
+        } else {
+            sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) /
+                   (1 - theta);
+        }
     }
     return sum;
 }
@@ -31,10 +48,17 @@ Zipfian::Zipfian(std::uint64_t n, double theta)
     : n_(n), theta_(theta)
 {
     CXL_ASSERT(n > 0, "zipfian over empty population");
-    alpha_ = 1.0 / (1.0 - theta);
+    CXL_FATAL_IF(!(theta > 0.0 && theta <= 1.0),
+                 "zipfian theta outside (0, 1] (YCSB skew range)");
+    // Gray et al.'s sampling constants divide by (1 - theta); at theta == 1
+    // use a value nudged just below it (the distributions are
+    // indistinguishable at this epsilon) while zeta() keeps the exact
+    // logarithmic tail.
+    double t = std::min(theta, 1.0 - kThetaOneEps);
+    alpha_ = 1.0 / (1.0 - t);
     zetan_ = zeta(n, theta);
     double zeta2 = zeta(2, theta);
-    eta_ = (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) /
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(n), 1 - t)) /
            (1 - zeta2 / zetan_);
 }
 

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/registry.h"
+
 namespace cxl {
 
 MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
@@ -107,6 +109,28 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
         counters_.cas_failures++;
     }
     return ok;
+}
+
+void
+MemSession::publish_metrics(obs::MetricsRegistry& registry) const
+{
+    obs::MetricsShard& sh = registry.shard(tid_);
+    const MemEventCounters& c = counters_;
+    auto pub = [&](const char* name, std::uint64_t value) {
+        if (value != 0) {
+            sh.add(registry.counter(name), value);
+        }
+    };
+    pub("mem.loads", c.loads);
+    pub("mem.stores", c.stores);
+    pub("mem.flushes", c.flushes);
+    pub("mem.fences", c.fences);
+    pub("mem.cas_ops", c.cas_ops);
+    pub("mem.cas_failures", c.cas_failures);
+    pub("mem.mcas_ops", c.mcas_ops);
+    pub("mem.mcas_conflicts", c.mcas_conflicts);
+    pub("mem.faults", c.faults);
+    pub("mem.sim_ns", sim_ns_);
 }
 
 std::uint64_t

@@ -29,6 +29,10 @@
 #include "cxl/nmp.h"
 #include "cxl/types.h"
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace cxl {
 
 /// Event counts for one thread's session.
@@ -179,6 +183,11 @@ class MemSession {
     MemEventCounters& counters() { return counters_; }
     const MemEventCounters& counters() const { return counters_; }
 
+    /// Publishes this session's event counters and simulated time into
+    /// @p registry under "mem.*", sharded by this session's thread id.
+    /// Call at quiesce points (end of a run); cheap enough to call often.
+    void publish_metrics(obs::MetricsRegistry& registry) const;
+
     /// Simulated nanoseconds accumulated by this session.
     std::uint64_t sim_ns() const { return sim_ns_; }
     void charge(std::uint64_t ns) { sim_ns_ += ns; }
@@ -212,7 +221,11 @@ class MemSession {
     void
     check_access(HeapOffset offset, std::uint64_t len)
     {
-        CXL_ASSERT(offset + len <= device_->size(), "access past device end");
+        // Overflow-safe form: `offset + len <= size` wraps for huge len and
+        // would wave a wild access through.
+        std::uint64_t size = device_->size();
+        CXL_ASSERT(len <= size && offset <= size - len,
+                   "access past device end");
         if (guard_ != nullptr) {
             guard_->on_access(*this, offset, len);
         }

@@ -1,6 +1,7 @@
 #include "cxlalloc/allocator.h"
 
 #include "common/assert.h"
+#include "obs/timer.h"
 #include "pod/process.h"
 
 namespace cxlalloc {
@@ -76,8 +77,32 @@ CxlAllocator::thread_state(cxl::ThreadId tid)
     return threads_[tid].state;
 }
 
+void
+CxlAllocator::set_metrics(obs::MetricsRegistry* registry)
+{
+    inst_ = Instruments{};
+    inst_.registry = registry;
+    if (registry == nullptr) {
+        return;
+    }
+    inst_.alloc_small = registry->counter("alloc.small");
+    inst_.alloc_large = registry->counter("alloc.large");
+    inst_.alloc_huge = registry->counter("alloc.huge");
+    inst_.alloc_failures = registry->counter("alloc.failures");
+    inst_.free_local = registry->counter("alloc.free_local");
+    inst_.free_remote = registry->counter("alloc.free_remote");
+    inst_.free_huge = registry->counter("alloc.free_huge");
+    inst_.recoveries = registry->counter("alloc.recoveries");
+    inst_.cleanups = registry->counter("alloc.cleanup_passes");
+    inst_.alloc_ns = registry->histogram("alloc.alloc_ns");
+    inst_.free_ns = registry->histogram("alloc.free_ns");
+    inst_.remote_free_ns = registry->histogram("alloc.remote_free_ns");
+    inst_.op_alloc = registry->op("alloc");
+    inst_.op_free = registry->op("free");
+}
+
 cxl::HeapOffset
-CxlAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+CxlAllocator::allocate_impl(pod::ThreadContext& ctx, std::uint64_t size)
 {
     CXL_ASSERT(size > 0, "zero-size allocation");
     ThreadState& ts = state_of(ctx);
@@ -90,20 +115,63 @@ CxlAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
     return huge_.allocate(ctx, ts, size);
 }
 
+cxl::HeapOffset
+CxlAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    if (inst_.registry == nullptr) {
+        return allocate_impl(ctx, size);
+    }
+    std::uint64_t t0 = obs::now_ns();
+    cxl::HeapOffset off = allocate_impl(ctx, size);
+    std::uint64_t dt = obs::now_ns() - t0;
+    obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
+    sh.add(size <= kSmallMax
+               ? inst_.alloc_small
+               : (size <= kLargeMax ? inst_.alloc_large : inst_.alloc_huge));
+    if (off == 0) {
+        sh.add(inst_.alloc_failures);
+    }
+    sh.record(inst_.alloc_ns, dt);
+    sh.trace().push({inst_.op_alloc, ctx.tid(), t0, dt, size});
+    return off;
+}
+
 void
 CxlAllocator::deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset)
 {
     CXL_ASSERT(offset != 0, "freeing null offset");
     ThreadState& ts = state_of(ctx);
+    if (inst_.registry == nullptr) {
+        if (small_.contains(offset)) {
+            small_.deallocate(ctx, ts, offset);
+        } else if (large_.contains(offset)) {
+            large_.deallocate(ctx, ts, offset);
+        } else if (huge_.contains(offset)) {
+            huge_.deallocate(ctx, ts, offset);
+        } else {
+            CXL_FATAL("free of offset outside any heap region");
+        }
+        return;
+    }
+    std::uint64_t t0 = obs::now_ns();
+    bool remote = false;
+    bool huge = false;
     if (small_.contains(offset)) {
-        small_.deallocate(ctx, ts, offset);
+        remote = small_.deallocate(ctx, ts, offset);
     } else if (large_.contains(offset)) {
-        large_.deallocate(ctx, ts, offset);
+        remote = large_.deallocate(ctx, ts, offset);
     } else if (huge_.contains(offset)) {
         huge_.deallocate(ctx, ts, offset);
+        huge = true;
     } else {
         CXL_FATAL("free of offset outside any heap region");
     }
+    std::uint64_t dt = obs::now_ns() - t0;
+    obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
+    sh.add(huge ? inst_.free_huge
+                : (remote ? inst_.free_remote : inst_.free_local));
+    sh.record(remote ? inst_.remote_free_ns : inst_.free_ns, dt);
+    sh.trace().push({inst_.op_free, ctx.tid(), t0, dt, offset});
 }
 
 void
@@ -140,12 +208,18 @@ CxlAllocator::recover(pod::ThreadContext& ctx)
         break;
     }
     log_.clear(mem);
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(ctx.tid()).add(inst_.recoveries);
+    }
 }
 
 void
 CxlAllocator::cleanup(pod::ThreadContext& ctx)
 {
     huge_.cleanup(ctx, state_of(ctx));
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(ctx.tid()).add(inst_.cleanups);
+    }
 }
 
 bool

@@ -28,6 +28,7 @@
 #include "cxlalloc/recovery.h"
 #include "cxlalloc/slab_heap.h"
 #include "cxlalloc/thread_state.h"
+#include "obs/registry.h"
 #include "pod/fault_handler.h"
 #include "pod/pod.h"
 
@@ -95,6 +96,12 @@ class CxlAllocator : public pod::FaultResolver {
 
     Stats stats(cxl::MemSession& mem);
 
+    /// Enables op counters ("alloc.*"), alloc/free/remote-free latency
+    /// histograms, and per-op tracing, sharded by thread id in
+    /// @p registry. nullptr (the default) disables instrumentation; the
+    /// disabled hot path costs a single branch on a member pointer.
+    void set_metrics(obs::MetricsRegistry* registry);
+
     const Layout& layout() const { return layout_; }
     const Config& config() const { return layout_.config(); }
 
@@ -108,6 +115,28 @@ class CxlAllocator : public pod::FaultResolver {
 
   private:
     ThreadState& state_of(pod::ThreadContext& ctx);
+
+    cxl::HeapOffset allocate_impl(pod::ThreadContext& ctx,
+                                  std::uint64_t size);
+
+    /// Resolved metric ids; valid only while registry != nullptr.
+    struct Instruments {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::MetricId alloc_small = obs::kInvalidMetric;
+        obs::MetricId alloc_large = obs::kInvalidMetric;
+        obs::MetricId alloc_huge = obs::kInvalidMetric;
+        obs::MetricId alloc_failures = obs::kInvalidMetric;
+        obs::MetricId free_local = obs::kInvalidMetric;
+        obs::MetricId free_remote = obs::kInvalidMetric;
+        obs::MetricId free_huge = obs::kInvalidMetric;
+        obs::MetricId recoveries = obs::kInvalidMetric;
+        obs::MetricId cleanups = obs::kInvalidMetric;
+        obs::MetricId alloc_ns = obs::kInvalidMetric;
+        obs::MetricId free_ns = obs::kInvalidMetric;
+        obs::MetricId remote_free_ns = obs::kInvalidMetric;
+        obs::MetricId op_alloc = obs::kInvalidMetric;
+        obs::MetricId op_free = obs::kInvalidMetric;
+    };
 
     pod::Pod& pod_;
     Layout layout_;
@@ -123,6 +152,7 @@ class CxlAllocator : public pod::FaultResolver {
     };
 
     std::array<PerThread, cxl::kMaxThreads + 1> threads_{};
+    Instruments inst_;
 };
 
 } // namespace cxlalloc

@@ -106,6 +106,12 @@ cxlalloc_process_attach(cxlalloc_pod_t* pod)
     return handle;
 }
 
+void
+cxlalloc_process_detach(cxlalloc_process_t* process)
+{
+    delete process;
+}
+
 uint16_t
 cxlalloc_thread_bind(cxlalloc_process_t* process)
 {

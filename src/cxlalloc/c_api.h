@@ -44,6 +44,12 @@ void cxlalloc_pod_destroy(cxlalloc_pod_t* pod);
 /// mappings). Returns NULL when the pod's process limit is reached.
 cxlalloc_process_t* cxlalloc_process_attach(cxlalloc_pod_t* pod);
 
+/// Releases a process handle obtained from cxlalloc_process_attach. The
+/// pod-side process state lives on (a real crashed process's heap memory
+/// must stay reachable); only the handle is freed. All threads bound to
+/// the process must be unbound first.
+void cxlalloc_process_detach(cxlalloc_process_t* process);
+
 /// Binds the CALLING thread to @p process: allocates a pod-global thread
 /// slot and thread-local context. Returns the thread id (>0), or 0 when no
 /// slots are free or the thread is already bound.

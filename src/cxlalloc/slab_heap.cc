@@ -633,7 +633,7 @@ SlabHeap::full_transition(pod::ThreadContext& ctx, std::uint32_t slab,
     }
 }
 
-void
+bool
 SlabHeap::deallocate(pod::ThreadContext& ctx, ThreadState& ts,
                      cxl::HeapOffset offset)
 {
@@ -651,9 +651,10 @@ SlabHeap::deallocate(pod::ThreadContext& ctx, ThreadState& ts,
         auto block = static_cast<std::uint32_t>(
             (offset - slab_data(slab)) / class_size_impl(large_, cls - 1));
         free_local(ctx, ts, slab, block);
-    } else {
-        free_remote(ctx, ts, slab);
+        return false;
     }
+    free_remote(ctx, ts, slab);
+    return true;
 }
 
 void

@@ -43,8 +43,11 @@ class SlabHeap {
     cxl::HeapOffset allocate(pod::ThreadContext& ctx, ThreadState& ts,
                              std::uint64_t size);
 
-    /// Frees the block at @p offset (local or remote free).
-    void deallocate(pod::ThreadContext& ctx, ThreadState& ts,
+    /// Frees the block at @p offset. Returns true when the free took the
+    /// remote path (the slab is owned by another thread), which observers
+    /// count separately: remote frees cost a detectable CAS on the HWcc
+    /// down-counter rather than a local bitset write.
+    bool deallocate(pod::ThreadContext& ctx, ThreadState& ts,
                     cxl::HeapOffset offset);
 
     /// True if @p offset lies in this heap's data region.

@@ -25,9 +25,22 @@
 #include "baselines/rallocish.h"
 #include "common/stats.h"
 #include "cxlalloc/allocator.h"
+#include "obs/registry.h"
 #include "pod/pod.h"
 
 namespace bench {
+
+/// Process-wide metrics switch. When non-null (bench::parse_options sets it
+/// for --metrics-json/--metrics-csv runs), make_bundle wires cxlalloc's op
+/// instrumentation into this registry and run_threads publishes each
+/// session's MemSession counters and sim_ns into it. Null (the default)
+/// keeps all hot paths uninstrumented.
+inline obs::MetricsRegistry*&
+bundle_metrics()
+{
+    static obs::MetricsRegistry* registry = nullptr;
+    return registry;
+}
 
 /// Memory substrate for a run (Fig. 12 series).
 enum class MemoryMode { Local, CxlHwcc, CxlMcas };
@@ -136,6 +149,7 @@ make_bundle(const std::string& which, const Geometry& geom,
                           ~(cxl::kPageSize - 1);
         b.pod = std::make_unique<pod::Pod>(pc);
         b.cxl_heap = std::make_unique<cxlalloc::CxlAllocator>(*b.pod, cfg);
+        b.cxl_heap->set_metrics(bundle_metrics());
         b.process = b.pod->create_process();
         b.cxl_heap->attach(*b.process);
         b.alloc =
@@ -241,6 +255,10 @@ run_threads(Bundle& b, std::uint32_t nthreads,
             ops[w] = body(*ctx, w);
             sim[w] = ctx->mem().sim_ns();
             events[w] = ctx->mem().counters();
+            if (obs::MetricsRegistry* reg = bundle_metrics()) {
+                ctx->mem().publish_metrics(*reg);
+                reg->shard(ctx->tid()).add(reg->counter("run.ops"), ops[w]);
+            }
             b.pod->release_thread(std::move(ctx));
         });
     }
@@ -255,6 +273,10 @@ run_threads(Bundle& b, std::uint32_t nthreads,
         r.ops += ops[w];
         r.sim_ns = std::max(r.sim_ns, sim[w]);
         r.events += events[w];
+    }
+    if (obs::MetricsRegistry* reg = bundle_metrics()) {
+        reg->set_gauge(reg->gauge("run.sim_ns_max"),
+                       static_cast<double>(r.sim_ns));
     }
     r.committed_bytes = b.pod->device().committed_bytes();
     r.metadata_bytes = b.alloc->metadata_overhead_bytes();

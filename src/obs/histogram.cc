@@ -1,0 +1,167 @@
+#include "obs/histogram.h"
+
+#include <atomic>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace obs {
+
+namespace {
+
+inline std::uint64_t
+relaxed_load(const std::uint64_t& cell)
+{
+    // atomic_ref<const T> arrives only in C++26; the cast is safe because
+    // the referenced cell is always a mutable member.
+    return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(cell))
+        .load(std::memory_order_relaxed);
+}
+
+inline void
+relaxed_store(std::uint64_t& cell, std::uint64_t value)
+{
+    std::atomic_ref<std::uint64_t>(cell).store(value,
+                                               std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint32_t
+Histogram::bucket_of(std::uint64_t value)
+{
+    if (value < kSubBuckets) {
+        return static_cast<std::uint32_t>(value);
+    }
+    // value in [2^e, 2^(e+1)); the kSubBits bits below the leading one
+    // select the linear sub-bucket within the octave.
+    auto e = static_cast<std::uint32_t>(63 - std::countl_zero(value));
+    auto sub = static_cast<std::uint32_t>((value >> (e - kSubBits)) &
+                                          (kSubBuckets - 1));
+    std::uint32_t idx = kSubBuckets + (e - kSubBits) * kSubBuckets + sub;
+    return idx < kBucketCount ? idx : kBucketCount - 1;
+}
+
+std::uint64_t
+Histogram::bucket_lower(std::uint32_t idx)
+{
+    CXL_ASSERT(idx < kBucketCount, "histogram bucket out of range");
+    if (idx < kSubBuckets) {
+        return idx;
+    }
+    std::uint32_t b = idx - kSubBuckets;
+    std::uint32_t e = kSubBits + b / kSubBuckets;
+    std::uint64_t sub = b % kSubBuckets;
+    return (kSubBuckets + sub) << (e - kSubBits);
+}
+
+std::uint64_t
+Histogram::bucket_upper(std::uint32_t idx)
+{
+    CXL_ASSERT(idx < kBucketCount, "histogram bucket out of range");
+    if (idx < kSubBuckets) {
+        return idx + 1;
+    }
+    std::uint32_t b = idx - kSubBuckets;
+    std::uint32_t e = kSubBits + b / kSubBuckets;
+    std::uint64_t lo = bucket_lower(idx);
+    std::uint64_t hi = lo + (std::uint64_t{1} << (e - kSubBits));
+    // The top bucket's bound is 2^64; saturate instead of wrapping to 0.
+    return hi > lo ? hi : ~std::uint64_t{0};
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    std::uint64_t& cell = buckets_[bucket_of(value)];
+    relaxed_store(cell, relaxed_load(cell) + 1);
+    relaxed_store(count_, relaxed_load(count_) + 1);
+    relaxed_store(sum_, relaxed_load(sum_) + value);
+    if (value < relaxed_load(min_)) {
+        relaxed_store(min_, value);
+    }
+    if (value > relaxed_load(max_)) {
+        relaxed_store(max_, value);
+    }
+}
+
+Histogram
+Histogram::snapshot() const
+{
+    Histogram out;
+    out.count_ = relaxed_load(count_);
+    out.sum_ = relaxed_load(sum_);
+    out.min_ = relaxed_load(min_);
+    out.max_ = relaxed_load(max_);
+    for (std::uint32_t i = 0; i < kBucketCount; i++) {
+        out.buckets_[i] = relaxed_load(buckets_[i]);
+    }
+    return out;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) {
+        min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+        max_ = other.max_;
+    }
+    for (std::uint32_t i = 0; i < kBucketCount; i++) {
+        buckets_[i] += other.buckets_[i];
+    }
+}
+
+void
+Histogram::reset()
+{
+    *this = Histogram{};
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    CXL_ASSERT(p >= 0.0 && p <= 100.0, "percentile outside [0, 100]");
+    if (count_ == 0) {
+        return 0.0;
+    }
+    double rank = p / 100.0 * static_cast<double>(count_ - 1);
+    std::uint64_t cum = 0;
+    for (std::uint32_t i = 0; i < kBucketCount; i++) {
+        std::uint64_t c = buckets_[i];
+        if (c == 0) {
+            continue;
+        }
+        if (rank < static_cast<double>(cum + c)) {
+            // Linear interpolation by rank position within the bucket span.
+            double pos = (rank - static_cast<double>(cum)) /
+                         static_cast<double>(c);
+            auto lo = static_cast<double>(bucket_lower(i));
+            auto hi = static_cast<double>(bucket_upper(i));
+            double v = lo + pos * (hi - lo);
+            // Bucket bounds are coarser than the exact extrema.
+            if (v < static_cast<double>(min())) {
+                v = static_cast<double>(min());
+            }
+            if (v > static_cast<double>(max_)) {
+                v = static_cast<double>(max_);
+            }
+            return v;
+        }
+        cum += c;
+    }
+    return static_cast<double>(max_);
+}
+
+} // namespace obs

@@ -1,0 +1,83 @@
+/// @file
+/// Fixed-footprint log-linear latency histogram (HDR-histogram style).
+///
+/// Values are bucketed into 16 linear sub-buckets per power-of-two octave,
+/// bounding relative error at 1/16 (~6.25%) while covering the full uint64
+/// range in a constant ~7.8 KiB of counters. Unlike LatencyRecorder, which
+/// keeps every raw sample in an unbounded vector, a histogram's memory
+/// cost is independent of the number of recorded operations — so it is
+/// safe to leave enabled in hot allocation loops.
+///
+/// Concurrency contract: record() may be called by exactly one writer
+/// thread at a time (the owning shard's thread); snapshot() may run
+/// concurrently with record() from any thread. Both sides go through
+/// relaxed std::atomic_ref so concurrent snapshots are tear-free.
+/// merge() and percentile() are meant for quiesced/snapshot copies.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace obs {
+
+class Histogram {
+  public:
+    /// Linear sub-buckets per octave (power of two).
+    static constexpr std::uint32_t kSubBuckets = 16;
+    static constexpr std::uint32_t kSubBits = 4; // log2(kSubBuckets)
+    /// Octaves above the exact [0, 16) range; covers all of uint64.
+    static constexpr std::uint32_t kOctaves = 60;
+    static constexpr std::uint32_t kBucketCount =
+        kSubBuckets + kOctaves * kSubBuckets;
+
+    /// Bucket index for @p value (exact for values < 16).
+    static std::uint32_t bucket_of(std::uint64_t value);
+
+    /// Inclusive lower bound of bucket @p idx.
+    static std::uint64_t bucket_lower(std::uint32_t idx);
+
+    /// Exclusive upper bound of bucket @p idx (saturated to uint64 max for
+    /// the topmost bucket, whose true bound 2^64 is unrepresentable).
+    static std::uint64_t bucket_upper(std::uint32_t idx);
+
+    /// Records one sample (writer thread only).
+    void record(std::uint64_t value);
+
+    /// Tear-free copy, safe while a writer is concurrently recording.
+    Histogram snapshot() const;
+
+    /// Adds @p other's samples into this histogram (quiesced data only).
+    void merge(const Histogram& other);
+
+    /// Discards all samples.
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /// Exact observed extrema (not bucket bounds). 0 when empty.
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /// Percentile in [0, 100], linearly interpolated inside the covering
+    /// bucket and clamped to the exact [min, max] extrema. 0 when empty.
+    double percentile(double p) const;
+
+    std::uint64_t bucket_count(std::uint32_t idx) const
+    {
+        return buckets_[idx];
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+    std::array<std::uint64_t, kBucketCount> buckets_{};
+};
+
+/// "p50=… p90=… p99=… p99.9=…" one-liner for bench output.
+// (defined in export.cc)
+
+} // namespace obs

@@ -1,0 +1,307 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace obs::json {
+
+Value::Value(Array a)
+    : kind_(Kind::Array), arr_(std::make_shared<Array>(std::move(a)))
+{
+}
+
+Value::Value(Object o)
+    : kind_(Kind::Object), obj_(std::make_shared<Object>(std::move(o)))
+{
+}
+
+const Array&
+Value::as_array() const
+{
+    static const Array kEmpty;
+    return arr_ != nullptr ? *arr_ : kEmpty;
+}
+
+const Object&
+Value::as_object() const
+{
+    static const Object kEmpty;
+    return obj_ != nullptr ? *obj_ : kEmpty;
+}
+
+const Value*
+Value::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object) {
+        return nullptr;
+    }
+    for (const auto& [k, v] : *obj_) {
+        if (k == key) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    run(std::string* error)
+    {
+        Value v = value();
+        skip_ws();
+        if (ok_ && pos_ != text_.size()) {
+            fail("trailing characters after document");
+        }
+        if (!ok_) {
+            if (error != nullptr) {
+                *error = error_;
+            }
+            return Value();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string& why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why + " at byte " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    value()
+    {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Value();
+        }
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return Value(string());
+          case 't':
+            if (literal("true")) {
+                return Value(true);
+            }
+            fail("bad literal");
+            return Value();
+          case 'f':
+            if (literal("false")) {
+                return Value(false);
+            }
+            fail("bad literal");
+            return Value();
+          case 'n':
+            if (literal("null")) {
+                return Value();
+            }
+            fail("bad literal");
+            return Value();
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        pos_++; // '{'
+        Object out;
+        skip_ws();
+        if (consume('}')) {
+            return Value(std::move(out));
+        }
+        while (ok_) {
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                break;
+            }
+            std::string key = string();
+            skip_ws();
+            if (!consume(':')) {
+                fail("expected ':'");
+                break;
+            }
+            out.emplace_back(std::move(key), value());
+            skip_ws();
+            if (consume(',')) {
+                continue;
+            }
+            if (consume('}')) {
+                break;
+            }
+            fail("expected ',' or '}'");
+        }
+        return Value(std::move(out));
+    }
+
+    Value
+    array()
+    {
+        pos_++; // '['
+        Array out;
+        skip_ws();
+        if (consume(']')) {
+            return Value(std::move(out));
+        }
+        while (ok_) {
+            out.push_back(value());
+            skip_ws();
+            if (consume(',')) {
+                continue;
+            }
+            if (consume(']')) {
+                break;
+            }
+            fail("expected ',' or ']'");
+        }
+        return Value(std::move(out));
+    }
+
+    std::string
+    string()
+    {
+        pos_++; // '"'
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                break;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                // ASCII \uXXXX only (all the exporter ever emits).
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        fail("bad \\u escape");
+                        return out;
+                    }
+                }
+                out.push_back(static_cast<char>(code & 0x7F));
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            pos_++;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            pos_++;
+        }
+        if (pos_ == start) {
+            fail("expected value");
+            return Value();
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        double d = std::strtod(num.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("bad number");
+            return Value();
+        }
+        return Value(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text, std::string* error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace obs::json

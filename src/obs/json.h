@@ -1,0 +1,60 @@
+/// @file
+/// Minimal JSON reader for verifying exported metrics snapshots.
+///
+/// Supports the full JSON grammar the exporter emits (objects, arrays,
+/// strings with escapes, numbers, booleans, null). Numbers are held as
+/// doubles: exact for the integer counters this repo emits up to 2^53,
+/// which is far beyond any test's magnitude. Not a general-purpose
+/// parser — no streaming, no UTF-16 surrogate handling.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+class Value {
+  public:
+    Value() = default;
+    explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+    explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    explicit Value(Array a);
+    explicit Value(Object o);
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return num_; }
+    std::uint64_t as_uint() const { return static_cast<std::uint64_t>(num_); }
+    const std::string& as_string() const { return str_; }
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value* find(std::string_view key) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::shared_ptr<Array> arr_;   // shared_ptr keeps Value copyable
+    std::shared_ptr<Object> obj_;
+};
+
+/// Parses @p text; on failure returns a null Value and sets @p error.
+Value parse(std::string_view text, std::string* error);
+
+} // namespace obs::json

@@ -1,0 +1,21 @@
+/// @file
+/// Monotonic nanosecond clock for op timing and trace timestamps.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace obs {
+
+/// Nanoseconds on the steady clock (monotonic, arbitrary epoch).
+inline std::uint64_t
+now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace obs

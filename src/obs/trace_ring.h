@@ -1,0 +1,61 @@
+/// @file
+/// Lightweight per-op trace ring: the last kTraceCapacity operations of one
+/// shard (thread), each a fixed 40-byte record. Overwrites the oldest entry
+/// when full, so tracing never allocates and never grows.
+///
+/// Writer: the owning shard's thread. Reader: snapshot code; collection is
+/// best-effort (an in-flight push may be missed or duplicated) which is the
+/// usual contract for flight-recorder rings.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace obs {
+
+inline constexpr std::uint32_t kTraceCapacity = 256;
+
+struct TraceEvent {
+    std::uint32_t op = 0;    ///< interned op label (MetricsRegistry::op)
+    std::uint32_t shard = 0; ///< recording shard id
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t arg = 0;   ///< op-specific (size, offset, ...)
+};
+
+class TraceRing {
+  public:
+    void
+    push(const TraceEvent& e)
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        ring_[h % kTraceCapacity] = e;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    /// Total events ever pushed (>= capacity means wrapped).
+    std::uint64_t pushed() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /// Appends the retained events, oldest first.
+    void
+    collect(std::vector<TraceEvent>& out) const
+    {
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        std::uint64_t n = h < kTraceCapacity ? h : kTraceCapacity;
+        for (std::uint64_t i = h - n; i < h; i++) {
+            out.push_back(ring_[i % kTraceCapacity]);
+        }
+    }
+
+  private:
+    std::array<TraceEvent, kTraceCapacity> ring_{};
+    std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace obs

@@ -20,6 +20,32 @@ TEST(LatencyRecorder, PercentilesOfKnownDistribution)
     EXPECT_EQ(rec.percentile(100), 1000u);
 }
 
+TEST(LatencyRecorder, PercentileInterpolatesBetweenSamples)
+{
+    LatencyRecorder rec;
+    for (std::uint64_t v : {10u, 20u, 30u, 40u}) {
+        rec.record(v);
+    }
+    // rank(p50) = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+    EXPECT_EQ(rec.percentile(50), 25u);
+    // rank(p25) = 0.75 -> 10 + 0.75 * 10 = 17.5, rounds to 18.
+    EXPECT_EQ(rec.percentile(25), 18u);
+    // rank(p99) = 2.97 -> 30 + 0.97 * 10 = 39.7, rounds to 40.
+    EXPECT_EQ(rec.percentile(99), 40u);
+    EXPECT_EQ(rec.percentile(0), 10u);
+    EXPECT_EQ(rec.percentile(100), 40u);
+}
+
+TEST(LatencyRecorder, PercentileNoLongerFloorTruncates)
+{
+    // Two samples: the median is their midpoint, not whichever sample the
+    // truncated index used to land on.
+    LatencyRecorder rec;
+    rec.record(0);
+    rec.record(100);
+    EXPECT_EQ(rec.percentile(50), 50u);
+}
+
 TEST(LatencyRecorder, RecordAfterPercentileResorts)
 {
     LatencyRecorder rec;

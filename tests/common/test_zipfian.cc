@@ -80,4 +80,56 @@ TEST(Zipfian, LargePopulationConstructsQuickly)
     }
 }
 
+TEST(Zipfian, ThetaOneProducesFiniteSkewedSamples)
+{
+    // theta == 1.0 used to divide by zero in both the zeta tail and
+    // alpha = 1/(1-theta), yielding inf/NaN and degenerate samples.
+    Zipfian z(100'000, 1.0);
+    Xoshiro rng(9);
+    std::vector<std::uint64_t> counts(100'000, 0);
+    for (int i = 0; i < 100'000; i++) {
+        std::uint64_t k = z.sample(rng);
+        ASSERT_LT(k, 100'000u);
+        counts[k]++;
+    }
+    // Harder skew than theta=0.5: rank 0 dominates and holds real mass.
+    for (std::size_t r = 1; r < 100; r++) {
+        EXPECT_GE(counts[0], counts[r]);
+    }
+    EXPECT_GT(counts[0], 1'000u);
+}
+
+TEST(Zipfian, ThetaOneHeadHeavierThanMildSkew)
+{
+    Xoshiro rng1(21);
+    Xoshiro rng2(21);
+    Zipfian mild(10'000, 0.5);
+    Zipfian unit(10'000, 1.0);
+    int head_mild = 0;
+    int head_unit = 0;
+    for (int i = 0; i < 50'000; i++) {
+        head_mild += mild.sample(rng1) < 10;
+        head_unit += unit.sample(rng2) < 10;
+    }
+    EXPECT_GT(head_unit, head_mild);
+}
+
+TEST(Zipfian, ThetaOneLargePopulationIsFinite)
+{
+    // The log-form zeta tail must stay finite where the power form's
+    // 1/(1-theta) factor blew up.
+    Zipfian z(100'000'000ULL, 1.0);
+    Xoshiro rng(2);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_LT(z.sample(rng), 100'000'000ULL);
+    }
+}
+
+TEST(Zipfian, RejectsThetaOutsideYcsbRange)
+{
+    EXPECT_DEATH(Zipfian(1000, 0.0), "theta outside");
+    EXPECT_DEATH(Zipfian(1000, 1.5), "theta outside");
+    EXPECT_DEATH(Zipfian(1000, -0.5), "theta outside");
+}
+
 } // namespace

@@ -59,6 +59,24 @@ TEST(MemOpsEdge, AccessPastDeviceEndDies)
     EXPECT_DEATH(s.load<std::uint64_t>(rig.dev.size() - 4), "past device");
 }
 
+TEST(MemOpsEdge, OverflowingAccessLengthDies)
+{
+    // offset + len wraps uint64_t: the old `offset + len <= size` bounds
+    // check wrapped to a tiny sum and let the access through.
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    EXPECT_DEATH(s.data_ptr(8, ~std::uint64_t{0} - 4), "past device");
+    EXPECT_DEATH(s.data_ptr(~std::uint64_t{0} - 4, 8), "past device");
+}
+
+TEST(MemOpsEdge, FullRangeAccessAllowed)
+{
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    EXPECT_NE(s.data_ptr(0, rig.dev.size()), nullptr);
+    EXPECT_NE(s.data_ptr(rig.dev.size() - 8, 8), nullptr);
+}
+
 TEST(MemOpsEdge, InvalidThreadIdDies)
 {
     Rig rig(CoherenceMode::PartialHwcc);

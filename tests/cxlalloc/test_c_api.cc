@@ -47,6 +47,7 @@ TEST(CApi, MallocFreeRoundTrip)
     EXPECT_GT(stats.committed_bytes, 0u);
     EXPECT_GT(stats.hwcc_bytes, 0u);
     cxlalloc_thread_unbind();
+    cxlalloc_process_detach(proc);
 }
 
 TEST(CApi, UnboundThreadRejectsOperations)
@@ -65,6 +66,7 @@ TEST(CApi, DoubleBindRejected)
     ASSERT_GT(tid, 0);
     EXPECT_EQ(cxlalloc_thread_bind(proc), 0u);
     cxlalloc_thread_unbind();
+    cxlalloc_process_detach(proc);
 }
 
 TEST(CApi, CrossProcessOffsetsAreStable)
@@ -91,6 +93,8 @@ TEST(CApi, CrossProcessOffsetsAreStable)
         cxlalloc_thread_unbind();
     });
     reader.join();
+    cxlalloc_process_detach(a);
+    cxlalloc_process_detach(b);
 }
 
 TEST(CApi, InvalidCoherenceRejected)
@@ -113,6 +117,7 @@ TEST(CApi, McasModeWorks)
         cxlalloc_free(p);
     }
     cxlalloc_thread_unbind();
+    cxlalloc_process_detach(proc);
 }
 
 TEST(CApi, AdoptRecoversCrashedSlot)
@@ -142,6 +147,7 @@ TEST(CApi, AdoptRecoversCrashedSlot)
     // beyond adopt failing for a live slot:
     EXPECT_EQ(cxlalloc_thread_adopt(proc, dead), 0u)
         << "adopting a live (non-crashed) slot must fail";
+    cxlalloc_process_detach(proc);
 }
 
 TEST(CApi, ZeroSizeMallocReturnsNull)
@@ -152,6 +158,7 @@ TEST(CApi, ZeroSizeMallocReturnsNull)
     ASSERT_GT(cxlalloc_thread_bind(proc), 0);
     EXPECT_EQ(cxlalloc_malloc(0), 0u);
     cxlalloc_thread_unbind();
+    cxlalloc_process_detach(proc);
 }
 
 } // namespace

@@ -1,0 +1,139 @@
+/// Log-linear histogram: bucket geometry, percentile interpolation, merge.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace {
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    for (std::uint64_t v = 0; v < 16; v++) {
+        std::uint32_t idx = obs::Histogram::bucket_of(v);
+        EXPECT_EQ(obs::Histogram::bucket_lower(idx), v);
+        EXPECT_EQ(obs::Histogram::bucket_upper(idx), v + 1);
+    }
+}
+
+TEST(Histogram, BucketBoundsCoverValue)
+{
+    cxlcommon::Xoshiro rng(7);
+    for (int i = 0; i < 200'000; i++) {
+        // Random magnitudes across the whole range.
+        std::uint64_t v = rng.next() >> (rng.next_below(64));
+        std::uint32_t idx = obs::Histogram::bucket_of(v);
+        ASSERT_LT(idx, obs::Histogram::kBucketCount);
+        EXPECT_GE(v, obs::Histogram::bucket_lower(idx));
+        // The top bucket's bound saturates at uint64 max (inclusive).
+        std::uint64_t up = obs::Histogram::bucket_upper(idx);
+        EXPECT_TRUE(v < up || up == ~std::uint64_t{0}) << "value " << v;
+    }
+}
+
+TEST(Histogram, RelativeErrorBounded)
+{
+    // Bucket width <= lower/16 for values >= 16 (one linear step per
+    // sixteenth of the octave), the histogram's accuracy contract.
+    cxlcommon::Xoshiro rng(11);
+    for (int i = 0; i < 100'000; i++) {
+        std::uint64_t v = 16 + (rng.next() >> rng.next_below(59));
+        std::uint32_t idx = obs::Histogram::bucket_of(v);
+        std::uint64_t lo = obs::Histogram::bucket_lower(idx);
+        std::uint64_t hi = obs::Histogram::bucket_upper(idx);
+        EXPECT_LE(hi - lo, lo / 16 + 1) << "value " << v;
+    }
+}
+
+TEST(Histogram, BasicStats)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 600u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 300u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, PercentileMonotoneAndClamped)
+{
+    obs::Histogram h;
+    cxlcommon::Xoshiro rng(3);
+    for (int i = 0; i < 10'000; i++) {
+        h.record(1'000 + rng.next_below(1'000'000));
+    }
+    double prev = 0;
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p" << p;
+        EXPECT_GE(v, static_cast<double>(h.min()));
+        EXPECT_LE(v, static_cast<double>(h.max()));
+        prev = v;
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0), static_cast<double>(h.min()));
+    EXPECT_DOUBLE_EQ(h.percentile(100), static_cast<double>(h.max()));
+}
+
+TEST(Histogram, PercentileAccuracyOnUniform)
+{
+    // Uniform samples in [0, 100000): p50 should land near 50000 within
+    // the log-linear bucket error (~6.25%).
+    obs::Histogram h;
+    for (std::uint64_t v = 0; v < 100'000; v++) {
+        h.record(v);
+    }
+    EXPECT_NEAR(h.percentile(50), 50'000, 50'000 * 0.07);
+    EXPECT_NEAR(h.percentile(90), 90'000, 90'000 * 0.07);
+    EXPECT_NEAR(h.percentile(99), 99'000, 99'000 * 0.07);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording)
+{
+    obs::Histogram a;
+    obs::Histogram b;
+    obs::Histogram both;
+    cxlcommon::Xoshiro rng(5);
+    for (int i = 0; i < 5'000; i++) {
+        std::uint64_t v = rng.next_below(1 << 20);
+        if (i % 2 == 0) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        both.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    for (std::uint32_t i = 0; i < obs::Histogram::kBucketCount; i++) {
+        ASSERT_EQ(a.bucket_count(i), both.bucket_count(i)) << "bucket " << i;
+    }
+}
+
+TEST(Histogram, SnapshotAndReset)
+{
+    obs::Histogram h;
+    h.record(42);
+    h.record(7);
+    obs::Histogram snap = h.snapshot();
+    EXPECT_EQ(snap.count(), 2u);
+    EXPECT_EQ(snap.min(), 7u);
+    EXPECT_EQ(snap.max(), 42u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(snap.count(), 2u); // snapshot unaffected
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+/// Minimal JSON reader: grammar coverage and error reporting.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+obs::json::Value
+must_parse(std::string_view text)
+{
+    std::string err;
+    obs::json::Value v = obs::json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    return v;
+}
+
+TEST(Json, Scalars)
+{
+    EXPECT_TRUE(must_parse("null").is_null());
+    EXPECT_TRUE(must_parse("true").as_bool());
+    EXPECT_FALSE(must_parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(must_parse("0").as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(must_parse("-17").as_number(), -17.0);
+    EXPECT_DOUBLE_EQ(must_parse("3.5e2").as_number(), 350.0);
+    EXPECT_EQ(must_parse("1234567890123").as_uint(), 1'234'567'890'123u);
+    EXPECT_EQ(must_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(must_parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+    EXPECT_EQ(must_parse(R"("A/")").as_string(), "A/");
+}
+
+TEST(Json, NestedStructure)
+{
+    obs::json::Value v = must_parse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+    const obs::json::Array& a = v.find("a")->as_array();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+    EXPECT_TRUE(a[2].find("b")->as_bool());
+    EXPECT_TRUE(v.find("c")->find("d")->is_null());
+    EXPECT_EQ(v.find("e")->as_string(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_EQ(a[0].find("not-an-object"), nullptr);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_TRUE(must_parse("[]").as_array().empty());
+    EXPECT_TRUE(must_parse("{}").as_object().empty());
+    EXPECT_TRUE(must_parse("  [ ]  ").as_array().empty());
+}
+
+TEST(Json, ErrorsAreReported)
+{
+    for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterm",
+                            "1 2", "{\"a\" 1}", "[1 2]"}) {
+        std::string err;
+        obs::json::Value v = obs::json::parse(bad, &err);
+        EXPECT_TRUE(v.is_null()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+} // namespace
