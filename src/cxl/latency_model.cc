@@ -47,6 +47,9 @@ LatencyModel::cxl_mcas()
     m.cas_contended_ns = 0;
     m.mcas_ns = 2300;       // Fig. 11 hw_cas p50 at 1 thread
     m.mcas_conflict_ns = 180; // engine scales mildly under contention
+    // The engine's serialized compare-and-swap pass per extra operand in a
+    // batched doorbell; the ~2.3 us round trip is paid once per batch.
+    m.mcas_batch_slot_ns = 150;
     return m;
 }
 

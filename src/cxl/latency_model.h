@@ -27,6 +27,12 @@ struct LatencyModel {
     std::uint64_t cas_contended_ns = 0; ///< extra per coherence conflict
     std::uint64_t mcas_ns = 0;        ///< NMP spwr+sprd round trip
     std::uint64_t mcas_conflict_ns = 0; ///< extra when engine reports conflict
+    /// Incremental cost per ADDITIONAL operand sharing one batched round
+    /// trip: a k-operand doorbell costs mcas_ns + (k-1) * this (plus
+    /// conflict surcharges). The round trip (spwr DMA + doorbell + sprd)
+    /// dominates mcas_ns; extra operands only pay the engine's serialized
+    /// per-operand processing (Fig. 6(a) pipeline).
+    std::uint64_t mcas_batch_slot_ns = 0;
 
     /// Host-local DDR DRAM (the "local" series in Fig. 12).
     static LatencyModel local_dram();

@@ -80,6 +80,7 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
         if (model_ != nullptr) {
             charge(model_->mcas_ns +
                    (result.conflict ? model_->mcas_conflict_ns : 0));
+            mcas_round_trip_ns_.record(model_->mcas_ns);
         }
         if (result.conflict) {
             counters_.mcas_conflicts++;
@@ -111,6 +112,84 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
     return ok;
 }
 
+bool
+MemSession::mcas_post(const McasOperand& op)
+{
+    CXL_ASSERT(device_->mode() == CoherenceMode::NoHwcc,
+               "mcas_post requires the NMP engine (NoHwcc mode)");
+    CXL_ASSERT(device_->in_sync_region(op.target),
+               "mCAS target outside the device-biased region");
+    check_access(op.target, 8);
+    // Staging writes the operand into the spwr ring: one posted store to
+    // device memory.
+    counters_.stores++;
+    charge_store(op.target);
+    return nmp_->spwr_post(tid_, op);
+}
+
+std::uint32_t
+MemSession::mcas_doorbell()
+{
+    std::uint32_t executed = nmp_->doorbell(tid_);
+    if (executed == 0) {
+        return 0;
+    }
+    counters_.mcas_ops += executed;
+    counters_.mcas_batches++;
+    counters_.mcas_batch_ops += executed;
+    if (model_ != nullptr) {
+        std::uint64_t trip = model_->mcas_ns +
+                             (executed - 1) * model_->mcas_batch_slot_ns;
+        charge(trip);
+        mcas_round_trip_ns_.record(trip);
+    }
+    return executed;
+}
+
+bool
+MemSession::mcas_poll(McasResult* out)
+{
+    if (!nmp_->poll(tid_, out)) {
+        return false;
+    }
+    if (out->conflict) {
+        counters_.mcas_conflicts++;
+        if (model_ != nullptr) {
+            charge(model_->mcas_conflict_ns);
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+MemSession::mcas_batch(const McasOperand* ops, std::uint32_t n,
+                       McasResult* results)
+{
+    if (device_->mode() != CoherenceMode::NoHwcc) {
+        // Coherent CAS needs no engine: same result contract, one CAS per
+        // operand, conflict never reported.
+        for (std::uint32_t i = 0; i < n; i++) {
+            std::uint64_t expected = ops[i].expected;
+            bool ok = cas64(ops[i].target, expected, ops[i].swap);
+            results[i] = McasResult{.success = ok, .conflict = false,
+                                    .previous = ok ? ops[i].expected
+                                                   : expected};
+        }
+        return n;
+    }
+    std::uint32_t accepted = 0;
+    while (accepted < n && mcas_post(ops[accepted])) {
+        accepted++;
+    }
+    mcas_doorbell();
+    for (std::uint32_t i = 0; i < accepted; i++) {
+        bool ok = mcas_poll(&results[i]);
+        CXL_ASSERT(ok, "doorbell lost a completion");
+        (void)ok;
+    }
+    return accepted;
+}
+
 void
 MemSession::publish_metrics(obs::MetricsRegistry& registry) const
 {
@@ -129,8 +208,16 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("mem.cas_failures", c.cas_failures);
     pub("mem.mcas_ops", c.mcas_ops);
     pub("mem.mcas_conflicts", c.mcas_conflicts);
+    pub("mem.mcas_batches", c.mcas_batches);
+    pub("mem.mcas_batch_ops", c.mcas_batch_ops);
     pub("mem.faults", c.faults);
     pub("mem.sim_ns", sim_ns_);
+    if (mcas_round_trip_ns_.count() != 0) {
+        obs::MetricsSnapshot hists;
+        hists.histograms.emplace_back("mem.mcas_round_trip_ns",
+                                      mcas_round_trip_ns_.snapshot());
+        registry.absorb(hists);
+    }
 }
 
 std::uint64_t

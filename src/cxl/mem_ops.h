@@ -28,6 +28,7 @@
 #include "cxl/latency_model.h"
 #include "cxl/nmp.h"
 #include "cxl/types.h"
+#include "obs/histogram.h"
 
 namespace obs {
 class MetricsRegistry;
@@ -45,6 +46,10 @@ struct MemEventCounters {
     std::uint64_t cas_failures = 0;
     std::uint64_t mcas_ops = 0;
     std::uint64_t mcas_conflicts = 0;
+    /// Batched doorbells rung (each is one device round trip).
+    std::uint64_t mcas_batches = 0;
+    /// Operands carried by those doorbells (occupancy = ops / batches).
+    std::uint64_t mcas_batch_ops = 0;
     std::uint64_t faults = 0;
 
     MemEventCounters&
@@ -58,6 +63,8 @@ struct MemEventCounters {
         cas_failures += o.cas_failures;
         mcas_ops += o.mcas_ops;
         mcas_conflicts += o.mcas_conflicts;
+        mcas_batches += o.mcas_batches;
+        mcas_batch_ops += o.mcas_batch_ops;
         faults += o.faults;
         return *this;
     }
@@ -165,6 +172,32 @@ class MemSession {
     bool cas64(HeapOffset offset, std::uint64_t& expected,
                std::uint64_t desired);
 
+    /// Stages one mCAS operand into this thread's NMP ring without ringing
+    /// the doorbell (NoHwcc only; the staging window is what batch-crash
+    /// recovery inspects). Returns false when the ring is full — drain
+    /// with mcas_doorbell() + mcas_poll() first.
+    bool mcas_post(const McasOperand& op);
+
+    /// Rings this thread's doorbell: every staged operand executes in one
+    /// simulated device round trip, charged mcas_ns + (k-1) *
+    /// mcas_batch_slot_ns for k operands. Returns k.
+    std::uint32_t mcas_doorbell();
+
+    /// Harvests the oldest completed operand's result (FIFO). A conflicted
+    /// result is charged mcas_conflict_ns and counted here, not at the
+    /// doorbell. Returns false when nothing is pending.
+    bool mcas_poll(McasResult* out);
+
+    /// Submits up to kNmpRingSlots INDEPENDENT operands as one batch and
+    /// harvests their results in order: post + doorbell + poll. Returns
+    /// the number accepted (< n only if @p n exceeds ring capacity).
+    /// Under HWcc modes there is no engine to batch, so this degenerates
+    /// to a serial coherent-CAS loop with identical result semantics
+    /// (conflict never reported). Operands must target distinct addresses
+    /// or later duplicates fail with a conflict (Fig. 6(b)).
+    std::uint32_t mcas_batch(const McasOperand* ops, std::uint32_t n,
+                             McasResult* results);
+
     /// Atomic (coherent) 64-bit load from the sync region.
     std::uint64_t atomic_load64(HeapOffset offset);
 
@@ -196,6 +229,7 @@ class MemSession {
     {
         sim_ns_ = 0;
         counters_ = MemEventCounters{};
+        mcas_round_trip_ns_.reset();
     }
 
   private:
@@ -262,6 +296,9 @@ class MemSession {
     const LatencyModel* model_ = nullptr;
     MemEventCounters counters_;
     std::uint64_t sim_ns_ = 0;
+    /// Modeled cost of each mCAS device round trip (single or batched),
+    /// merged into "mem.mcas_round_trip_ns" by publish_metrics.
+    obs::Histogram mcas_round_trip_ns_;
 };
 
 } // namespace cxl

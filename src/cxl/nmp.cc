@@ -1,65 +1,153 @@
 #include "cxl/nmp.h"
+
 #include <atomic>
+#include <string>
 
 #include "common/assert.h"
+#include "obs/registry.h"
 
 namespace cxl {
+
+// ------------------------------------------------------------ batched path
+
+bool
+Nmp::spwr_post(ThreadId tid, const McasOperand& op)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    CXL_ASSERT(device_->in_sync_region(op.target),
+               "mCAS target outside device-biased region");
+    CXL_ASSERT(op.target % 8 == 0, "mCAS target must be 8-byte aligned");
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring& ring = rings_[tid];
+    if (ring.size == kNmpRingSlots) {
+        return false;
+    }
+    Slot& slot = ring.at(ring.head + ring.size);
+    ring.size++;
+    slot.op = op;
+    slot.state = NmpSlotState::Posted;
+    slot.doomed = false;
+    // Fig. 6(b): an operand that arrives while another staged operand is in
+    // flight on the same target address is failed. "Staged" ends when the
+    // engine executes the operand — an executed-but-unpolled slot is
+    // already serialized and no longer excludes competitors.
+    for (std::uint32_t t = 1; t <= kMaxThreads; t++) {
+        const Ring& other = rings_[t];
+        for (std::uint32_t i = 0; i < other.size; i++) {
+            const Slot& competitor = other.at(other.head + i);
+            if (&competitor == &slot) {
+                continue;
+            }
+            if (competitor.state == NmpSlotState::Posted &&
+                competitor.op.target == op.target) {
+                slot.doomed = true;
+                return true;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Nmp::execute_locked(Slot& slot)
+{
+    ops_++;
+    slot.state = NmpSlotState::Executed;
+    if (slot.doomed) {
+        conflicts_++;
+        slot.result =
+            McasResult{.success = false, .conflict = true, .previous = 0};
+        return;
+    }
+    std::atomic_ref<std::uint64_t> word(
+        *reinterpret_cast<std::uint64_t*>(device_->raw(slot.op.target)));
+    std::uint64_t previous = word.load(std::memory_order_acquire);
+    bool success = previous == slot.op.expected;
+    if (success) {
+        // "On an mCAS success, all subsequent sprd and spwr operations are
+        // stalled until the swap value is written" — under mu_, the write
+        // completes before any other engine work.
+        word.store(slot.op.swap, std::memory_order_release);
+    }
+    slot.result = McasResult{.success = success, .conflict = false,
+                             .previous = previous};
+}
+
+std::uint32_t
+Nmp::doorbell(ThreadId tid)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring& ring = rings_[tid];
+    std::uint32_t executed = 0;
+    for (std::uint32_t i = 0; i < ring.size; i++) {
+        Slot& slot = ring.at(ring.head + i);
+        if (slot.state == NmpSlotState::Posted) {
+            execute_locked(slot);
+            executed++;
+        }
+    }
+    if (executed > 0) {
+        batches_++;
+        occupancy_.record(executed);
+    }
+    return executed;
+}
+
+bool
+Nmp::poll(ThreadId tid, McasResult* out)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring& ring = rings_[tid];
+    if (ring.size == 0 ||
+        ring.at(ring.head).state != NmpSlotState::Executed) {
+        return false;
+    }
+    Slot& slot = ring.at(ring.head);
+    *out = slot.result;
+    slot.state = NmpSlotState::Free;
+    ring.head = (ring.head + 1) % kNmpRingSlots;
+    ring.size--;
+    return true;
+}
+
+std::uint32_t
+Nmp::spwr_batch(ThreadId tid, const McasOperand* ops, std::uint32_t n)
+{
+    std::uint32_t accepted = 0;
+    while (accepted < n && spwr_post(tid, ops[accepted])) {
+        accepted++;
+    }
+    doorbell(tid);
+    return accepted;
+}
+
+// ------------------------------------------------------ legacy two-phase
 
 void
 Nmp::spwr(ThreadId tid, HeapOffset target, std::uint64_t expected,
           std::uint64_t swap)
 {
-    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
-    CXL_ASSERT(device_->in_sync_region(target),
-               "mCAS target outside device-biased region");
-    CXL_ASSERT(target % 8 == 0, "mCAS target must be 8-byte aligned");
-    std::lock_guard<std::mutex> lock(mu_);
-    Slot& slot = slots_[tid];
-    CXL_ASSERT(!slot.valid, "spwr while previous mCAS still in flight");
-    slot.target = target;
-    slot.expected = expected;
-    slot.swap = swap;
-    slot.valid = true;
-    slot.doomed = false;
-    // Fig. 6(b): an operation that arrives while another spwr-sprd pair is
-    // in progress on the same target address is failed.
-    for (std::uint32_t other = 1; other <= kMaxThreads; other++) {
-        if (other == tid) {
-            continue;
-        }
-        const Slot& competitor = slots_[other];
-        if (competitor.valid && competitor.target == target) {
-            slot.doomed = true;
-            break;
-        }
-    }
+    CXL_ASSERT(ring_occupancy(tid) == 0,
+               "spwr while previous mCAS still in flight");
+    bool posted = spwr_post(
+        tid, McasOperand{.target = target, .expected = expected,
+                         .swap = swap});
+    CXL_ASSERT(posted, "empty ring rejected a post");
+    (void)posted;
 }
 
 McasResult
 Nmp::sprd(ThreadId tid)
 {
-    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
-    std::lock_guard<std::mutex> lock(mu_);
-    Slot& slot = slots_[tid];
-    CXL_ASSERT(slot.valid, "sprd without matching spwr");
-    slot.valid = false;
-    ops_++;
-    if (slot.doomed) {
-        conflicts_++;
-        return McasResult{.success = false, .conflict = true, .previous = 0};
-    }
-    std::atomic_ref<std::uint64_t> word(
-        *reinterpret_cast<std::uint64_t*>(device_->raw(slot.target)));
-    std::uint64_t previous = word.load(std::memory_order_acquire);
-    bool success = previous == slot.expected;
-    if (success) {
-        // "On an mCAS success, all subsequent sprd and spwr operations are
-        // stalled until the swap value is written" — under mu_, the write
-        // completes before any other engine work.
-        word.store(slot.swap, std::memory_order_release);
-    }
-    return McasResult{.success = success, .conflict = false,
-                      .previous = previous};
+    CXL_ASSERT(ring_occupancy(tid) != 0, "sprd without matching spwr");
+    doorbell(tid);
+    McasResult result;
+    bool ok = poll(tid, &result);
+    CXL_ASSERT(ok, "doorbell produced no completion");
+    (void)ok;
+    return result;
 }
 
 McasResult
@@ -68,6 +156,56 @@ Nmp::mcas(ThreadId tid, HeapOffset target, std::uint64_t expected,
 {
     spwr(tid, target, expected, swap);
     return sprd(tid);
+}
+
+// -------------------------------------------------------- introspection
+
+std::uint32_t
+Nmp::ring_occupancy(ThreadId tid) const
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    return rings_[tid].size;
+}
+
+std::uint32_t
+Nmp::ring_snapshot(ThreadId tid, NmpSlotView* out, std::uint32_t cap) const
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    const Ring& ring = rings_[tid];
+    std::uint32_t n = ring.size < cap ? ring.size : cap;
+    for (std::uint32_t i = 0; i < n; i++) {
+        const Slot& slot = ring.at(ring.head + i);
+        out[i] = NmpSlotView{.op = slot.op, .state = slot.state,
+                             .result = slot.result};
+    }
+    return n;
+}
+
+void
+Nmp::reset_ring(ThreadId tid)
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_[tid] = Ring{};
+}
+
+void
+Nmp::publish_metrics(obs::MetricsRegistry& registry,
+                     std::string_view prefix) const
+{
+    obs::MetricsSnapshot snap;
+    obs::Histogram occ;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snap.counters.emplace_back("nmp.ops", ops_);
+        snap.counters.emplace_back("nmp.conflicts", conflicts_);
+        snap.counters.emplace_back("nmp.batches", batches_);
+        occ = occupancy_.snapshot();
+    }
+    snap.histograms.emplace_back("nmp.batch_occupancy", occ);
+    registry.absorb(snap, prefix);
 }
 
 } // namespace cxl

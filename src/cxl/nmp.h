@@ -1,44 +1,118 @@
 /// @file
-/// Near-memory-processing (NMP) mCAS engine (paper §4, Fig. 6).
+/// Near-memory-processing (NMP) mCAS engine (paper §4, Fig. 6), batched.
 ///
 /// Substitution note: the paper implements this in the FPGA of an Intel
 /// Agilex 7 CXL Type-2 board. We reproduce the *interface contract* and the
 /// *conflict semantics*:
-///  - a thread initiates an mCAS by writing a 64 B operand block (expected
-///    value, swap value, target address) to its private cacheline in the
-///    special-write (spwr) region, then reading a 16 B response (success
-///    bit + previous value) from its cacheline in the special-read (sprd)
-///    region;
-///  - only one spwr-sprd pair may be in flight per target address: a
-///    competing operation that arrives while another targets the same
-///    address is failed (Fig. 6(b));
+///  - each thread owns a ring of kNmpRingSlots operand slots in the
+///    special-write (spwr) region (one 64 B cacheline per slot: expected
+///    value, swap value, target address) and matching response slots in the
+///    special-read (sprd) region (success bit + previous value);
+///  - a thread stages one or more independent operands into its ring
+///    (spwr_post), then *doorbells* the ring: the device executes every
+///    staged operand of that thread in posting order within one serialized
+///    engine pass — one device round trip, however many operands it
+///    carries. Completions are harvested in FIFO order with poll();
+///  - only one staged-but-unexecuted operand may exist per target address
+///    pod-wide: an operand that arrives (is posted) while another staged
+///    operand — any thread's, including an earlier slot of the same ring —
+///    targets the same address is failed (Fig. 6(b)). The engine reports
+///    the failure as a conflict at execution time; hardware does not retry,
+///    software must (see McasBackoff);
 ///  - all engine work is serialized at the device, which is what provides
 ///    atomicity without any cache coherence.
 ///
-/// The two-phase spwr()/sprd() API is exposed so tests can interleave
-/// competing operations deterministically; mcas() is the convenience wrapper
-/// the allocator uses.
+/// The spwr()/sprd() pair is the legacy single-operand path (a ring of
+/// one), kept so the original two-phase tests and the uncontended allocator
+/// fast path read exactly as the paper describes. spwr_post()/doorbell()/
+/// poll() expose the same phases batched, and let tests interleave
+/// competing batches deterministically; spwr_batch() and mcas() are the
+/// convenience wrappers consumers use.
+///
+/// Persistence: the ring lives in device memory, which survives host and
+/// process crashes (paper §2.1 failure model). Recovery code inspects a
+/// crashed thread's ring via ring_snapshot() to learn exactly which staged
+/// operands executed, then releases it with reset_ring().
 
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 
 #include "cxl/device.h"
 #include "cxl/types.h"
+#include "obs/histogram.h"
+
+namespace obs {
+class MetricsRegistry;
+}
 
 namespace cxl {
+
+/// Operand slots per thread ring (spwr cachelines per thread).
+inline constexpr std::uint32_t kNmpRingSlots = 8;
+
+/// One mCAS operand as staged in a spwr slot.
+struct McasOperand {
+    HeapOffset target = 0;
+    std::uint64_t expected = 0;
+    std::uint64_t swap = 0;
+};
 
 /// Outcome of one mCAS.
 struct McasResult {
     /// True if the swap was performed.
     bool success = false;
-    /// True if the operation was failed because a competing spwr-sprd pair
+    /// True if the operation was failed because a competing staged operand
     /// targeted the same address (hardware does not retry; software must).
     bool conflict = false;
     /// Value observed at the target (undefined when conflict).
     std::uint64_t previous = 0;
+};
+
+/// Lifecycle of a ring slot.
+enum class NmpSlotState : std::uint8_t {
+    Free,     ///< no operand
+    Posted,   ///< staged by spwr_post, doorbell not yet processed it
+    Executed, ///< engine executed it; result awaits poll()
+};
+
+/// Introspection view of one live ring slot (recovery + tests).
+struct NmpSlotView {
+    McasOperand op;
+    NmpSlotState state = NmpSlotState::Free;
+    /// Valid only when state == Executed.
+    McasResult result;
+};
+
+/// Bounded exponential backoff for mCAS conflict-retry loops. A conflicted
+/// operand means another staged operand beat us to the target; retrying
+/// immediately re-conflicts against the same in-flight window, so software
+/// waits 2^k * base (capped) before resubmitting. Returns the wait in
+/// simulated nanoseconds so callers on the latency-model path can charge it.
+class McasBackoff {
+  public:
+    static constexpr std::uint64_t kBaseNs = 200;
+    static constexpr std::uint64_t kMaxNs = 12'800; // base << 6
+
+    /// Next wait; grows 2x per call until the cap.
+    std::uint64_t
+    next_ns()
+    {
+        std::uint64_t ns = kBaseNs << shift_;
+        if (ns < kMaxNs) {
+            shift_++;
+        }
+        return ns;
+    }
+
+    /// Call after a success so the next conflict starts small again.
+    void reset() { shift_ = 0; }
+
+  private:
+    std::uint32_t shift_ = 0;
 };
 
 /// The simulated NMP unit managing the device-biased region.
@@ -46,39 +120,115 @@ class Nmp {
   public:
     explicit Nmp(Device* device) : device_(device) {}
 
-    /// Phase 1: thread @p tid posts operands to its spwr cacheline.
-    /// Returns false (operation already doomed) if a competing in-flight
-    /// operation targets the same address.
+    // ---- legacy two-phase path (single operand; a ring of one) ----
+
+    /// Phase 1: thread @p tid posts operands to its spwr ring, which must
+    /// be empty (one in-flight operation, the pre-batching discipline).
+    /// The operand is conflict-checked against every staged operand
+    /// pod-wide; a doomed operand is reported as a conflict by sprd().
     void spwr(ThreadId tid, HeapOffset target, std::uint64_t expected,
               std::uint64_t swap);
 
     /// Phase 2: thread @p tid reads its sprd cacheline, triggering the
-    /// compare-and-swap.
+    /// compare-and-swap (doorbell + poll of a one-operand ring).
     McasResult sprd(ThreadId tid);
 
     /// Full spwr+sprd round trip.
     McasResult mcas(ThreadId tid, HeapOffset target, std::uint64_t expected,
                     std::uint64_t swap);
 
+    // ---- batched path ----
+
+    /// Stages @p op into the next free slot of @p tid's ring without
+    /// ringing the doorbell. Returns false if the ring is full (the caller
+    /// must doorbell + poll first). Conflict detection happens *here*, at
+    /// arrival: an operand posted while any staged operand targets the same
+    /// address is doomed (Fig. 6(b)), including an earlier operand of the
+    /// same ring.
+    bool spwr_post(ThreadId tid, const McasOperand& op);
+
+    /// Rings @p tid's doorbell: the engine executes every posted operand of
+    /// that ring, in posting order, within one serialized pass (one device
+    /// round trip regardless of occupancy). Returns the number executed.
+    std::uint32_t doorbell(ThreadId tid);
+
+    /// Harvests the oldest executed operand's result into @p out. Returns
+    /// false when no executed result is pending. Results are FIFO.
+    bool poll(ThreadId tid, McasResult* out);
+
+    /// Convenience: stages up to @p n operands (stopping early if the ring
+    /// fills) and doorbells once. Returns the number accepted; the caller
+    /// polls that many results.
+    std::uint32_t spwr_batch(ThreadId tid, const McasOperand* ops,
+                             std::uint32_t n);
+
+    // ---- recovery / test introspection ----
+
+    /// Live (posted + executed-unpolled) operands in @p tid's ring.
+    std::uint32_t ring_occupancy(ThreadId tid) const;
+
+    /// Copies up to @p cap live slots of @p tid's ring, oldest first.
+    /// Recovery uses this to learn which operands of a crashed thread's
+    /// batch were staged and which executed (the ring is device memory and
+    /// survives the crash).
+    std::uint32_t ring_snapshot(ThreadId tid, NmpSlotView* out,
+                                std::uint32_t cap) const;
+
+    /// Frees every slot of @p tid's ring, discarding staged operands and
+    /// unpolled results. Called when a crashed thread's slot is adopted,
+    /// after recovery has inspected the ring: a dead thread's staged
+    /// operands must stop dooming the rest of the pod.
+    void reset_ring(ThreadId tid);
+
+    // ---- engine statistics ----
+
     std::uint64_t total_ops() const { return ops_; }
     std::uint64_t total_conflicts() const { return conflicts_; }
+    /// Doorbell rings that executed at least one operand.
+    std::uint64_t total_batches() const { return batches_; }
+
+    /// Publishes engine counters ("nmp.ops", "nmp.conflicts",
+    /// "nmp.batches") and the per-doorbell occupancy histogram
+    /// ("nmp.batch_occupancy") into @p registry, optionally under
+    /// @p prefix. Call at quiesce points.
+    void publish_metrics(obs::MetricsRegistry& registry,
+                         std::string_view prefix = {}) const;
 
   private:
     struct Slot {
-        HeapOffset target = 0;
-        std::uint64_t expected = 0;
-        std::uint64_t swap = 0;
-        bool valid = false;
+        McasOperand op;
+        McasResult result;
+        NmpSlotState state = NmpSlotState::Free;
         bool doomed = false;
     };
 
+    /// One thread's spwr/sprd ring: a FIFO of kNmpRingSlots slots.
+    struct Ring {
+        std::array<Slot, kNmpRingSlots> slots{};
+        std::uint32_t head = 0; ///< oldest live slot
+        std::uint32_t size = 0; ///< live (posted + executed) slots
+
+        Slot& at(std::uint32_t i) { return slots[i % kNmpRingSlots]; }
+        const Slot&
+        at(std::uint32_t i) const
+        {
+            return slots[i % kNmpRingSlots];
+        }
+    };
+
+    /// Executes one staged operand (engine pass body). Caller holds mu_.
+    void execute_locked(Slot& slot);
+
     Device* device_;
     /// The device serializes engine work; one mutex models that pipeline.
-    std::mutex mu_;
-    /// Register array: one slot per thread (its spwr/sprd cachelines).
-    std::array<Slot, kMaxThreads + 1> slots_{};
+    mutable std::mutex mu_;
+    /// Per-thread operand rings (the spwr/sprd region contents).
+    std::array<Ring, kMaxThreads + 1> rings_{};
     std::uint64_t ops_ = 0;
     std::uint64_t conflicts_ = 0;
+    std::uint64_t batches_ = 0;
+    /// Operands executed per doorbell (batch occupancy), recorded under mu_.
+    obs::Histogram occupancy_;
 };
 
 } // namespace cxl

@@ -1,5 +1,7 @@
 #include "cxlalloc/allocator.h"
 
+#include <vector>
+
 #include "common/assert.h"
 #include "obs/timer.h"
 #include "pod/process.h"
@@ -92,6 +94,8 @@ CxlAllocator::set_metrics(obs::MetricsRegistry* registry)
     inst_.free_local = registry->counter("alloc.free_local");
     inst_.free_remote = registry->counter("alloc.free_remote");
     inst_.free_huge = registry->counter("alloc.free_huge");
+    inst_.free_batches = registry->counter("alloc.free_batches");
+    inst_.free_batch_ns = registry->histogram("alloc.free_batch_ns");
     inst_.recoveries = registry->counter("alloc.recoveries");
     inst_.cleanups = registry->counter("alloc.cleanup_passes");
     inst_.alloc_ns = registry->histogram("alloc.alloc_ns");
@@ -175,6 +179,58 @@ CxlAllocator::deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset)
 }
 
 void
+CxlAllocator::deallocate_batch(pod::ThreadContext& ctx,
+                               const cxl::HeapOffset* offsets,
+                               std::uint32_t n)
+{
+    if (n == 0) {
+        return;
+    }
+    ThreadState& ts = state_of(ctx);
+    std::uint64_t t0 = inst_.registry != nullptr ? obs::now_ns() : 0;
+    // Partition by heap so each slab heap sees its drain in one piece and
+    // can pack distinct-slab decrements into shared doorbells. Huge frees
+    // have no remote counter to batch.
+    std::vector<cxl::HeapOffset> small_offs;
+    std::vector<cxl::HeapOffset> large_offs;
+    std::uint64_t huge_count = 0;
+    for (std::uint32_t i = 0; i < n; i++) {
+        cxl::HeapOffset offset = offsets[i];
+        CXL_ASSERT(offset != 0, "freeing null offset");
+        if (small_.contains(offset)) {
+            small_offs.push_back(offset);
+        } else if (large_.contains(offset)) {
+            large_offs.push_back(offset);
+        } else if (huge_.contains(offset)) {
+            huge_.deallocate(ctx, ts, offset);
+            huge_count++;
+        } else {
+            CXL_FATAL("free of offset outside any heap region");
+        }
+    }
+    std::uint64_t remote = 0;
+    if (!small_offs.empty()) {
+        remote += small_.deallocate_batch(
+            ctx, ts, small_offs.data(),
+            static_cast<std::uint32_t>(small_offs.size()));
+    }
+    if (!large_offs.empty()) {
+        remote += large_.deallocate_batch(
+            ctx, ts, large_offs.data(),
+            static_cast<std::uint32_t>(large_offs.size()));
+    }
+    if (inst_.registry == nullptr) {
+        return;
+    }
+    obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
+    sh.add(inst_.free_batches);
+    sh.add(inst_.free_huge, huge_count);
+    sh.add(inst_.free_remote, remote);
+    sh.add(inst_.free_local, n - huge_count - remote);
+    sh.record(inst_.free_batch_ns, obs::now_ns() - t0);
+}
+
+void
 CxlAllocator::recover(pod::ThreadContext& ctx)
 {
     cxl::MemSession& mem = ctx.mem();
@@ -188,6 +244,16 @@ CxlAllocator::recover(pod::ThreadContext& ctx)
     // Huge-heap volatile state must exist before huge redo logic runs.
     huge_.rebuild_thread_state(ctx, pt.state);
     pt.attached = true;
+
+    // Staged NMP operands are device state: a crash can leave Posted slots
+    // that doom every competing mCAS on their targets (Fig. 6(b)) until
+    // released. An interrupted batch (Op::FreeRemoteBatch) needs them as
+    // its redo state — its recover case snapshots, then resets. Any other
+    // record means no batch record was logged, so staged operands belong
+    // to a batch that never (durably) happened: discard them.
+    if (record.op != Op::FreeRemoteBatch) {
+        pod_.nmp().reset_ring(ctx.tid());
+    }
 
     switch (record.op) {
       case Op::None:

@@ -62,6 +62,14 @@ class CxlAllocator : public pod::FaultResolver {
     /// Frees an allocation by offset (any attached thread/process).
     void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset);
 
+    /// Frees @p n allocations in one drain. Semantically equal to n
+    /// deallocate() calls; under NoHwcc the slab heaps submit remote-free
+    /// decrements of distinct slabs as batched NMP doorbells — one device
+    /// round trip per ring instead of one per free (§4). Huge frees and
+    /// everything under HWcc modes take the serial paths unchanged.
+    void deallocate_batch(pod::ThreadContext& ctx,
+                          const cxl::HeapOffset* offsets, std::uint32_t n);
+
     /// Resolves an offset to a pointer in this process, enforcing PC-T
     /// (faults in the mapping if needed).
     std::byte*
@@ -129,6 +137,8 @@ class CxlAllocator : public pod::FaultResolver {
         obs::MetricId free_local = obs::kInvalidMetric;
         obs::MetricId free_remote = obs::kInvalidMetric;
         obs::MetricId free_huge = obs::kInvalidMetric;
+        obs::MetricId free_batches = obs::kInvalidMetric;
+        obs::MetricId free_batch_ns = obs::kInvalidMetric;
         obs::MetricId recoveries = obs::kInvalidMetric;
         obs::MetricId cleanups = obs::kInvalidMetric;
         obs::MetricId alloc_ns = obs::kInvalidMetric;

@@ -34,6 +34,8 @@ to_string(Op op)
         return "huge-alloc";
       case Op::HugeFree:
         return "huge-free";
+      case Op::FreeRemoteBatch:
+        return "free-remote-batch";
     }
     return "?";
 }

@@ -42,6 +42,14 @@ enum class Op : std::uint8_t {
     HugeReserve = 10, ///< claim a reservation region   (dcas)
     HugeAlloc = 11,   ///< build + link huge descriptor
     HugeFree = 12,    ///< set huge descriptor free bit
+    /// A ring of remote-free decrements submitted as one batched NMP
+    /// doorbell (aux: heap|count; version: LAST of `count` consecutive
+    /// dcas versions, so recovery resumes versioning past the whole
+    /// batch). The per-operand redo state — which slabs, which versions,
+    /// which executed — lives in the thread's NMP operand ring, which is
+    /// device memory and survives the crash; see
+    /// SlabHeap::deallocate_batch and its recover case.
+    FreeRemoteBatch = 13,
 };
 
 const char* to_string(Op op);
@@ -124,6 +132,9 @@ inline constexpr int kMidHugeAlloc = 8;    ///< desc written, not linked
 inline constexpr int kMidHugeMap = 9;      ///< hazard published, not mapped
 inline constexpr int kMidHugeFree = 10;    ///< free bit set, not unmapped
 inline constexpr int kMidAlloc = 11;       ///< bit cleared, not returned
+inline constexpr int kMidBatchStage = 12;  ///< ring staged, record not logged
+inline constexpr int kMidBatchDoorbell = 13; ///< record logged, doorbell not rung
+inline constexpr int kMidBatchDrain = 14;  ///< doorbell rung, results not drained
 
 } // namespace crashpoint
 

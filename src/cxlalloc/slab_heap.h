@@ -50,6 +50,19 @@ class SlabHeap {
     bool deallocate(pod::ThreadContext& ctx, ThreadState& ts,
                     cxl::HeapOffset offset);
 
+    /// Frees @p n blocks of this heap in one drain. Semantically equal to
+    /// n deallocate() calls; under NoHwcc the remote decrements of
+    /// DISTINCT slabs share batched NMP doorbells (one device round trip
+    /// per ring, §4) instead of one round trip each. Final decrements
+    /// (counter would reach zero and steal) stay on the serial path so a
+    /// batched operand can never land a zero counter — the invariant the
+    /// Op::FreeRemoteBatch recovery case relies on. Conflicted operands
+    /// retry with bounded exponential backoff. Returns the number of
+    /// frees that took the remote path.
+    std::uint32_t deallocate_batch(pod::ThreadContext& ctx, ThreadState& ts,
+                                   const cxl::HeapOffset* offsets,
+                                   std::uint32_t n);
+
     /// True if @p offset lies in this heap's data region.
     bool contains(cxl::HeapOffset offset) const;
 

@@ -28,6 +28,72 @@ DetectableCas::try_cas(cxl::MemSession& mem, cxl::HeapOffset word_offset,
 }
 
 bool
+DetectableCas::stage(cxl::MemSession& mem, cxl::HeapOffset word_offset,
+                     std::uint32_t expected, std::uint32_t desired,
+                     std::uint16_t version, cxl::McasOperand* out,
+                     Result* failed)
+{
+    std::uint64_t current = mem.atomic_load64(word_offset);
+    if (DcasWord::value(current) != expected) {
+        *failed = Result{false, DcasWord::value(current)};
+        return false;
+    }
+    // Before displacing a tagged word, publish the displaced owner's
+    // success so its recovery can detect it even after the word moves on.
+    if (detectable_ && DcasWord::tid(current) != cxl::kNoThread) {
+        record_help(mem, DcasWord::tid(current), DcasWord::version(current));
+    }
+    *out = cxl::McasOperand{
+        .target = word_offset,
+        .expected = current,
+        .swap = DcasWord::pack(desired, mem.tid(), version)};
+    return true;
+}
+
+void
+DetectableCas::try_cas_batch(cxl::MemSession& mem, const BatchOp* ops,
+                             std::uint32_t n, Result* results)
+{
+    std::uint32_t i = 0;
+    while (i < n) {
+        // Stage one ring's worth of survivors.
+        cxl::McasOperand operands[cxl::kNmpRingSlots];
+        std::uint32_t index_of[cxl::kNmpRingSlots];
+        std::uint32_t staged = 0;
+        while (i < n && staged < cxl::kNmpRingSlots) {
+            if (stage(mem, ops[i].word_offset, ops[i].expected,
+                      ops[i].desired, ops[i].version, &operands[staged],
+                      &results[i])) {
+                index_of[staged] = i;
+                staged++;
+            }
+            i++;
+        }
+        if (staged == 0) {
+            continue;
+        }
+        cxl::McasResult raw[cxl::kNmpRingSlots];
+        std::uint32_t done = mem.mcas_batch(operands, staged, raw);
+        CXL_ASSERT(done == staged, "ring-sized chunk not fully accepted");
+        (void)done;
+        for (std::uint32_t k = 0; k < staged; k++) {
+            Result& r = results[index_of[k]];
+            if (raw[k].success) {
+                r = Result{true, ops[index_of[k]].expected};
+            } else if (raw[k].conflict) {
+                // Hardware reports no previous value on conflict; reload
+                // so the caller's retry loop sees fresh state.
+                r = Result{false,
+                           DcasWord::value(mem.atomic_load64(
+                               ops[index_of[k]].word_offset))};
+            } else {
+                r = Result{false, DcasWord::value(raw[k].previous)};
+            }
+        }
+    }
+}
+
+bool
 DetectableCas::did_succeed(cxl::MemSession& mem,
                            cxl::HeapOffset word_offset, std::uint16_t version)
 {

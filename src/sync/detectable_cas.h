@@ -90,6 +90,34 @@ class DetectableCas {
                    std::uint32_t expected, std::uint32_t desired,
                    std::uint16_t version);
 
+    /// Phase 1 of a batched detectable CAS — the staging half of try_cas:
+    /// value-checks the word and publishes the displaced owner's success,
+    /// then emits the raw word-level operand for MemSession::mcas_post /
+    /// mcas_batch. Returns false when the value check already fails
+    /// (@p failed filled; nothing to submit). The displaced-owner help
+    /// record is written BEFORE the operand can execute, preserving the
+    /// recovery invariant of the serial path.
+    bool stage(cxl::MemSession& mem, cxl::HeapOffset word_offset,
+               std::uint32_t expected, std::uint32_t desired,
+               std::uint16_t version, cxl::McasOperand* out, Result* failed);
+
+    /// One staged detectable CAS in a batch.
+    struct BatchOp {
+        cxl::HeapOffset word_offset = 0;
+        std::uint32_t expected = 0;
+        std::uint32_t desired = 0;
+        std::uint16_t version = 0;
+    };
+
+    /// Batched detectable CAS over INDEPENDENT words (distinct
+    /// word_offsets; duplicates conflict per Fig. 6(b)): stages every op,
+    /// then submits the survivors in ring-sized chunks — one device round
+    /// trip per chunk under NoHwcc, a serial coherent-CAS loop otherwise.
+    /// results[i] mirrors try_cas: on any failure the freshest observed
+    /// value is reported so callers can retry.
+    void try_cas_batch(cxl::MemSession& mem, const BatchOp* ops,
+                       std::uint32_t n, Result* results);
+
     /// Reads the 32-bit value currently stored at @p word_offset.
     std::uint32_t
     read(cxl::MemSession& mem, cxl::HeapOffset word_offset)

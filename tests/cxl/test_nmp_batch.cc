@@ -1,0 +1,507 @@
+/// Batched NMP engine tests: deterministic competing-batch interleavings,
+/// partial-batch conflicts, ring wrap-around and full-ring rejection at the
+/// engine level; then the allocator's batched remote-free drain, including
+/// a crash inside a half-submitted batch recovered through the §5.1
+/// machinery (the operand ring is device memory and survives the crash).
+
+#include "cxl/nmp.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "../cxlalloc/fixture.h"
+
+namespace {
+
+using cxl::CoherenceMode;
+using cxl::Device;
+using cxl::DeviceConfig;
+using cxl::kNmpRingSlots;
+using cxl::McasOperand;
+using cxl::McasResult;
+using cxl::Nmp;
+using cxl::NmpSlotState;
+using cxl::NmpSlotView;
+
+class NmpBatchTest : public ::testing::Test {
+  protected:
+    NmpBatchTest()
+        : dev_(DeviceConfig{.size = 1 << 20,
+                            .mode = CoherenceMode::NoHwcc,
+                            .sync_region_size = 64 << 10}),
+          nmp_(&dev_)
+    {
+    }
+
+    std::uint64_t
+    word(std::uint64_t offset)
+    {
+        return std::atomic_ref<std::uint64_t>(
+                   *reinterpret_cast<std::uint64_t*>(dev_.raw(offset)))
+            .load(std::memory_order_acquire);
+    }
+
+    static McasOperand
+    op(cxl::HeapOffset target, std::uint64_t expected, std::uint64_t swap)
+    {
+        return McasOperand{
+            .target = target, .expected = expected, .swap = swap};
+    }
+
+    Device dev_;
+    Nmp nmp_;
+};
+
+TEST_F(NmpBatchTest, DoorbellExecutesInPostingOrderPollIsFifo)
+{
+    ASSERT_TRUE(nmp_.spwr_post(1, op(128, 0, 10)));
+    ASSERT_TRUE(nmp_.spwr_post(1, op(192, 0, 20)));
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 30)));
+    EXPECT_EQ(nmp_.ring_occupancy(1), 3u);
+    EXPECT_EQ(nmp_.doorbell(1), 3u);
+    McasResult r;
+    ASSERT_TRUE(nmp_.poll(1, &r));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.previous, 0u);
+    ASSERT_TRUE(nmp_.poll(1, &r));
+    EXPECT_TRUE(r.success);
+    ASSERT_TRUE(nmp_.poll(1, &r));
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(nmp_.poll(1, &r));
+    EXPECT_EQ(word(128), 10u);
+    EXPECT_EQ(word(192), 20u);
+    EXPECT_EQ(word(256), 30u);
+    EXPECT_EQ(nmp_.total_batches(), 1u);
+    EXPECT_EQ(nmp_.total_ops(), 3u);
+}
+
+TEST_F(NmpBatchTest, FullRingRejectsFurtherPosts)
+{
+    for (std::uint32_t i = 0; i < kNmpRingSlots; i++) {
+        ASSERT_TRUE(nmp_.spwr_post(1, op(128 + 64 * i, 0, i + 1)));
+    }
+    EXPECT_FALSE(nmp_.spwr_post(1, op(8192, 0, 99)));
+    EXPECT_EQ(nmp_.doorbell(1), kNmpRingSlots);
+    McasResult r;
+    for (std::uint32_t i = 0; i < kNmpRingSlots; i++) {
+        ASSERT_TRUE(nmp_.poll(1, &r));
+        EXPECT_TRUE(r.success);
+    }
+    // Drained: the ring accepts again.
+    EXPECT_TRUE(nmp_.spwr_post(1, op(8192, 0, 99)));
+    EXPECT_EQ(nmp_.doorbell(1), 1u);
+}
+
+TEST_F(NmpBatchTest, WithinBatchDuplicateTargetIsDoomed)
+{
+    // Fig. 6(b) applies to a thread's own earlier slot too: one in-flight
+    // operand per target pod-wide.
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 1)));
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 2)));
+    EXPECT_EQ(nmp_.doorbell(1), 2u);
+    McasResult first;
+    McasResult second;
+    ASSERT_TRUE(nmp_.poll(1, &first));
+    ASSERT_TRUE(nmp_.poll(1, &second));
+    EXPECT_TRUE(first.success);
+    EXPECT_TRUE(second.conflict);
+    EXPECT_EQ(word(256), 1u);
+    EXPECT_EQ(nmp_.total_conflicts(), 1u);
+}
+
+TEST_F(NmpBatchTest, CompetingBatchesDoomTheLaterArrival)
+{
+    // T1 posts to 256 first; T2's post to the same target arrives while
+    // T1's operand is staged and is doomed regardless of doorbell order.
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 7)));
+    ASSERT_TRUE(nmp_.spwr_post(2, op(256, 0, 8)));
+    EXPECT_EQ(nmp_.doorbell(2), 1u);
+    McasResult r2;
+    ASSERT_TRUE(nmp_.poll(2, &r2));
+    EXPECT_TRUE(r2.conflict);
+    EXPECT_EQ(nmp_.doorbell(1), 1u);
+    McasResult r1;
+    ASSERT_TRUE(nmp_.poll(1, &r1));
+    EXPECT_TRUE(r1.success);
+    EXPECT_EQ(word(256), 7u);
+}
+
+TEST_F(NmpBatchTest, PartialBatchConflictOnlyHitsTheOverlappingTarget)
+{
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 1)));
+    // T2's ring: one operand collides with T1's staged operand, the other
+    // two are independent and must execute normally.
+    ASSERT_TRUE(nmp_.spwr_post(2, op(512, 0, 2)));
+    ASSERT_TRUE(nmp_.spwr_post(2, op(256, 0, 3)));
+    ASSERT_TRUE(nmp_.spwr_post(2, op(768, 0, 4)));
+    EXPECT_EQ(nmp_.doorbell(2), 3u);
+    McasResult r;
+    ASSERT_TRUE(nmp_.poll(2, &r));
+    EXPECT_TRUE(r.success); // 512
+    ASSERT_TRUE(nmp_.poll(2, &r));
+    EXPECT_TRUE(r.conflict); // 256: doomed by T1's staged operand
+    ASSERT_TRUE(nmp_.poll(2, &r));
+    EXPECT_TRUE(r.success); // 768
+    EXPECT_TRUE(nmp_.sprd(1).success);
+    EXPECT_EQ(word(256), 1u);
+    EXPECT_EQ(word(512), 2u);
+    EXPECT_EQ(word(768), 4u);
+}
+
+TEST_F(NmpBatchTest, ConflictWindowClosesAtExecutionNotAtPoll)
+{
+    // Once the engine has executed an operand its CAS is done; an
+    // executed-but-unpolled slot must not doom later arrivals.
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 1)));
+    EXPECT_EQ(nmp_.doorbell(1), 1u);
+    ASSERT_TRUE(nmp_.spwr_post(2, op(256, 1, 2)));
+    EXPECT_EQ(nmp_.doorbell(2), 1u);
+    McasResult r2;
+    ASSERT_TRUE(nmp_.poll(2, &r2));
+    EXPECT_TRUE(r2.success);
+    EXPECT_EQ(word(256), 2u);
+    McasResult r1;
+    ASSERT_TRUE(nmp_.poll(1, &r1));
+    EXPECT_TRUE(r1.success);
+}
+
+TEST_F(NmpBatchTest, RingWrapsAroundAcrossManyBatches)
+{
+    // 5 rounds of 3 push head past kNmpRingSlots several times.
+    std::uint64_t expect = 0;
+    for (std::uint32_t round = 0; round < 5; round++) {
+        for (std::uint32_t j = 0; j < 3; j++) {
+            ASSERT_TRUE(nmp_.spwr_post(1, op(1024, expect, expect + 1)));
+            EXPECT_EQ(nmp_.doorbell(1), 1u);
+            McasResult r;
+            ASSERT_TRUE(nmp_.poll(1, &r));
+            ASSERT_TRUE(r.success);
+            expect++;
+        }
+        // And one multi-operand batch per round on distinct targets.
+        ASSERT_TRUE(nmp_.spwr_post(1, op(2048, round, round + 1)));
+        ASSERT_TRUE(nmp_.spwr_post(1, op(4096, round, round + 1)));
+        EXPECT_EQ(nmp_.doorbell(1), 2u);
+        McasResult r;
+        ASSERT_TRUE(nmp_.poll(1, &r));
+        ASSERT_TRUE(nmp_.poll(1, &r));
+    }
+    EXPECT_EQ(word(1024), 15u);
+    EXPECT_EQ(word(2048), 5u);
+    EXPECT_EQ(word(4096), 5u);
+}
+
+TEST_F(NmpBatchTest, SnapshotShowsPostedThenExecutedThenDrains)
+{
+    ASSERT_TRUE(nmp_.spwr_post(3, op(128, 0, 1)));
+    ASSERT_TRUE(nmp_.spwr_post(3, op(192, 0, 2)));
+    NmpSlotView views[kNmpRingSlots];
+    ASSERT_EQ(nmp_.ring_snapshot(3, views, kNmpRingSlots), 2u);
+    EXPECT_EQ(views[0].state, NmpSlotState::Posted);
+    EXPECT_EQ(views[1].state, NmpSlotState::Posted);
+    EXPECT_EQ(views[0].op.target, 128u);
+    EXPECT_EQ(views[1].op.target, 192u);
+    nmp_.doorbell(3);
+    ASSERT_EQ(nmp_.ring_snapshot(3, views, kNmpRingSlots), 2u);
+    EXPECT_EQ(views[0].state, NmpSlotState::Executed);
+    EXPECT_TRUE(views[0].result.success);
+    McasResult r;
+    ASSERT_TRUE(nmp_.poll(3, &r));
+    ASSERT_EQ(nmp_.ring_snapshot(3, views, kNmpRingSlots), 1u);
+    EXPECT_EQ(views[0].op.target, 192u);
+}
+
+TEST_F(NmpBatchTest, ResetRingDiscardsStagedOperandsAndStopsDooming)
+{
+    // A crashed thread's staged operand dooms competitors until recovery
+    // releases the ring.
+    ASSERT_TRUE(nmp_.spwr_post(1, op(256, 0, 1)));
+    nmp_.reset_ring(1);
+    EXPECT_EQ(nmp_.ring_occupancy(1), 0u);
+    // A fresh post by another thread no longer conflicts.
+    ASSERT_TRUE(nmp_.spwr_post(2, op(256, 0, 2)));
+    EXPECT_EQ(nmp_.doorbell(2), 1u);
+    McasResult r;
+    ASSERT_TRUE(nmp_.poll(2, &r));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(word(256), 2u);
+    // The discarded operand never executed.
+    EXPECT_FALSE(nmp_.poll(1, &r));
+}
+
+TEST_F(NmpBatchTest, ConcurrentBatchesLinearize)
+{
+    // 4 threads batch increments over striped words through spwr_batch,
+    // retrying failures; every successful increment must be reflected.
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 300;
+    constexpr std::uint32_t kStripes = 16;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([this, t] {
+            auto tid = static_cast<cxl::ThreadId>(t + 1);
+            int done = 0;
+            std::uint32_t base = static_cast<std::uint32_t>(t) * 5;
+            while (done < kIncrements) {
+                McasOperand ops[kNmpRingSlots];
+                auto want = static_cast<std::uint32_t>(
+                    std::min<int>(kNmpRingSlots, kIncrements - done));
+                for (std::uint32_t j = 0; j < want; j++) {
+                    cxl::HeapOffset target =
+                        8192 + ((base + j) % kStripes) * 64;
+                    std::uint64_t cur = word(target);
+                    ops[j] = op(target, cur, cur + 1);
+                }
+                std::uint32_t accepted = nmp_.spwr_batch(tid, ops, want);
+                for (std::uint32_t k = 0; k < accepted; k++) {
+                    McasResult r;
+                    if (!nmp_.poll(tid, &r)) {
+                        break; // impossible; avoid hanging on a bug
+                    }
+                    if (r.success) {
+                        done++;
+                    }
+                }
+                base += 3; // rotate the window
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < kStripes; s++) {
+        total += word(8192 + s * 64);
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+// ------------------------- allocator batched drain ------------------------
+
+using cxltest::Rig;
+using cxltest::RigOptions;
+using pod::ThreadCrashed;
+
+RigOptions
+nohwcc_opts()
+{
+    RigOptions opt;
+    opt.mode = cxl::CoherenceMode::NoHwcc;
+    return opt;
+}
+
+TEST(DeallocateBatch, DistinctSlabsShareOneDoorbell)
+{
+    Rig rig(nohwcc_opts());
+    auto t1 = rig.thread();
+    auto t2 = rig.thread();
+    // Eight distinct size classes land in eight distinct slabs, all owned
+    // by t1 — so t2's drain is eight remote frees of distinct counters.
+    std::vector<cxl::HeapOffset> offs;
+    for (std::uint64_t size : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t1, size);
+        ASSERT_NE(p, 0u);
+        offs.push_back(p);
+    }
+    const auto& before = t2->mem().counters();
+    std::uint64_t batches0 = before.mcas_batches;
+    rig.alloc.deallocate_batch(*t2, offs.data(),
+                               static_cast<std::uint32_t>(offs.size()));
+    const auto& after = t2->mem().counters();
+    // One doorbell carried all eight decrements.
+    EXPECT_EQ(after.mcas_batches - batches0, 1u);
+    EXPECT_EQ(after.mcas_batch_ops, 8u);
+    EXPECT_EQ(after.mcas_conflicts, 0u);
+    rig.alloc.check_invariants(t1->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(DeallocateBatch, SameSlabDuplicatesFallBackWithoutSelfConflict)
+{
+    Rig rig(nohwcc_opts());
+    auto t1 = rig.thread();
+    auto t2 = rig.thread();
+    std::vector<cxl::HeapOffset> offs;
+    for (int i = 0; i < 12; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t1, 64);
+        ASSERT_NE(p, 0u);
+        offs.push_back(p);
+    }
+    // All twelve live in one slab: the drain must serialize them (one per
+    // round) rather than doom its own duplicates.
+    rig.alloc.deallocate_batch(*t2, offs.data(),
+                               static_cast<std::uint32_t>(offs.size()));
+    EXPECT_EQ(t2->mem().counters().mcas_conflicts, 0u);
+    rig.alloc.check_invariants(t1->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(DeallocateBatch, MixedLocalRemoteAndHugeMatchSerialSemantics)
+{
+    Rig rig(nohwcc_opts());
+    auto t1 = rig.thread();
+    auto t2 = rig.thread();
+    std::vector<cxl::HeapOffset> offs;
+    offs.push_back(rig.alloc.allocate(*t2, 64));     // local to t2
+    offs.push_back(rig.alloc.allocate(*t1, 64));     // remote
+    offs.push_back(rig.alloc.allocate(*t1, 4096));   // remote, large heap
+    offs.push_back(rig.alloc.allocate(*t2, 1 << 20)); // huge
+    for (cxl::HeapOffset p : offs) {
+        ASSERT_NE(p, 0u);
+    }
+    rig.alloc.deallocate_batch(*t2, offs.data(),
+                               static_cast<std::uint32_t>(offs.size()));
+    rig.alloc.check_invariants(t1->mem());
+    rig.alloc.check_local_invariants(t2->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+/// Fills one 1 KiB-class slab from a victim thread, remote-frees most
+/// blocks in batches, crashes the freeing thread at @p point inside a
+/// half-submitted batch, recovers via adoption, completes the remaining
+/// frees, and proves exactly-once decrement semantics by stealing the slab
+/// at counter zero: the final allocations must reuse the stolen slab (heap
+/// length unchanged). A lost decrement leaves the counter above zero (no
+/// steal, length grows); a doubled one underflow-asserts.
+void
+batch_crash_roundtrip(int point)
+{
+    Rig rig(nohwcc_opts());
+    auto t1 = rig.thread();
+    auto t2 = rig.thread();
+    constexpr int kBlocks = 32; // 32 KiB slab / 1 KiB class
+    std::vector<cxl::HeapOffset> offs;
+    for (int i = 0; i < kBlocks; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t1, 1024);
+        ASSERT_NE(p, 0u);
+        offs.push_back(p);
+    }
+    std::uint32_t len_before = rig.alloc.stats(t1->mem()).small.length;
+
+    // Free 24 of 32 remotely, leaving the counter at 8.
+    rig.alloc.deallocate_batch(*t2, offs.data(), 24);
+
+    // Overwrite t2's record with a completed serial op (alloc + local
+    // free) so a kMidBatchStage crash finds a NON-batch record: recovery
+    // must then discard the staged-but-unlogged operand rather than redo
+    // it. (With a stale FreeRemoteBatch record, redoing it would also be
+    // correct — staged operands apply exactly once either way — but the
+    // discard path is the one this test pins down.)
+    cxl::HeapOffset scratch = rig.alloc.allocate(*t2, 64);
+    ASSERT_NE(scratch, 0u);
+    rig.alloc.deallocate(*t2, scratch);
+    len_before = rig.alloc.stats(t1->mem()).small.length;
+
+    // Crash inside the next batch (7 decrements; all target one slab, so
+    // the first round stages exactly offs[24]).
+    t2->arm_crash(point, 1);
+    bool crashed = false;
+    try {
+        rig.alloc.deallocate_batch(*t2, offs.data() + 24, 7);
+    } catch (const ThreadCrashed&) {
+        crashed = true;
+    }
+    ASSERT_TRUE(crashed);
+    cxl::ThreadId tid = t2->tid();
+    rig.pod.mark_crashed(std::move(t2));
+    t2 = rig.pod.adopt_thread(rig.process, tid);
+    rig.alloc.recover(*t2);
+    rig.alloc.check_invariants(t2->mem());
+    rig.alloc.check_local_invariants(t2->mem());
+
+    // kMidBatchStage: no record was logged, so recovery discarded the
+    // staged operand — all 7 frees remain to be done. At the doorbell /
+    // drain points the record was logged and recovery guarantees offs[24]'s
+    // decrement landed exactly once — only the other 6 remain.
+    if (point == cxlalloc::crashpoint::kMidBatchStage) {
+        rig.alloc.deallocate_batch(*t2, offs.data() + 24, 7);
+    } else {
+        rig.alloc.deallocate_batch(*t2, offs.data() + 25, 6);
+    }
+    // Counter is now 1; the last free takes it to zero and t2 steals the
+    // fully-remotely-freed slab (paper §3.2.1).
+    rig.alloc.deallocate(*t2, offs[31]);
+    rig.alloc.check_invariants(t2->mem());
+
+    // The stolen slab serves t2's next allocations without growing the
+    // heap: exactly-once decrements proven end to end.
+    for (int i = 0; i < kBlocks; i++) {
+        ASSERT_NE(rig.alloc.allocate(*t2, 1024), 0u);
+    }
+    EXPECT_EQ(rig.alloc.stats(t2->mem()).small.length, len_before);
+    rig.alloc.check_invariants(t2->mem());
+    rig.alloc.check_local_invariants(t2->mem());
+    rig.pod.release_thread(std::move(t1));
+    rig.pod.release_thread(std::move(t2));
+}
+
+TEST(DeallocateBatchCrash, MidBatchStage)
+{
+    batch_crash_roundtrip(cxlalloc::crashpoint::kMidBatchStage);
+}
+
+TEST(DeallocateBatchCrash, MidBatchDoorbell)
+{
+    batch_crash_roundtrip(cxlalloc::crashpoint::kMidBatchDoorbell);
+}
+
+TEST(DeallocateBatchCrash, MidBatchDrain)
+{
+    batch_crash_roundtrip(cxlalloc::crashpoint::kMidBatchDrain);
+}
+
+TEST(DeallocateBatchCrash, SweepCountdownsThroughMixedBatches)
+{
+    // §5.1-style sweep: mixed batched frees with the crash armed at each
+    // batch point and several countdown depths; every interrupted state
+    // must recover to a fully usable heap.
+    for (int point : {cxlalloc::crashpoint::kMidBatchStage,
+                      cxlalloc::crashpoint::kMidBatchDoorbell,
+                      cxlalloc::crashpoint::kMidBatchDrain}) {
+        for (std::uint32_t countdown = 1; countdown <= 5; countdown++) {
+            Rig rig(nohwcc_opts());
+            auto t1 = rig.thread();
+            auto t2 = rig.thread();
+            std::vector<cxl::HeapOffset> offs;
+            for (int round = 0; round < 3; round++) {
+                for (std::uint64_t size : {8, 16, 32, 64, 128, 256, 512}) {
+                    cxl::HeapOffset p = rig.alloc.allocate(*t1, size);
+                    ASSERT_NE(p, 0u);
+                    offs.push_back(p);
+                }
+            }
+            t2->arm_crash(point, countdown);
+            bool crashed = false;
+            try {
+                rig.alloc.deallocate_batch(
+                    *t2, offs.data(),
+                    static_cast<std::uint32_t>(offs.size()));
+                t2->disarm_crash();
+            } catch (const ThreadCrashed&) {
+                crashed = true;
+                cxl::ThreadId tid = t2->tid();
+                rig.pod.mark_crashed(std::move(t2));
+                t2 = rig.pod.adopt_thread(rig.process, tid);
+                rig.alloc.recover(*t2);
+            }
+            rig.alloc.check_invariants(t2->mem());
+            rig.alloc.check_local_invariants(t2->mem());
+            // The heap stays fully usable either way.
+            for (int i = 0; i < 30; i++) {
+                cxl::HeapOffset p = rig.alloc.allocate(*t2, 64);
+                ASSERT_NE(p, 0u);
+                rig.alloc.deallocate(*t2, p);
+            }
+            rig.alloc.check_invariants(t2->mem());
+            (void)crashed;
+            rig.pod.release_thread(std::move(t1));
+            rig.pod.release_thread(std::move(t2));
+        }
+    }
+}
+
+} // namespace

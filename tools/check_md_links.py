@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo resolves.
+
+Scans all tracked *.md files (repo root and docs/), extracts inline
+[text](target) links, and verifies that non-URL, non-anchor targets name
+an existing file or directory relative to the linking file. Exits nonzero
+listing every broken link. No third-party dependencies, so it runs the
+same on a dev box and in CI.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    md_files = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    for md in md_files:
+        text = md.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"checked {len(md_files)} markdown files: all relative links resolve")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())
