@@ -2,6 +2,11 @@
 /// cost of the fast path (alloc/free same thread), the remote-free path,
 /// and cxlalloc's recoverable vs non-recoverable ablation. Complements the
 /// paper-figure harnesses with statistically-managed single-op timings.
+///
+/// Besides ns/op, every series reports simulated mem-ops/op (MemSession
+/// loads + stores per alloc-or-free), the counter that carries Figs. 9/12:
+/// wall-clock ns can hide software overhead that the simulated-access
+/// model charges in full.
 
 #include <benchmark/benchmark.h>
 
@@ -10,22 +15,69 @@
 
 namespace {
 
-/// alloc+free pair on the fast path, per allocator.
+/// Snapshots a session's simulated-memory counters around the timed loop
+/// and reports mem-ops/op next to google-benchmark's ns/op. When metrics
+/// are enabled (--metrics-json), also publishes the session counters and a
+/// per-series gauge into the global registry so the exported snapshot
+/// carries the per-op numbers.
+class MemOpsProbe {
+  public:
+    explicit MemOpsProbe(cxl::MemSession& mem)
+        : mem_(mem), loads0_(mem.counters().loads),
+          stores0_(mem.counters().stores)
+    {
+    }
+
+    void
+    report(benchmark::State& state, std::uint64_t ops,
+           const std::string& label)
+    {
+        if (ops == 0) {
+            return;
+        }
+        auto loads = static_cast<double>(mem_.counters().loads - loads0_);
+        auto stores = static_cast<double>(mem_.counters().stores - stores0_);
+        auto n = static_cast<double>(ops);
+        state.counters["loads_per_op"] = loads / n;
+        state.counters["stores_per_op"] = stores / n;
+        state.counters["mem_ops_per_op"] = (loads + stores) / n;
+        if (obs::MetricsRegistry* reg = bench::bundle_metrics()) {
+            mem_.publish_metrics(*reg);
+            obs::MetricsShard& sh = reg->shard(mem_.tid());
+            sh.add(reg->counter("run.ops"), ops);
+            reg->set_gauge(reg->gauge("gbench." + label + ".mem_ops_per_op"),
+                           (loads + stores) / n);
+        }
+    }
+
+  private:
+    cxl::MemSession& mem_;
+    std::uint64_t loads0_;
+    std::uint64_t stores0_;
+};
+
+/// alloc+free pair on the fast path, per allocator. The size argument
+/// selects the small-heap class: 8 B is the paper's worst case for
+/// per-slab bitset scans (4096 blocks = 64 words), 64 B the common case.
 void
 BM_AllocFreePair(benchmark::State& state, const std::string& name)
 {
+    const auto size = static_cast<std::uint64_t>(state.range(0));
     bench::Geometry geom;
     geom.small_slabs = 512;
     geom.large_slabs = 8;
     geom.huge_regions = 2;
     bench::Bundle b = bench::make_bundle(name, geom);
     auto ctx = b.thread();
+    MemOpsProbe probe(ctx->mem());
     for (auto _ : state) {
-        cxl::HeapOffset p = b.alloc->allocate(*ctx, 64);
+        cxl::HeapOffset p = b.alloc->allocate(*ctx, size);
         benchmark::DoNotOptimize(p);
         b.alloc->deallocate(*ctx, p);
     }
     state.SetItemsProcessed(state.iterations() * 2);
+    probe.report(state, state.iterations() * 2,
+                 "alloc_free_pair." + name + ".sz" + std::to_string(size));
     b.pod->release_thread(std::move(ctx));
 }
 
@@ -42,6 +94,7 @@ BM_RemoteFreeBatch(benchmark::State& state, const std::string& name)
     auto consumer = b.thread();
     constexpr int kBatch = 64;
     std::vector<cxl::HeapOffset> batch(kBatch);
+    MemOpsProbe probe(consumer->mem());
     for (auto _ : state) {
         for (auto& p : batch) {
             p = b.alloc->allocate(*producer, 64);
@@ -51,6 +104,8 @@ BM_RemoteFreeBatch(benchmark::State& state, const std::string& name)
         }
     }
     state.SetItemsProcessed(state.iterations() * kBatch * 2);
+    probe.report(state, state.iterations() * kBatch,
+                 "remote_free." + name);
     b.pod->release_thread(std::move(producer));
     b.pod->release_thread(std::move(consumer));
 }
@@ -67,6 +122,7 @@ BM_CxlallocMcasFastPath(benchmark::State& state)
     bench::Bundle b =
         bench::make_bundle("cxlalloc", geom, bench::MemoryMode::CxlMcas);
     auto ctx = b.thread();
+    MemOpsProbe probe(ctx->mem());
     for (auto _ : state) {
         cxl::HeapOffset p = b.alloc->allocate(*ctx, 64);
         benchmark::DoNotOptimize(p);
@@ -74,22 +130,33 @@ BM_CxlallocMcasFastPath(benchmark::State& state)
     }
     state.counters["mcas_ops"] = static_cast<double>(
         ctx->mem().counters().mcas_ops);
+    state.SetItemsProcessed(state.iterations() * 2);
+    probe.report(state, state.iterations() * 2, "mcas_fast_path.cxlalloc");
     b.pod->release_thread(std::move(ctx));
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_AllocFreePair, cxlalloc, std::string("cxlalloc"));
+BENCHMARK_CAPTURE(BM_AllocFreePair, cxlalloc, std::string("cxlalloc"))
+    ->Arg(8)
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_AllocFreePair, cxlalloc_nonrec,
-                  std::string("cxlalloc-nonrecoverable"));
+                  std::string("cxlalloc-nonrecoverable"))
+    ->Arg(8)
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_AllocFreePair, mimalloc_like,
-                  std::string("mimalloc-like"));
-BENCHMARK_CAPTURE(BM_AllocFreePair, ralloc_like, std::string("ralloc-like"));
+                  std::string("mimalloc-like"))
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_AllocFreePair, ralloc_like, std::string("ralloc-like"))
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_AllocFreePair, cxl_shm_like,
-                  std::string("cxl-shm-like"));
-BENCHMARK_CAPTURE(BM_AllocFreePair, boost_like, std::string("boost-like"));
+                  std::string("cxl-shm-like"))
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_AllocFreePair, boost_like, std::string("boost-like"))
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_AllocFreePair, lightning_like,
-                  std::string("lightning-like"));
+                  std::string("lightning-like"))
+    ->Arg(64);
 BENCHMARK_CAPTURE(BM_RemoteFreeBatch, cxlalloc, std::string("cxlalloc"));
 BENCHMARK_CAPTURE(BM_RemoteFreeBatch, mimalloc_like,
                   std::string("mimalloc-like"));
@@ -121,6 +188,12 @@ main(int argc, char** argv)
     }
     bench::Options opt = bench::parse_options(
         static_cast<int>(our_args.size()), our_args.data());
+    // Smoke mode (CI): short measurement windows; the per-op counters are
+    // deterministic, so a short run reports the same mem-ops/op.
+    static std::string min_time = "--benchmark_min_time=0.05";
+    if (opt.smoke) {
+        gb_args.push_back(min_time.data());
+    }
 
     int gb_argc = static_cast<int>(gb_args.size());
     benchmark::Initialize(&gb_argc, gb_args.data());

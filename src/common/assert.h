@@ -44,3 +44,14 @@ fail(const char* kind, const char* file, int line, const char* msg)
 #else
 #define CXL_ASSERT(cond, msg) do { (void)sizeof(cond); } while (0)
 #endif
+
+/// Cross-checks too expensive for the default build (e.g. full bitset
+/// scans validating the O(1) free-block counter on every allocation).
+/// CXLALLOC_PARANOID_CHECKS promotes them to CXL_ASSERTs; the sanitizer CI
+/// job builds with it on. Note the checks themselves issue simulated
+/// memory accesses, so paranoid builds distort mem.* event counters.
+#if defined(CXLALLOC_PARANOID_CHECKS)
+#define CXL_PARANOID_ASSERT(cond, msg) CXL_ASSERT(cond, msg)
+#else
+#define CXL_PARANOID_ASSERT(cond, msg) do { } while (0)
+#endif

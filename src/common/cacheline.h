@@ -12,6 +12,9 @@ namespace cxlcommon {
 /// Size of one cacheline, the coherence granularity of a CXL pod.
 inline constexpr std::size_t kCacheLine = 64;
 
+/// log2(kCacheLine), for shift-based line arithmetic.
+inline constexpr unsigned kCacheLineBits = 6;
+
 /// Rounds @p offset down to its containing cacheline boundary.
 constexpr std::uint64_t
 line_of(std::uint64_t offset)

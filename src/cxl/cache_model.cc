@@ -9,15 +9,66 @@ namespace cxl {
 using cxlcommon::kCacheLine;
 using cxlcommon::line_of;
 
+void
+ThreadCache::write_back(const Line& line)
+{
+    std::memcpy(device_->raw(line.tag), line.data.data(), kCacheLine);
+}
+
+ThreadCache::Line*
+ThreadCache::lookup(std::uint64_t line_offset)
+{
+    Set& set = sets_[set_of(line_offset)];
+    for (std::uint32_t way = 0; way < kWays; way++) {
+        if (set.ways[way].tag == line_offset) {
+            set.mru = static_cast<std::uint8_t>(way);
+            return &set.ways[way];
+        }
+    }
+    return nullptr;
+}
+
 ThreadCache::Line&
 ThreadCache::fill(std::uint64_t line_offset)
 {
-    auto [it, inserted] = lines_.try_emplace(line_offset);
-    if (inserted) {
-        std::memcpy(it->second.data.data(), device_->raw(line_offset),
-                    kCacheLine);
+    Set& set = sets_[set_of(line_offset)];
+    std::uint32_t invalid = kWays;
+    for (std::uint32_t way = 0; way < kWays; way++) {
+        if (set.ways[way].tag == line_offset) {
+            set.mru = static_cast<std::uint8_t>(way);
+            return set.ways[way];
+        }
+        if (set.ways[way].tag == kNoTag && invalid == kWays) {
+            invalid = way;
+        }
     }
-    return it->second;
+    std::uint32_t way;
+    if (invalid != kWays) {
+        way = invalid;
+        resident_++;
+    } else {
+        // Deterministic victim: round-robin cursor, skipping the MRU way.
+        way = set.victim;
+        if (way == set.mru) {
+            way = (way + 1) % kWays;
+        }
+        set.victim = static_cast<std::uint8_t>((way + 1) % kWays);
+        Line& old = set.ways[way];
+        if (old.dirty) {
+            // Early write-back: safe because this thread is the exclusive
+            // writer of any line it holds dirty (SWcc ownership rules) —
+            // the store was going to reach the device at the next flush or
+            // process-crash writeback anyway.
+            write_back(old);
+        }
+        evictions_++;
+    }
+    Line& line = set.ways[way];
+    line.tag = line_offset;
+    line.dirty = false;
+    std::memcpy(line.data.data(), device_->raw(line_offset), kCacheLine);
+    set.mru = static_cast<std::uint8_t>(way);
+    return line;
 }
 
 void
@@ -59,36 +110,55 @@ ThreadCache::flush(HeapOffset offset, std::size_t len)
     std::uint64_t first = line_of(offset);
     std::uint64_t last = line_of(offset + len - 1);
     for (std::uint64_t line = first; line <= last; line += kCacheLine) {
-        auto it = lines_.find(line);
-        if (it == lines_.end()) {
+        Line* entry = lookup(line);
+        if (entry == nullptr) {
             continue;
         }
-        if (it->second.dirty) {
-            std::memcpy(device_->raw(line), it->second.data.data(),
-                        kCacheLine);
+        if (entry->dirty) {
+            write_back(*entry);
         }
-        lines_.erase(it);
+        entry->tag = kNoTag;
+        entry->dirty = false;
+        resident_--;
     }
+}
+
+void
+ThreadCache::invalidate_all()
+{
+    for (Set& set : sets_) {
+        for (Line& line : set.ways) {
+            line.tag = kNoTag;
+            line.dirty = false;
+        }
+    }
+    resident_ = 0;
 }
 
 void
 ThreadCache::writeback_all()
 {
-    for (const auto& [line, entry] : lines_) {
-        if (entry.dirty) {
-            std::memcpy(device_->raw(line), entry.data.data(), kCacheLine);
+    for (Set& set : sets_) {
+        for (Line& line : set.ways) {
+            if (line.tag != kNoTag && line.dirty) {
+                write_back(line);
+            }
+            line.tag = kNoTag;
+            line.dirty = false;
         }
     }
-    lines_.clear();
+    resident_ = 0;
 }
 
 std::size_t
 ThreadCache::dirty_lines() const
 {
     std::size_t n = 0;
-    for (const auto& [line, entry] : lines_) {
-        if (entry.dirty) {
-            n++;
+    for (const Set& set : sets_) {
+        for (const Line& line : set.ways) {
+            if (line.tag != kNoTag && line.dirty) {
+                n++;
+            }
         }
     }
     return n;

@@ -9,6 +9,16 @@
 /// simulated crash simply destroys the cache object, losing unflushed
 /// writes — exactly the failure recovery must tolerate.
 ///
+/// The store is a fixed-footprint set-associative array (open addressing —
+/// no node allocation on the access path, unlike the unordered_map it
+/// replaced). Capacity misses evict a deterministic victim, writing dirty
+/// lines back to the device early. Real caches do the same, so this is a
+/// modeled staleness/durability source, not an artifact: the SWcc protocol
+/// tolerates it because a thread only holds dirty lines for memory it
+/// exclusively writes (write-back early = a harmless prefix of the flush
+/// it must eventually do), and losing a clean line merely forces a
+/// refetch of possibly-fresher data.
+///
 /// The paper assumes threads are pinned to cores, so one cache per thread
 /// (not per core) is a faithful simplification.
 
@@ -17,7 +27,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/cacheline.h"
 #include "cxl/device.h"
@@ -28,14 +38,21 @@ namespace cxl {
 /// One simulated thread-private cache over the SWcc region.
 class ThreadCache {
   public:
-    explicit ThreadCache(Device* device) : device_(device) {}
+    /// Geometry: kSets x kWays lines of kCacheLine bytes (64 KiB of data).
+    static constexpr std::uint32_t kSets = 128;
+    static constexpr std::uint32_t kWays = 8;
+
+    explicit ThreadCache(Device* device)
+        : device_(device), sets_(kSets)
+    {
+    }
 
     /// Reads @p len bytes at @p offset through the cache (fill on miss,
     /// then serve possibly-stale cached data).
     void read(HeapOffset offset, void* out, std::size_t len);
 
     /// Writes @p len bytes at @p offset into the cache (write-back policy:
-    /// the device is not updated until the line is flushed).
+    /// the device is not updated until the line is flushed or evicted).
     void write(HeapOffset offset, const void* in, std::size_t len);
 
     /// Writes back dirty bytes of the lines covering [offset, offset+len)
@@ -45,7 +62,7 @@ class ThreadCache {
     /// Drops every line without write-back. Models losing a CPU's cache
     /// contents (a host/OS crash, or scheduling a thread onto another core,
     /// which the paper forbids).
-    void invalidate_all() { lines_.clear(); }
+    void invalidate_all();
 
     /// Writes every dirty line back to the device, then drops all lines.
     /// Models a *process* crash: the host (and its coherent cache) survives,
@@ -55,21 +72,51 @@ class ThreadCache {
     void writeback_all();
 
     /// Number of resident lines (for tests and stats).
-    std::size_t resident_lines() const { return lines_.size(); }
+    std::size_t resident_lines() const { return resident_; }
 
     /// Number of dirty (unflushed) lines.
     std::size_t dirty_lines() const;
 
+    /// Valid lines replaced to make room (capacity misses). Dirty victims
+    /// were written back; clean victims just dropped.
+    std::uint64_t evictions() const { return evictions_; }
+
+    /// Fibonacci-hashed set index: line offsets arrive with regular strides
+    /// (descriptor stride 576 = 9 lines), which a plain modulo would pile
+    /// onto a few sets. Public so tests can construct same-set conflict
+    /// workloads deterministically.
+    static std::uint32_t
+    set_of(std::uint64_t line_offset)
+    {
+        return static_cast<std::uint32_t>(
+            ((line_offset >> cxlcommon::kCacheLineBits) *
+             0x9E3779B97F4A7C15ULL) >>
+            57); // top 7 bits: [0, 128)
+    }
+
   private:
+    static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
     struct Line {
-        std::array<std::byte, cxlcommon::kCacheLine> data;
+        std::uint64_t tag = kNoTag; ///< line-aligned device offset
         bool dirty = false;
+        std::array<std::byte, cxlcommon::kCacheLine> data;
+    };
+
+    struct Set {
+        std::array<Line, kWays> ways;
+        std::uint8_t mru = 0;    ///< most-recently-touched way, never evicted
+        std::uint8_t victim = 0; ///< round-robin replacement cursor
     };
 
     Line& fill(std::uint64_t line_offset);
+    Line* lookup(std::uint64_t line_offset);
+    void write_back(const Line& line);
 
     Device* device_;
-    std::unordered_map<std::uint64_t, Line> lines_;
+    std::vector<Set> sets_;
+    std::size_t resident_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace cxl

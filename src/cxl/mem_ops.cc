@@ -211,6 +211,9 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("mem.mcas_batches", c.mcas_batches);
     pub("mem.mcas_batch_ops", c.mcas_batch_ops);
     pub("mem.faults", c.faults);
+    pub("mem.tlb_hits", c.tlb_hits);
+    pub("mem.tlb_misses", c.tlb_misses);
+    pub("cache.evictions", cache_.evictions());
     pub("mem.sim_ns", sim_ns_);
     if (mcas_round_trip_ns_.count() != 0) {
         obs::MetricsSnapshot hists;

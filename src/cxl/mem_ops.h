@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <type_traits>
@@ -51,6 +52,10 @@ struct MemEventCounters {
     /// Operands carried by those doorbells (occupancy = ops / batches).
     std::uint64_t mcas_batch_ops = 0;
     std::uint64_t faults = 0;
+    /// Accesses whose mapping check was answered by the session TLB.
+    std::uint64_t tlb_hits = 0;
+    /// Accesses that had to consult the mapping guard.
+    std::uint64_t tlb_misses = 0;
 
     MemEventCounters&
     operator+=(const MemEventCounters& o)
@@ -66,6 +71,8 @@ struct MemEventCounters {
         mcas_batches += o.mcas_batches;
         mcas_batch_ops += o.mcas_batch_ops;
         faults += o.faults;
+        tlb_hits += o.tlb_hits;
+        tlb_misses += o.tlb_misses;
         return *this;
     }
 };
@@ -82,8 +89,18 @@ class MappingGuard {
     /// faulting into the registered handler if not. Aborts (true segfault)
     /// if the handler cannot back the access. @p mem identifies the
     /// faulting thread (the handler runs on the faulting thread's stack).
-    virtual void on_access(MemSession& mem, HeapOffset offset,
+    /// Returns true when the guard actually VERIFIED the range is mapped —
+    /// only then may the session cache the translation in its TLB. False
+    /// means the access was waved through unverified (unchecked mode, or
+    /// re-entry from inside the fault handler) and must not be cached.
+    virtual bool on_access(MemSession& mem, HeapOffset offset,
                            std::uint64_t len) = 0;
+
+    /// Monotonic counter bumped on every mapping removal. Sessions compare
+    /// it against the epoch their TLB entries were filled under and drop
+    /// them all on mismatch — the munmap-shootdown analog that keeps PC-T
+    /// reclamation (hazard-offset unmaps, huge-region reclaim) correct.
+    virtual std::uint64_t mapping_epoch() const = 0;
 };
 
 /// A thread's access session. Not thread-safe; one per thread.
@@ -99,6 +116,8 @@ class MemSession {
     set_mapping_guard(MappingGuard* guard)
     {
         guard_ = guard;
+        tlb_ = {};
+        tlb_epoch_ = guard != nullptr ? guard->mapping_epoch() : 0;
     }
 
     /// Attaches a latency model; simulated time accrues from then on.
@@ -260,8 +279,33 @@ class MemSession {
         std::uint64_t size = device_->size();
         CXL_ASSERT(len <= size && offset <= size - len,
                    "access past device end");
-        if (guard_ != nullptr) {
-            guard_->on_access(*this, offset, len);
+        if (guard_ == nullptr) {
+            return;
+        }
+        std::uint64_t epoch = guard_->mapping_epoch();
+        if (epoch != tlb_epoch_) {
+            // Some mapping was removed since these entries were filled:
+            // every cached translation is suspect. Drop them all and
+            // re-verify (the munmap TLB-shootdown analog).
+            tlb_ = {};
+            tlb_epoch_ = epoch;
+        } else {
+            for (std::uint32_t i = 0; i < kTlbEntries; i++) {
+                const TlbEntry& e = tlb_[i];
+                if (offset >= e.start && offset + len <= e.end) {
+                    counters_.tlb_hits++;
+                    return;
+                }
+            }
+        }
+        counters_.tlb_misses++;
+        if (guard_->on_access(*this, offset, len)) {
+            // Verified mapped: cache the covering pages. Mappings are
+            // page-granular, so the whole rounded range is known good.
+            tlb_[tlb_next_] = TlbEntry{
+                offset & ~static_cast<HeapOffset>(kPageSize - 1),
+                cxlcommon::align_up(offset + len, kPageSize)};
+            tlb_next_ = (tlb_next_ + 1) % kTlbEntries;
         }
     }
 
@@ -288,11 +332,25 @@ class MemSession {
         charge(uncachable ? model_->write_ns : model_->cached_ns);
     }
 
+    /// One verified-mapped range, page-rounded; start == end means empty.
+    struct TlbEntry {
+        HeapOffset start = 0;
+        HeapOffset end = 0;
+    };
+
+    /// Last-N resolved ranges. Metadata accesses revisit the same
+    /// descriptor and local-row pages, so a handful of entries absorbs
+    /// nearly every guard consultation (the page-bitmap walk).
+    static constexpr std::uint32_t kTlbEntries = 8;
+
     Device* device_;
     Nmp* nmp_;
     ThreadId tid_;
     ThreadCache cache_;
     MappingGuard* guard_ = nullptr;
+    std::array<TlbEntry, kTlbEntries> tlb_{};
+    std::uint32_t tlb_next_ = 0;
+    std::uint64_t tlb_epoch_ = 0;
     const LatencyModel* model_ = nullptr;
     MemEventCounters counters_;
     std::uint64_t sim_ns_ = 0;

@@ -84,6 +84,8 @@ CxlAllocator::set_metrics(obs::MetricsRegistry* registry)
 {
     inst_ = Instruments{};
     inst_.registry = registry;
+    small_.set_metrics(registry);
+    large_.set_metrics(registry);
     if (registry == nullptr) {
         return;
     }

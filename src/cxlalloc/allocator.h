@@ -121,6 +121,10 @@ class CxlAllocator : public pod::FaultResolver {
     /// Per-thread volatile state (exposed for tests).
     ThreadState& thread_state(cxl::ThreadId tid);
 
+    /// Heap internals (exposed for tests: counter/bitset cross-checks).
+    SlabHeap& small_heap() { return small_; }
+    SlabHeap& large_heap() { return large_; }
+
   private:
     ThreadState& state_of(pod::ThreadContext& ctx);
 

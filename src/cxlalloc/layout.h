@@ -65,6 +65,10 @@ struct Config {
 ///   +6  class  u8   (size class + 1; 0 = none)
 ///   +7  state  u8   (SlabState; 0 = Unmapped)
 ///   +8  hint   u16  (first possibly-nonempty bitset word)
+///   +10 free   u16  (owner-maintained count of set bitset bits; makes
+///        full/empty transition checks O(1) instead of O(words). Zeroed
+///        memory is still a valid empty heap: 0 free blocks matches an
+///        all-zero bitset. Rebuilt from the bitset by crash recovery.)
 ///   +16 free bitset (u64 words; bit set = block free)
 struct DescField {
     static constexpr std::uint64_t kNext = 0;
@@ -72,6 +76,7 @@ struct DescField {
     static constexpr std::uint64_t kClass = 6;
     static constexpr std::uint64_t kState = 7;
     static constexpr std::uint64_t kHint = 8;
+    static constexpr std::uint64_t kFree = 10;
     static constexpr std::uint64_t kBitset = 16;
 };
 

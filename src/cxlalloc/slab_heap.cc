@@ -170,6 +170,21 @@ SlabHeap::bitset_words(std::uint32_t cls) const
     return (blocks_of(cls) + 63) / 64;
 }
 
+std::uint32_t
+SlabHeap::free_blocks(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return mem.load<std::uint16_t>(desc(slab) + DescField::kFree);
+}
+
+void
+SlabHeap::set_free_blocks(cxl::MemSession& mem, std::uint32_t slab,
+                          std::uint32_t count)
+{
+    CXL_ASSERT(count <= 0xffff, "free-block count exceeds field width");
+    mem.store<std::uint16_t>(desc(slab) + DescField::kFree,
+                             static_cast<std::uint16_t>(count));
+}
+
 void
 SlabHeap::bitset_fill(cxl::MemSession& mem, std::uint32_t slab,
                       std::uint32_t cls)
@@ -190,11 +205,12 @@ SlabHeap::bitset_fill(cxl::MemSession& mem, std::uint32_t slab,
         mem.store<std::uint64_t>(base + w * 8, value);
     }
     mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
+    set_free_blocks(mem, slab, blocks);
 }
 
 std::uint32_t
 SlabHeap::bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
-                      std::uint32_t cls)
+                      std::uint32_t cls, bool advance_hint)
 {
     cxl::HeapOffset d = desc(slab);
     std::uint32_t words = bitset_words(cls);
@@ -203,7 +219,7 @@ SlabHeap::bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
         std::uint64_t word = mem.load<std::uint64_t>(d + DescField::kBitset +
                                                      w * 8);
         if (word != 0) {
-            if (w != hint) {
+            if (advance_hint && w != hint) {
                 mem.store<std::uint16_t>(d + DescField::kHint,
                                          static_cast<std::uint16_t>(w));
             }
@@ -213,13 +229,23 @@ SlabHeap::bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
     return kNoBlock;
 }
 
-void
+std::uint32_t
 SlabHeap::bitset_clear(cxl::MemSession& mem, std::uint32_t slab,
                        std::uint32_t block)
 {
     cxl::HeapOffset at = desc(slab) + DescField::kBitset + (block / 64) * 8;
     std::uint64_t word = mem.load<std::uint64_t>(at);
-    mem.store<std::uint64_t>(at, word & ~(std::uint64_t{1} << (block % 64)));
+    std::uint64_t mask = std::uint64_t{1} << (block % 64);
+    std::uint32_t free = free_blocks(mem, slab);
+    // Idempotent redo may replay a clear that already landed: only touch
+    // the counter when the bit actually flips.
+    if ((word & mask) != 0) {
+        mem.store<std::uint64_t>(at, word & ~mask);
+        CXL_ASSERT(free > 0, "free-block counter underflow");
+        free--;
+        set_free_blocks(mem, slab, free);
+    }
+    return free;
 }
 
 bool
@@ -230,20 +256,27 @@ SlabHeap::bitset_test(cxl::MemSession& mem, std::uint32_t slab,
     return (mem.load<std::uint64_t>(at) >> (block % 64)) & 1;
 }
 
-void
+std::uint32_t
 SlabHeap::bitset_set(cxl::MemSession& mem, std::uint32_t slab,
                      std::uint32_t block)
 {
     cxl::HeapOffset d = desc(slab);
     cxl::HeapOffset at = d + DescField::kBitset + (block / 64) * 8;
     std::uint64_t word = mem.load<std::uint64_t>(at);
-    mem.store<std::uint64_t>(at, word | (std::uint64_t{1} << (block % 64)));
+    std::uint64_t mask = std::uint64_t{1} << (block % 64);
+    std::uint32_t free = free_blocks(mem, slab);
+    if ((word & mask) == 0) {
+        mem.store<std::uint64_t>(at, word | mask);
+        free++;
+        set_free_blocks(mem, slab, free);
+    }
     // Keep the scan hint conservative: no set bit below word `hint`.
     std::uint16_t hint = mem.load<std::uint16_t>(d + DescField::kHint);
     if (block / 64 < hint) {
         mem.store<std::uint16_t>(d + DescField::kHint,
                                  static_cast<std::uint16_t>(block / 64));
     }
+    return free;
 }
 
 bool
@@ -406,7 +439,7 @@ SlabHeap::allocate(pod::ThreadContext& ctx, ThreadState& ts,
         CXL_ASSERT(headraw != 0, "refill left sized list empty");
     }
     std::uint32_t slab = headraw - 1;
-    std::uint32_t block = bitset_peek(mem, slab, cls);
+    std::uint32_t block = bitset_peek(mem, slab, cls, /*advance_hint=*/true);
     CXL_ASSERT(block != kNoBlock, "sized list contained a full slab");
 
     log_->log(mem, OpRecord{.op = Op::Alloc,
@@ -415,9 +448,16 @@ SlabHeap::allocate(pod::ThreadContext& ctx, ThreadState& ts,
                             .version = ts.version,
                             .index = slab});
     ctx.maybe_crash(crashpoint::kAfterRecord);
-    bitset_clear(mem, slab, block);
+    std::uint32_t left = bitset_clear(mem, slab, block);
     ctx.maybe_crash(crashpoint::kMidAlloc);
-    if (bitset_none(mem, slab, cls)) {
+    // The counter answers the post-alloc fullness check in one load where
+    // bitset_none used to rescan every word.
+    CXL_PARANOID_ASSERT(left == bitset_count(mem, slab, cls),
+                        "free-block counter diverged from bitset");
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(mem.tid()).add(inst_.fullcheck_fast);
+    }
+    if (left == 0) {
         // Maintain the invariant that sized lists hold only non-full slabs.
         full_transition(ctx, slab, cls);
     }
@@ -465,7 +505,12 @@ SlabHeap::scavenge_warm_slab(pod::ThreadContext& ctx, ThreadState& ts)
         while (raw != 0 && steps++ <= num_slabs_) {
             std::uint32_t slab = raw - 1;
             raw = next_raw(mem, slab);
-            if (bitset_count(mem, slab, cls) == blocks_of(cls)) {
+            // Emptiness via the free counter: one load per candidate slab
+            // instead of an O(words) popcount over its whole bitset.
+            if (free_blocks(mem, slab) == blocks_of(cls)) {
+                CXL_PARANOID_ASSERT(
+                    bitset_count(mem, slab, cls) == blocks_of(cls),
+                    "free-block counter diverged from bitset");
                 log_->log(mem, OpRecord{.op = Op::FreeLocal,
                                         .large_heap = large_,
                                         .aux = 0,
@@ -474,6 +519,9 @@ SlabHeap::scavenge_warm_slab(pod::ThreadContext& ctx, ThreadState& ts)
                 remove_sized(mem, cls, slab);
                 set_class_biased(mem, slab, 0);
                 push_unsized(mem, slab);
+                if (inst_.registry != nullptr) {
+                    inst_.registry->shard(mem.tid()).add(inst_.scavenges);
+                }
                 return true;
             }
         }
@@ -799,12 +847,14 @@ SlabHeap::free_local(pod::ThreadContext& ctx, ThreadState& ts,
     SlabState st = state(mem, slab);
     CXL_ASSERT(st == SlabState::TlSized || st == SlabState::Detached,
                "local free into slab in unexpected state");
-    bitset_set(mem, slab, block);
+    std::uint32_t free = bitset_set(mem, slab, block);
     ctx.maybe_crash(crashpoint::kMidFreeLocal);
+    CXL_PARANOID_ASSERT(free == bitset_count(mem, slab, cls),
+                        "free-block counter diverged from bitset");
     if (st == SlabState::Detached) {
         // Previously full: relink so it can serve allocations again.
         push_sized(mem, cls, slab);
-    } else if (bitset_count(mem, slab, cls) == blocks_of(cls) &&
+    } else if (free == blocks_of(cls) &&
                (next_raw(mem, slab) != 0 || prev_raw(mem, slab) != 0)) {
         // Slab is now completely empty and the class has other slabs:
         // recycle it as unsized. (Keeping the last slab warm avoids
@@ -937,8 +987,12 @@ SlabHeap::recover(pod::ThreadContext& ctx, ThreadState& ts,
         CXL_ASSERT(cls != 0, "Alloc record against classless slab");
         bitset_clear(mem, slab, record.aux);
         mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
-        if (bitset_none(mem, slab, cls - 1) &&
-            state(mem, slab) == SlabState::TlSized) {
+        // A crash (especially Host severity) can surface a counter line
+        // and bitset lines from different points in time: the bitset is
+        // the durable truth, so rebuild the counter from it.
+        std::uint32_t live = bitset_count(mem, slab, cls - 1);
+        set_free_blocks(mem, slab, live);
+        if (live == 0 && state(mem, slab) == SlabState::TlSized) {
             full_transition(ctx, slab, cls - 1);
         }
         break;
@@ -954,7 +1008,10 @@ SlabHeap::recover(pod::ThreadContext& ctx, ThreadState& ts,
         }
         if (state(mem, slab) == SlabState::TlSized &&
             class_biased(mem, slab) == cls + 1) {
-            break; // completed
+            // Completed; resync the counter with whatever bitset lines
+            // proved durable.
+            set_free_blocks(mem, slab, bitset_count(mem, slab, cls));
+            break;
         }
         // Popped but not (fully) initialized: since this record is the
         // thread's last operation, no allocation has happened — refilling
@@ -1012,11 +1069,12 @@ SlabHeap::recover(pod::ThreadContext& ctx, ThreadState& ts,
         CXL_ASSERT(cls != 0, "FreeLocal record against classless slab");
         bitset_set(mem, slab, record.aux);
         mem.store<std::uint16_t>(desc(slab) + DescField::kHint, 0);
+        set_free_blocks(mem, slab, bitset_count(mem, slab, cls - 1));
         SlabState st = state(mem, slab);
         if (st == SlabState::Detached) {
             push_sized(mem, cls - 1, slab);
         } else if (st == SlabState::TlSized &&
-                   bitset_count(mem, slab, cls - 1) == blocks_of(cls - 1) &&
+                   free_blocks(mem, slab) == blocks_of(cls - 1) &&
                    (next_raw(mem, slab) != 0 || prev_raw(mem, slab) != 0)) {
             remove_sized(mem, cls - 1, slab);
             set_class_biased(mem, slab, 0);
@@ -1160,7 +1218,9 @@ SlabHeap::check_local_invariants(cxl::MemSession& mem)
                        "sized slab class mismatch");
             CXL_ASSERT(state(mem, slab) == SlabState::TlSized,
                        "sized slab in wrong state");
-            CXL_ASSERT(!bitset_none(mem, slab, cls),
+            CXL_ASSERT(free_blocks(mem, slab) == bitset_count(mem, slab, cls),
+                       "free-block counter diverged from bitset");
+            CXL_ASSERT(free_blocks(mem, slab) != 0,
                        "sized list contains a full slab");
             CXL_ASSERT(prev_raw(mem, slab) == prev,
                        "sized list prev link broken");
@@ -1168,6 +1228,38 @@ SlabHeap::check_local_invariants(cxl::MemSession& mem)
             raw = next_raw(mem, slab);
         }
     }
+}
+
+void
+SlabHeap::set_metrics(obs::MetricsRegistry* registry)
+{
+    inst_ = Instruments{};
+    inst_.registry = registry;
+    if (registry == nullptr) {
+        return;
+    }
+    inst_.fullcheck_fast = registry->counter("alloc.fullcheck_fast");
+    inst_.scavenges = registry->counter("alloc.scavenges");
+}
+
+std::uint32_t
+SlabHeap::debug_free_blocks(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return free_blocks(mem, slab);
+}
+
+std::uint32_t
+SlabHeap::debug_bitset_count(cxl::MemSession& mem, std::uint32_t slab)
+{
+    std::uint8_t biased = class_biased(mem, slab);
+    CXL_ASSERT(biased != 0, "bitset count of classless slab");
+    return bitset_count(mem, slab, biased - 1);
+}
+
+std::uint8_t
+SlabHeap::debug_class_biased(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return class_biased(mem, slab);
 }
 
 SlabHeap::Stats

@@ -25,6 +25,7 @@
 #include "cxlalloc/layout.h"
 #include "cxlalloc/recovery.h"
 #include "cxlalloc/thread_state.h"
+#include "obs/registry.h"
 #include "pod/fault_handler.h"
 #include "pod/thread_context.h"
 #include "sync/detectable_cas.h"
@@ -97,10 +98,25 @@ class SlabHeap {
 
     Stats stats(cxl::MemSession& mem);
 
+    /// Enables heap-internal op counters ("alloc.fullcheck_fast",
+    /// "alloc.scavenges"), sharded by thread id. nullptr disables.
+    void set_metrics(obs::MetricsRegistry* registry);
+
     std::uint64_t slab_size() const { return slab_size_; }
 
     /// Data offset of slab @p slab.
     cxl::HeapOffset slab_data(std::uint32_t slab) const;
+
+    // ---- test-only observers (model tests cross-check the O(1) counter
+    //      against a full bitset scan after every operation) ----
+
+    /// Raw SWccDesc.free counter of @p slab.
+    std::uint32_t debug_free_blocks(cxl::MemSession& mem, std::uint32_t slab);
+    /// Popcount of @p slab's bitset over its current class's words.
+    /// Slab must have a class.
+    std::uint32_t debug_bitset_count(cxl::MemSession& mem, std::uint32_t slab);
+    /// Size class + 1; 0 = classless (bitset and counter are meaningless).
+    std::uint8_t debug_class_biased(cxl::MemSession& mem, std::uint32_t slab);
 
   private:
     // ---- descriptor field access (SWccDesc) ----
@@ -127,20 +143,32 @@ class SlabHeap {
     /// after which another thread may become the writer (paper §3.2.2).
     void flush_desc(cxl::MemSession& mem, std::uint32_t slab);
 
-    // ---- bitset ----
+    // ---- bitset + SWccDesc.free counter ----
+    // The owner-maintained free counter shadows the bitset popcount so
+    // full/empty transition checks are one 2-byte load instead of an
+    // O(words) scan. bitset_clear/bitset_set adjust it only when the bit
+    // actually flips (idempotent redo may replay them); crash recovery
+    // recomputes it from the bitset, which stays the durable truth.
     std::uint32_t blocks_of(std::uint32_t cls) const;
     std::uint32_t bitset_words(std::uint32_t cls) const;
+    std::uint32_t free_blocks(cxl::MemSession& mem, std::uint32_t slab);
+    void set_free_blocks(cxl::MemSession& mem, std::uint32_t slab,
+                         std::uint32_t count);
     void bitset_fill(cxl::MemSession& mem, std::uint32_t slab,
                      std::uint32_t cls);
-    /// First free block, or kNoBlock.
+    /// First free block, or kNoBlock. Stores the scan hint only when
+    /// @p advance_hint (callers about to clear the returned bit); pure
+    /// peeks must not dirty the SWcc line.
     std::uint32_t bitset_peek(cxl::MemSession& mem, std::uint32_t slab,
-                              std::uint32_t cls);
-    void bitset_clear(cxl::MemSession& mem, std::uint32_t slab,
-                      std::uint32_t block);
+                              std::uint32_t cls, bool advance_hint);
+    /// Clears (resp. sets) @p block's bit; returns the slab's free-block
+    /// count after the operation. No-op on an already-clear (-set) bit.
+    std::uint32_t bitset_clear(cxl::MemSession& mem, std::uint32_t slab,
+                               std::uint32_t block);
     bool bitset_test(cxl::MemSession& mem, std::uint32_t slab,
                      std::uint32_t block);
-    void bitset_set(cxl::MemSession& mem, std::uint32_t slab,
-                    std::uint32_t block);
+    std::uint32_t bitset_set(cxl::MemSession& mem, std::uint32_t slab,
+                             std::uint32_t block);
     bool bitset_none(cxl::MemSession& mem, std::uint32_t slab,
                      std::uint32_t cls);
     std::uint32_t bitset_count(cxl::MemSession& mem, std::uint32_t slab,
@@ -190,6 +218,13 @@ class SlabHeap {
     /// Mapping range of slab @p slab's SWcc descriptor (page-rounded).
     pod::MappedRange desc_mapping(std::uint32_t slab) const;
 
+    /// Resolved metric ids; valid only while registry != nullptr.
+    struct Instruments {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::MetricId fullcheck_fast = obs::kInvalidMetric;
+        obs::MetricId scavenges = obs::kInvalidMetric;
+    };
+
     const Layout* layout_;
     bool large_;
     cxlsync::DetectableCas* dcas_;
@@ -209,6 +244,8 @@ class SlabHeap {
     /// TL unsized lists longer than this spill to the global free list
     /// (Config::unsized_limit).
     std::uint32_t unsized_limit_;
+
+    Instruments inst_;
 };
 
 } // namespace cxlalloc

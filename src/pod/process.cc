@@ -69,6 +69,9 @@ Process::remove_mapping(cxl::HeapOffset start, std::uint64_t len)
             mapped_pages_.fetch_sub(1, std::memory_order_relaxed);
         }
     }
+    // Shoot down session TLBs: any translation cached before this point
+    // may cover the removed pages.
+    mapping_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool
@@ -79,12 +82,15 @@ Process::is_mapped(cxl::HeapOffset offset) const
     return page_bitmap_[page / 64].load(std::memory_order_acquire) & bit;
 }
 
-void
+bool
 Process::on_access(cxl::MemSession& mem, cxl::HeapOffset offset,
                    std::uint64_t len)
 {
     if (!checked_ || in_fault_handler) {
-        return;
+        // Unverified: the caller must not cache this range. The fault
+        // handler in particular reads metadata that may itself be
+        // unmapped; waving it into a TLB would defeat PC-T.
+        return false;
     }
     std::uint64_t first = offset / cxl::kPageSize;
     std::uint64_t last = (offset + len - 1) / cxl::kPageSize;
@@ -110,6 +116,7 @@ Process::on_access(cxl::MemSession& mem, cxl::HeapOffset offset,
         install_mapping(range.start, range.len);
         faults_resolved_.fetch_add(1, std::memory_order_relaxed);
     }
+    return true;
 }
 
 std::uint64_t

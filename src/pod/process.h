@@ -61,9 +61,19 @@ class Process : public cxl::MappingGuard {
     }
 
     /// MappingGuard hook: called by MemSession before each access when the
-    /// process is in checked mode.
-    void on_access(cxl::MemSession& mem, cxl::HeapOffset offset,
+    /// process is in checked mode. Returns true when the range was verified
+    /// mapped (sessions may then cache the translation); false when the
+    /// check was skipped (unchecked mode or fault-handler re-entry).
+    bool on_access(cxl::MemSession& mem, cxl::HeapOffset offset,
                    std::uint64_t len) override;
+
+    /// MappingGuard hook: bumped by every remove_mapping so session TLBs
+    /// drop stale translations before the backing pages can be reused.
+    std::uint64_t
+    mapping_epoch() const override
+    {
+        return mapping_epoch_.load(std::memory_order_acquire);
+    }
 
     /// Bytes of device memory currently mapped by this process.
     std::uint64_t mapped_bytes() const;
@@ -92,6 +102,7 @@ class Process : public cxl::MappingGuard {
     std::vector<std::atomic<std::uint64_t>> page_bitmap_;
     std::atomic<std::uint64_t> mapped_pages_{0};
     std::atomic<std::uint64_t> faults_resolved_{0};
+    std::atomic<std::uint64_t> mapping_epoch_{0};
 };
 
 } // namespace pod

@@ -2,6 +2,10 @@
 
 #include <cstring>
 #include <gtest/gtest.h>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
 
 namespace {
 
@@ -118,6 +122,154 @@ TEST_F(CacheModelTest, StaleReadAfterRemoteWrite)
     reader.flush(offset, 8);
     reader.read(offset, &seen, sizeof seen);
     EXPECT_EQ(seen, 1234u);
+}
+
+/// First @p n line offsets (within @p limit) mapping to one cache set:
+/// the deterministic conflict workload for eviction tests.
+std::vector<std::uint64_t>
+same_set_lines(std::size_t n, std::uint64_t limit)
+{
+    std::vector<std::uint64_t> lines;
+    std::uint32_t set = ThreadCache::set_of(0);
+    for (std::uint64_t off = 0; off < limit && lines.size() < n; off += 64) {
+        if (ThreadCache::set_of(off) == set) {
+            lines.push_back(off);
+        }
+    }
+    return lines;
+}
+
+TEST_F(CacheModelTest, CapacityEvictionWritesDirtyVictimBack)
+{
+    // kWays+1 dirty lines in one set: the overflow write evicts the oldest
+    // way and its data reaches the device early — before any flush. This is
+    // the deterministic staleness source the set-associative store adds; it
+    // is safe because early write-back is a prefix of the eventual flush.
+    ThreadCache writer(&dev_);
+    ThreadCache other(&dev_);
+    auto lines = same_set_lines(ThreadCache::kWays + 1, dev_.size());
+    ASSERT_EQ(lines.size(), ThreadCache::kWays + 1);
+
+    for (std::size_t i = 0; i < lines.size(); i++) {
+        std::uint64_t v = 1000 + i;
+        writer.write(lines[i], &v, sizeof v);
+    }
+    EXPECT_EQ(writer.evictions(), 1u);
+    EXPECT_EQ(writer.resident_lines(), ThreadCache::kWays);
+
+    // The victim (the first line written) was written back: another cache
+    // reads the value although the writer never flushed it.
+    std::uint64_t seen = 0;
+    other.read(lines[0], &seen, sizeof seen);
+    EXPECT_EQ(seen, 1000u);
+
+    // Non-evicted lines stay invisible until flushed, as ever.
+    other.read(lines[1], &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST_F(CacheModelTest, CapacityEvictionDropsCleanStaleLine)
+{
+    // A clean line evicted by conflict pressure is just dropped; the next
+    // read refetches from the device and observes a remote write the
+    // stale copy was hiding — eviction can only make reads fresher.
+    ThreadCache reader(&dev_);
+    ThreadCache writer(&dev_);
+    auto lines = same_set_lines(ThreadCache::kWays + 1, dev_.size());
+    ASSERT_EQ(lines.size(), ThreadCache::kWays + 1);
+
+    std::uint64_t seen;
+    reader.read(lines[0], &seen, sizeof seen); // clean, stale-to-be
+    EXPECT_EQ(seen, 0u);
+
+    std::uint64_t v = 4321;
+    writer.write(lines[0], &v, sizeof v);
+    writer.flush(lines[0], sizeof v);
+
+    reader.read(lines[0], &seen, sizeof seen);
+    EXPECT_EQ(seen, 0u) << "still cached, still stale";
+
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        reader.read(lines[i], &seen, sizeof seen); // force the eviction
+    }
+    EXPECT_EQ(reader.evictions(), 1u);
+
+    reader.read(lines[0], &seen, sizeof seen);
+    EXPECT_EQ(seen, 4321u) << "refetched after clean eviction, no flush";
+}
+
+TEST_F(CacheModelTest, MruLineSurvivesConflictPressure)
+{
+    // The most-recently-touched way is exempt from victim selection, so a
+    // hot dirty line survives a same-set scan of any length.
+    ThreadCache cache(&dev_);
+    auto lines = same_set_lines(3 * ThreadCache::kWays, dev_.size());
+    ASSERT_EQ(lines.size(), 3 * ThreadCache::kWays);
+
+    std::uint64_t hot = 7777;
+    std::uint64_t seen;
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        cache.write(lines[0], &hot, sizeof hot); // re-touch: stays MRU
+        cache.read(lines[i], &seen, sizeof seen);
+    }
+    // Never written back: the device still reads zero.
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(lines[0]), sizeof direct);
+    EXPECT_EQ(direct, 0u);
+    cache.read(lines[0], &seen, sizeof seen);
+    EXPECT_EQ(seen, 7777u);
+}
+
+TEST_F(CacheModelTest, RandomTraceMatchesFlatReferenceModel)
+{
+    // Equivalence replay: a single-writer trace of read/write/flush over a
+    // working set far beyond capacity (forcing steady eviction traffic)
+    // must behave exactly like a flat byte overlay — eviction timing is
+    // invisible to the owning thread, and writeback_all leaves the device
+    // equal to the overlay.
+    ThreadCache cache(&dev_);
+    std::map<std::uint64_t, std::uint8_t> reference; // offset -> byte
+    cxlcommon::Xoshiro rng(42);
+    const std::uint64_t span = 4096 * 64; // 4096 lines, 4x capacity
+
+    for (int step = 0; step < 20000; step++) {
+        std::uint64_t offset = rng.next_below(span - 8);
+        switch (rng.next_below(8)) {
+        case 0:
+            cache.flush(offset, 8);
+            break;
+        case 1:
+        case 2:
+        case 3: {
+            std::uint8_t v = static_cast<std::uint8_t>(rng.next_below(255)) + 1;
+            std::uint8_t buf[4] = {v, v, v, v};
+            cache.write(offset, buf, sizeof buf);
+            for (std::uint64_t b = 0; b < sizeof buf; b++) {
+                reference[offset + b] = v;
+            }
+            break;
+        }
+        default: {
+            std::uint8_t buf[4];
+            cache.read(offset, buf, sizeof buf);
+            for (std::uint64_t b = 0; b < sizeof buf; b++) {
+                auto it = reference.find(offset + b);
+                std::uint8_t want = it == reference.end() ? 0 : it->second;
+                ASSERT_EQ(buf[b], want) << "offset " << offset + b;
+            }
+            break;
+        }
+        }
+    }
+    EXPECT_GT(cache.evictions(), 0u) << "working set must overflow capacity";
+
+    cache.writeback_all();
+    EXPECT_EQ(cache.resident_lines(), 0u);
+    for (const auto& [offset, want] : reference) {
+        std::uint8_t got;
+        std::memcpy(&got, dev_.raw(offset), 1);
+        ASSERT_EQ(got, want) << "offset " << offset;
+    }
 }
 
 } // namespace

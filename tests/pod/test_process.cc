@@ -152,6 +152,76 @@ TEST(Process, AccessOutsideHeapSegfaults)
     pod.release_thread(std::move(thread));
 }
 
+TEST(Process, TlbCachesVerifiedRanges)
+{
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    RangeResolver resolver(1 << 20, 1 << 20);
+    p->set_resolver(&resolver);
+    auto thread = pod.create_thread(p);
+
+    thread->mem().store<std::uint64_t>(1 << 20, 42);
+    EXPECT_EQ(resolver.faults, 1);
+    std::uint64_t misses = thread->mem().counters().tlb_misses;
+    EXPECT_GE(misses, 1u);
+
+    // Repeat accesses inside the verified page hit the session TLB: no
+    // further misses, no page-bitmap walk, definitely no fault.
+    for (int i = 0; i < 16; i++) {
+        thread->mem().load<std::uint64_t>((1 << 20) + 8 * i);
+    }
+    EXPECT_EQ(thread->mem().counters().tlb_misses, misses);
+    EXPECT_GE(thread->mem().counters().tlb_hits, 16u);
+    EXPECT_EQ(resolver.faults, 1);
+
+    pod.release_thread(std::move(thread));
+}
+
+TEST(Process, StaleTlbEntryRefaultsAfterUnmap)
+{
+    // The negative test for the TLB invalidation contract: after
+    // remove_mapping (the munmap analog, e.g. hazard-offset reclamation)
+    // an access the TLB previously verified MUST re-fault. If the epoch
+    // shoot-down were missing, the stale TLB entry would wave the access
+    // through to reused backing memory.
+    Pod pod(checked_config());
+    Process* p = pod.create_process();
+    RangeResolver resolver(1 << 20, 1 << 20);
+    p->set_resolver(&resolver);
+    auto thread = pod.create_thread(p);
+
+    thread->mem().store<std::uint64_t>(1 << 20, 42);
+    EXPECT_EQ(resolver.faults, 1);
+    thread->mem().load<std::uint64_t>(1 << 20); // now cached in the TLB
+    EXPECT_GE(thread->mem().counters().tlb_hits, 1u);
+
+    p->remove_mapping(1 << 20, cxl::kPageSize);
+    EXPECT_FALSE(p->is_mapped(1 << 20));
+
+    thread->mem().load<std::uint64_t>(1 << 20);
+    EXPECT_EQ(resolver.faults, 2) << "stale TLB entry suppressed the fault";
+    EXPECT_TRUE(p->is_mapped(1 << 20));
+
+    pod.release_thread(std::move(thread));
+}
+
+TEST(Process, FaultHandlerRangesAreNotCached)
+{
+    // on_access returns "unverified" during fault-handler re-entry; the
+    // session must not wave those metadata ranges into its TLB. Observable
+    // contract here: an unchecked process never populates the TLB at all.
+    PodConfig cfg = checked_config();
+    cfg.checked_mappings = false;
+    Pod pod(cfg);
+    Process* p = pod.create_process();
+    auto thread = pod.create_thread(p);
+    for (int i = 0; i < 8; i++) {
+        thread->mem().store<std::uint64_t>(1 << 20, i);
+    }
+    EXPECT_EQ(thread->mem().counters().tlb_hits, 0u);
+    pod.release_thread(std::move(thread));
+}
+
 TEST(Process, UncheckedProcessSkipsGuard)
 {
     PodConfig cfg = checked_config();
