@@ -1,0 +1,15 @@
+#include "common/test_faults.h"
+
+namespace cxlcommon::test_faults {
+
+bool skip_swcc_publish_flush = false;
+bool skip_hazard_publish_flush = false;
+
+void
+reset()
+{
+    skip_swcc_publish_flush = false;
+    skip_hazard_publish_flush = false;
+}
+
+} // namespace cxlcommon::test_faults

@@ -1,0 +1,32 @@
+/// @file
+/// Test-only fault switches: deliberately-broken protocol variants.
+///
+/// Each flag disables exactly one step of a proven-necessary protocol
+/// (e.g. the flush that orders a descriptor's payload before its
+/// publication). They exist so the schedule explorer's oracles can be
+/// shown to have teeth: tests/sched flips a flag, explores, and asserts
+/// the oracle catches the violation within the CI budget. All flags
+/// default to off and nothing outside tests may set them; they are plain
+/// bools (not atomics) because explored schedules are fully serialized
+/// and real-thread tests never touch them.
+
+#pragma once
+
+namespace cxlcommon::test_faults {
+
+/// SlabHeap::push_global_one: skip the descriptor flush before the CAS
+/// that publishes the slab onto the global free list (paper §3.2 case
+/// "free slab publication"). Under a Host-severity crash the consumer can
+/// then pop a descriptor whose payload never reached the device.
+extern bool skip_swcc_publish_flush;
+
+/// HazardOffsets::try_publish: skip the flush + fence after writing the
+/// hazard slot. A reclaimer's scan can then miss the publication and
+/// reclaim the block while the reader still dereferences it.
+extern bool skip_hazard_publish_flush;
+
+/// Restores every flag to its default (off); tests call this from their
+/// fixture teardown so a failing test cannot poison its neighbours.
+void reset();
+
+} // namespace cxlcommon::test_faults

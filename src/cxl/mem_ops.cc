@@ -16,6 +16,7 @@ MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
 void
 MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
 {
+    sched::hook(sched::Op::ReadBytes, offset, len);
     check_access(offset, len);
     counters_.loads++;
     if (cache_sim_at(offset)) {
@@ -28,6 +29,7 @@ MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
 void
 MemSession::write_bytes(HeapOffset offset, const void* in, std::uint64_t len)
 {
+    sched::hook(sched::Op::WriteBytes, offset, len);
     check_access(offset, len);
     counters_.stores++;
     if (cache_sim_at(offset)) {
@@ -40,6 +42,7 @@ MemSession::write_bytes(HeapOffset offset, const void* in, std::uint64_t len)
 void
 MemSession::flush(HeapOffset offset, std::uint64_t len)
 {
+    sched::hook(sched::Op::Flush, offset, len);
     counters_.flushes++;
     if (model_ != nullptr) {
         // One clwb per covered line.
@@ -58,6 +61,7 @@ MemSession::flush(HeapOffset offset, std::uint64_t len)
 void
 MemSession::fence()
 {
+    sched::hook(sched::Op::Fence);
     counters_.fences++;
     if (model_ != nullptr) {
         charge(model_->fence_ns);
@@ -73,6 +77,9 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
 {
     CXL_ASSERT(device_->in_sync_region(offset),
                "CAS outside the HWcc/device-biased region");
+    // aux carries the desired word so publication oracles can decode what
+    // is about to become reachable.
+    sched::hook(sched::Op::Cas, offset, desired);
     check_access(offset, 8);
     if (device_->mode() == CoherenceMode::NoHwcc) {
         counters_.mcas_ops++;
@@ -119,6 +126,7 @@ MemSession::mcas_post(const McasOperand& op)
                "mcas_post requires the NMP engine (NoHwcc mode)");
     CXL_ASSERT(device_->in_sync_region(op.target),
                "mCAS target outside the device-biased region");
+    sched::hook(sched::Op::McasPost, op.target, op.swap);
     check_access(op.target, 8);
     // Staging writes the operand into the spwr ring: one posted store to
     // device memory.
@@ -130,6 +138,7 @@ MemSession::mcas_post(const McasOperand& op)
 std::uint32_t
 MemSession::mcas_doorbell()
 {
+    sched::hook(sched::Op::McasDoorbell);
     std::uint32_t executed = nmp_->doorbell(tid_);
     if (executed == 0) {
         return 0;
@@ -149,6 +158,7 @@ MemSession::mcas_doorbell()
 bool
 MemSession::mcas_poll(McasResult* out)
 {
+    sched::hook(sched::Op::McasPoll);
     if (!nmp_->poll(tid_, out)) {
         return false;
     }
@@ -228,6 +238,7 @@ MemSession::atomic_load64(HeapOffset offset)
 {
     CXL_ASSERT(device_->in_sync_region(offset),
                "atomic load outside the HWcc/device-biased region");
+    sched::hook(sched::Op::AtomicLoad, offset);
     check_access(offset, 8);
     counters_.loads++;
     charge_load(offset);
@@ -239,6 +250,7 @@ MemSession::atomic_store64(HeapOffset offset, std::uint64_t value)
 {
     CXL_ASSERT(device_->in_sync_region(offset),
                "atomic store outside the HWcc/device-biased region");
+    sched::hook(sched::Op::AtomicStore, offset, value);
     check_access(offset, 8);
     counters_.stores++;
     charge_store(offset);

@@ -30,6 +30,7 @@
 #include "cxl/nmp.h"
 #include "cxl/types.h"
 #include "obs/histogram.h"
+#include "sched/hook.h"
 
 namespace obs {
 class MetricsRegistry;
@@ -133,6 +134,7 @@ class MemSession {
     load(HeapOffset offset)
     {
         static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        sched::hook(sched::Op::Load, offset, sizeof(T));
         check_access(offset, sizeof(T));
         counters_.loads++;
         if (cache_sim_at(offset)) {
@@ -151,6 +153,7 @@ class MemSession {
     store(HeapOffset offset, T value)
     {
         static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        sched::hook(sched::Op::Store, offset, sizeof(T));
         check_access(offset, sizeof(T));
         counters_.stores++;
         if (cache_sim_at(offset)) {

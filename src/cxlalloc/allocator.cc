@@ -16,6 +16,7 @@ CxlAllocator::CxlAllocator(pod::Pod& pod, const Config& config)
       large_(&layout_, /*large=*/true, &dcas_, &log_),
       huge_(&layout_, &dcas_, &log_)
 {
+    register_crash_points();
     CXL_FATAL_IF(pod.device().size() < layout_.end(),
                  "device too small for heap layout");
     CXL_FATAL_IF(pod.device().mode() != cxl::CoherenceMode::FullHwcc &&

@@ -138,4 +138,9 @@ inline constexpr int kMidBatchDrain = 14;  ///< doorbell rung, results not drain
 
 } // namespace crashpoint
 
+/// Registers the allocator's crash points with pod::CrashPointRegistry
+/// (idempotent; called by the Allocator constructor, callable directly by
+/// tools that never build an allocator).
+void register_crash_points();
+
 } // namespace cxlalloc

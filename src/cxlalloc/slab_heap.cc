@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/cacheline.h"
+#include "common/test_faults.h"
 #include "pod/pod.h"
 #include "pod/process.h"
 
@@ -925,7 +926,9 @@ SlabHeap::push_global_one(pod::ThreadContext& ctx, ThreadState& ts)
         std::uint32_t headraw = DcasWord::value(word);
         set_next_raw(mem, slab, headraw);
         // Ownership transfers to whoever pops: flush + fence first.
-        flush_desc(mem, slab);
+        if (!cxlcommon::test_faults::skip_swcc_publish_flush) {
+            flush_desc(mem, slab);
+        }
         std::uint16_t ver = ts.next_version();
         log_->log(mem, OpRecord{.op = Op::PushGlobal,
                                 .large_heap = large_,

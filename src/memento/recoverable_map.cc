@@ -4,8 +4,20 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "pod/crashpoint.h"
 
 namespace memento {
+
+void
+register_map_crash_points()
+{
+    pod::CrashPointRegistry& reg = pod::CrashPointRegistry::instance();
+    reg.add(mcrash::kMapAfterAlloc, "map.after_alloc",
+            "RecoverableMap::insert");
+    reg.add(mcrash::kMapAfterRecord, "map.after_record",
+            "RecoverableMap::insert");
+    reg.add(mcrash::kMapAfterLink, "map.after_link", "RecoverableMap::insert");
+}
 
 RecoverableMap::RecoverableMap(pod::Pod& pod, cxl::HeapOffset meta,
                                cxl::HeapOffset buckets,
@@ -14,6 +26,7 @@ RecoverableMap::RecoverableMap(pod::Pod& pod, cxl::HeapOffset meta,
     : pod_(pod), meta_(meta), table_(pod, buckets, num_buckets, alloc),
       alloc_(alloc)
 {
+    register_map_crash_points();
 }
 
 cxl::HeapOffset

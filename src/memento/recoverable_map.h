@@ -19,6 +19,10 @@ inline constexpr int kMapAfterRecord = 111;
 inline constexpr int kMapAfterLink = 112;
 } // namespace mcrash
 
+/// Registers the map's crash points with pod::CrashPointRegistry
+/// (idempotent; also called by the RecoverableMap constructor).
+void register_map_crash_points();
+
 class RecoverableMap {
   public:
     /// Metadata footprint: per-thread 16 B records.

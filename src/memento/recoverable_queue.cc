@@ -3,8 +3,22 @@
 #include <cstring>
 
 #include "common/assert.h"
+#include "pod/crashpoint.h"
 
 namespace memento {
+
+void
+register_queue_crash_points()
+{
+    pod::CrashPointRegistry& reg = pod::CrashPointRegistry::instance();
+    reg.add(qcrash::kAfterAlloc, "queue.after_alloc",
+            "RecoverableQueue::push");
+    reg.add(qcrash::kAfterRecord, "queue.after_record",
+            "RecoverableQueue::push");
+    reg.add(qcrash::kAfterLink, "queue.after_link", "RecoverableQueue::push");
+    reg.add(qcrash::kAfterUnlink, "queue.after_unlink",
+            "RecoverableQueue::pop");
+}
 
 namespace {
 
@@ -32,6 +46,7 @@ RecoverableQueue::RecoverableQueue(pod::Pod& pod, cxl::HeapOffset meta,
       records_(meta + 8 + (cxl::kMaxThreads + 1) * 8), alloc_(alloc),
       dcas_(meta + 8)
 {
+    register_queue_crash_points();
 }
 
 cxl::HeapOffset

@@ -30,6 +30,10 @@ inline constexpr int kAfterLink = 102;   ///< linked, op record still open
 inline constexpr int kAfterUnlink = 103; ///< popped, object not yet freed
 } // namespace qcrash
 
+/// Registers the queue's crash points with pod::CrashPointRegistry
+/// (idempotent; also called by the RecoverableQueue constructor).
+void register_queue_crash_points();
+
 class RecoverableQueue {
   public:
     /// Shared metadata footprint: head word + detectable-CAS help array +

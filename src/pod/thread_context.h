@@ -10,6 +10,8 @@
 #include "common/random.h"
 #include "cxl/mem_ops.h"
 #include "cxl/types.h"
+#include "pod/crashpoint.h"
+#include "sched/hook.h"
 
 namespace pod {
 
@@ -23,9 +25,9 @@ struct ThreadCrashed {
     int point;
 };
 
-/// Identifies an instrumented crash injection point. The allocator defines
-/// named constants; the pod layer treats them opaquely.
-using CrashPointId = int;
+// CrashPointId and its registry (id -> name, site) live in
+// pod/crashpoint.h; layers register their points there so sweeps and
+// tools can iterate them by name instead of magic numbers.
 
 /// A thread attached to a process. Create via Pod::create_thread (fresh
 /// slot) or Pod::adopt_thread (recovery of a crashed slot).
@@ -71,6 +73,7 @@ class ThreadContext {
     void
     maybe_crash(CrashPointId point)
     {
+        sched::hook(sched::Op::CrashPoint, 0, static_cast<std::uint64_t>(point));
         if (point == armed_point_ && --countdown_ == 0) {
             armed_point_ = -1;
             throw ThreadCrashed{point};

@@ -1,0 +1,669 @@
+/// @file
+/// Explorer implementation: the serializing engine that runs virtual
+/// threads one at a time, and the Random/PCT/DFS/Replay strategies that
+/// pick which thread runs at every yield point.
+
+#include "sched/explorer.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/random.h"
+
+namespace sched {
+
+namespace {
+
+/// Per-schedule stream derived from the master seed so schedule k is
+/// reproducible in isolation (replay does not need to re-run 0..k-1).
+std::uint64_t
+schedule_seed(std::uint64_t master, std::uint64_t index)
+{
+    std::uint64_t state = master ^ (index * 0x9e3779b97f4a7c15ULL);
+    return cxlcommon::splitmix64(state);
+}
+
+void
+mix(std::uint64_t& fingerprint, std::uint64_t value)
+{
+    std::uint64_t state = fingerprint ^ value;
+    fingerprint = cxlcommon::splitmix64(state);
+}
+
+/// Picks the vthread to run at each decision. begin() is called before
+/// every schedule; advance() after it (DFS backtracking).
+class Policy {
+  public:
+    virtual ~Policy() = default;
+    virtual void begin(std::uint64_t seed) = 0;
+    /// @p enabled is the sorted list of runnable vthread indices;
+    /// @p previous is the vthread that was running (kNoVthread at start).
+    virtual std::uint32_t choose(const std::vector<std::uint32_t>& enabled,
+                                 std::uint32_t previous) = 0;
+    /// DFS: prepare the next prefix; false once the space is exhausted.
+    virtual bool advance() { return true; }
+};
+
+class RandomPolicy final : public Policy {
+  public:
+    void
+    begin(std::uint64_t seed) override
+    {
+        rng_.emplace(seed);
+    }
+
+    std::uint32_t
+    choose(const std::vector<std::uint32_t>& enabled, std::uint32_t) override
+    {
+        return enabled[rng_->next_below(enabled.size())];
+    }
+
+  private:
+    std::optional<cxlcommon::Xoshiro> rng_;
+};
+
+/// PCT (Burckhardt et al.): each schedule assigns the n threads random
+/// distinct priorities and always runs the highest-priority runnable
+/// thread; at d-1 random change points the currently running thread is
+/// demoted below everything seen so far. Finds any bug of depth d with
+/// probability >= 1/(n * k^(d-1)) per schedule, k = step horizon.
+class PctPolicy final : public Policy {
+  public:
+    PctPolicy(std::uint32_t depth, std::uint64_t* horizon)
+        : depth_(depth), horizon_(horizon)
+    {
+    }
+
+    void
+    begin(std::uint64_t seed) override
+    {
+        rng_.emplace(seed);
+        priorities_.clear();
+        change_points_.clear();
+        std::uint64_t horizon = std::max<std::uint64_t>(*horizon_, 2);
+        for (std::uint32_t i = 0; i + 1 < depth_; ++i)
+            change_points_.push_back(1 + rng_->next_below(horizon - 1));
+        std::sort(change_points_.begin(), change_points_.end());
+        step_ = 0;
+        low_water_ = -1;
+    }
+
+    std::uint32_t
+    choose(const std::vector<std::uint32_t>& enabled,
+           std::uint32_t previous) override
+    {
+        for (std::uint32_t index : enabled)
+            if (index >= priorities_.size() ||
+                priorities_[index] == kUnassigned)
+                assign_priority(index);
+        if (previous != kNoVthread && !change_points_.empty() &&
+            step_ >= change_points_.front()) {
+            change_points_.erase(change_points_.begin());
+            priorities_[previous] = low_water_--;
+        }
+        ++step_;
+        std::uint32_t best = enabled.front();
+        for (std::uint32_t index : enabled)
+            if (priorities_[index] > priorities_[best])
+                best = index;
+        return best;
+    }
+
+  private:
+    static constexpr std::int64_t kUnassigned =
+        std::numeric_limits<std::int64_t>::min();
+
+    void
+    assign_priority(std::uint32_t index)
+    {
+        if (index >= priorities_.size())
+            priorities_.resize(index + 1, kUnassigned);
+        // Random distinct positive priority: draw until unused (tiny n).
+        for (;;) {
+            auto p = static_cast<std::int64_t>(1 + rng_->next_below(1 << 20));
+            if (std::find(priorities_.begin(), priorities_.end(), p) ==
+                priorities_.end()) {
+                priorities_[index] = p;
+                return;
+            }
+        }
+    }
+
+    std::uint32_t depth_;
+    std::uint64_t* horizon_;
+    std::optional<cxlcommon::Xoshiro> rng_;
+    std::vector<std::int64_t> priorities_;
+    std::vector<std::uint64_t> change_points_;
+    std::uint64_t step_ = 0;
+    std::int64_t low_water_ = -1;
+};
+
+/// Bounded exhaustive enumeration: a prefix of (branch, fanout) pairs is
+/// replayed, the first decision past the prefix extends it with branch 0,
+/// and advance() bumps the deepest branch with unexplored alternatives.
+/// Decisions deeper than max_depth stop branching (always thread 0), so
+/// the tree stays finite even for unbounded retry loops.
+class DfsPolicy final : public Policy {
+  public:
+    explicit DfsPolicy(std::uint32_t max_depth) : max_depth_(max_depth) {}
+
+    void
+    begin(std::uint64_t) override
+    {
+        depth_ = 0;
+    }
+
+    std::uint32_t
+    choose(const std::vector<std::uint32_t>& enabled, std::uint32_t) override
+    {
+        if (depth_ >= max_depth_)
+            return enabled.front();
+        if (depth_ == prefix_.size())
+            prefix_.push_back(Node{0, enabled.size()});
+        Node& node = prefix_[depth_];
+        ++depth_;
+        // The world re-executes identically under the same prefix, so the
+        // fanout cannot change; clamp defensively anyway.
+        node.fanout = enabled.size();
+        return enabled[std::min<std::size_t>(node.branch, enabled.size() - 1)];
+    }
+
+    bool
+    advance() override
+    {
+        while (!prefix_.empty() &&
+               prefix_.back().branch + 1 >= prefix_.back().fanout)
+            prefix_.pop_back();
+        if (prefix_.empty())
+            return false;
+        ++prefix_.back().branch;
+        return true;
+    }
+
+  private:
+    struct Node {
+        std::size_t branch;
+        std::size_t fanout;
+    };
+
+    std::uint32_t max_depth_;
+    std::vector<Node> prefix_;
+    std::size_t depth_ = 0;
+};
+
+class ReplayPolicy final : public Policy {
+  public:
+    explicit ReplayPolicy(std::vector<std::uint32_t> trace)
+        : trace_(std::move(trace))
+    {
+    }
+
+    void
+    begin(std::uint64_t) override
+    {
+        next_ = 0;
+    }
+
+    std::uint32_t
+    choose(const std::vector<std::uint32_t>& enabled, std::uint32_t) override
+    {
+        if (next_ < trace_.size()) {
+            std::uint32_t wanted = trace_[next_++];
+            if (std::find(enabled.begin(), enabled.end(), wanted) !=
+                enabled.end())
+                return wanted;
+            throw OracleFailure("replay diverged: recorded vthread " +
+                                std::to_string(wanted) +
+                                " not runnable at decision " +
+                                std::to_string(next_ - 1));
+        }
+        return enabled.front();
+    }
+
+  private:
+    std::vector<std::uint32_t> trace_;
+    std::size_t next_ = 0;
+};
+
+/// Runs one schedule: real std::threads, strictly serialized. Exactly one
+/// vthread holds the baton at any instant; every hook event funnels into
+/// on_event() below, which consults the policy and hands the baton over.
+class Engine {
+  public:
+    struct Outcome {
+        std::uint64_t steps = 0;
+        std::vector<std::uint32_t> trace;
+        bool truncated = false;
+        bool violated = false;
+        std::string violation;
+        bool killed = false;
+        std::uint64_t longest_thread = 0; ///< max yields of any vthread
+    };
+
+    Engine(Run& run, Policy& policy, std::uint64_t max_steps,
+           std::uint32_t kill_vthread, std::uint64_t kill_yield)
+        : run_(run), policy_(policy), max_steps_(max_steps),
+          kill_vthread_(kill_vthread), kill_yield_(kill_yield)
+    {
+        for (std::size_t i = 0; i < run.spawns_.size(); ++i)
+            vthreads_.push_back(std::make_unique<Vthread>(
+                *this, static_cast<std::uint32_t>(i)));
+    }
+
+    Outcome
+    execute()
+    {
+        live_ = static_cast<std::uint32_t>(vthreads_.size());
+        for (auto& vt : vthreads_)
+            vt->thread = std::thread([this, raw = vt.get()] {
+                vthread_main(*raw);
+            });
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            dispatch_locked(kNoVthread);
+            done_cv_.wait(lock, [this] { return live_ == 0; });
+        }
+        for (auto& vt : vthreads_)
+            vt->thread.join();
+        Outcome out;
+        out.steps = steps_;
+        out.trace = std::move(trace_);
+        out.truncated = truncated_;
+        out.violated = violated_;
+        out.violation = violation_;
+        out.killed = killed_;
+        for (auto& vt : vthreads_)
+            out.longest_thread = std::max(out.longest_thread, vt->yields);
+        return out;
+    }
+
+  private:
+    enum class State : std::uint8_t { Parked, Running, Done };
+
+    struct Vthread;
+
+    /// Funnels hook events into the owning engine with thread identity.
+    struct Proxy final : Listener {
+        Engine* engine = nullptr;
+        std::uint32_t index = 0;
+
+        void
+        on_event(const Event& event) override
+        {
+            engine->on_event(index, event);
+        }
+    };
+
+    struct Vthread {
+        Vthread(Engine& engine, std::uint32_t index)
+        {
+            proxy.engine = &engine;
+            proxy.index = index;
+            this->index = index;
+        }
+
+        std::uint32_t index = 0;
+        Proxy proxy;
+        std::thread thread;
+        std::condition_variable cv;
+        bool go = false;
+        State state = State::Parked;
+        std::uint64_t yields = 0;
+    };
+
+    void
+    vthread_main(Vthread& vt)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            vt.cv.wait(lock, [&] { return vt.go || aborting_; });
+            if (!vt.go) {
+                finish_locked(vt);
+                return;
+            }
+            vt.go = false;
+            vt.state = State::Running;
+        }
+        t_listener = &vt.proxy;
+        try {
+            run_.spawns_[vt.index].body();
+        } catch (const RunAborted&) {
+            // Schedule teardown; nothing to record.
+        } catch (const VthreadKilled&) {
+            // Body chose not to handle its own death; already recorded.
+        } catch (const OracleFailure& failure) {
+            std::lock_guard<std::mutex> lock(mu_);
+            record_violation_locked(failure.what());
+        } catch (const std::exception& error) {
+            std::lock_guard<std::mutex> lock(mu_);
+            record_violation_locked("vthread '" + run_.spawns_[vt.index].name +
+                                    "' threw: " + error.what());
+        }
+        t_listener = nullptr;
+        std::lock_guard<std::mutex> lock(mu_);
+        finish_locked(vt);
+    }
+
+    /// Every instrumented operation of every vthread lands here (with the
+    /// caller's listener suppressed): bound check, kill check, oracles,
+    /// then the scheduling decision.
+    void
+    on_event(std::uint32_t index, const Event& event)
+    {
+        Vthread& vt = *vthreads_[index];
+        std::unique_lock<std::mutex> lock(mu_);
+        if (aborting_)
+            throw RunAborted{};
+        ++steps_;
+        ++vt.yields;
+        if (steps_ > max_steps_) {
+            truncated_ = true;
+            abort_locked();
+            throw RunAborted{};
+        }
+        if (index == kill_vthread_ && vt.yields == kill_yield_) {
+            killed_ = true;
+            // The victim unwinds while still holding the baton: its catch
+            // handler (mark_crashed etc.) runs un-preempted and unhooked,
+            // and the next thread is dispatched only once the body exits.
+            throw VthreadKilled{};
+        }
+        if (!run_.event_oracles_.empty()) {
+            lock.unlock();
+            try {
+                for (const EventOracle& oracle : run_.event_oracles_)
+                    oracle(index, event);
+            } catch (const OracleFailure& failure) {
+                lock.lock();
+                record_violation_locked(failure.what());
+                throw RunAborted{};
+            }
+            lock.lock();
+            if (aborting_)
+                throw RunAborted{};
+        }
+        std::uint32_t chosen = decide_locked(index);
+        if (chosen == index)
+            return;
+        vt.state = State::Parked;
+        wake_locked(chosen);
+        vt.cv.wait(lock, [&] { return vt.go || aborting_; });
+        if (!vt.go)
+            throw RunAborted{};
+        vt.go = false;
+        vt.state = State::Running;
+    }
+
+    void
+    finish_locked(Vthread& vt)
+    {
+        vt.state = State::Done;
+        --live_;
+        if (live_ == 0) {
+            done_cv_.notify_all();
+            return;
+        }
+        if (!aborting_)
+            dispatch_locked(vt.index);
+        // During an abort the wake chain is already running: every parked
+        // thread was notified by abort_locked() and unwinds on its own.
+    }
+
+    /// Picks and wakes the next runnable thread (none is running).
+    void
+    dispatch_locked(std::uint32_t previous)
+    {
+        std::uint32_t chosen = decide_locked(previous);
+        wake_locked(chosen);
+    }
+
+    std::uint32_t
+    decide_locked(std::uint32_t previous)
+    {
+        std::vector<std::uint32_t> enabled;
+        for (auto& vt : vthreads_)
+            if (vt->state != State::Done)
+                enabled.push_back(vt->index);
+        CXL_ASSERT(!enabled.empty(), "scheduler: no runnable vthread");
+        std::uint32_t chosen = policy_.choose(enabled, previous);
+        trace_.push_back(chosen);
+        return chosen;
+    }
+
+    void
+    wake_locked(std::uint32_t index)
+    {
+        Vthread& vt = *vthreads_[index];
+        vt.go = true;
+        vt.cv.notify_one();
+    }
+
+    void
+    record_violation_locked(const std::string& message)
+    {
+        if (!violated_) {
+            violated_ = true;
+            violation_ = message;
+        }
+        abort_locked();
+    }
+
+    void
+    abort_locked()
+    {
+        aborting_ = true;
+        for (auto& vt : vthreads_)
+            vt->cv.notify_all();
+    }
+
+    Run& run_;
+    Policy& policy_;
+    std::uint64_t max_steps_;
+    std::uint32_t kill_vthread_;
+    std::uint64_t kill_yield_;
+
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    std::vector<std::unique_ptr<Vthread>> vthreads_;
+    std::uint32_t live_ = 0;
+    std::uint64_t steps_ = 0;
+    std::vector<std::uint32_t> trace_;
+    bool aborting_ = false;
+    bool truncated_ = false;
+    bool violated_ = false;
+    std::string violation_;
+    bool killed_ = false;
+};
+
+std::unique_ptr<Policy>
+make_policy(const Options& options, const Failure* replaying,
+            std::uint64_t* pct_horizon)
+{
+    if (replaying != nullptr)
+        return std::make_unique<ReplayPolicy>(replaying->trace);
+    switch (options.strategy) {
+    case Strategy::Random:
+        return std::make_unique<RandomPolicy>();
+    case Strategy::Pct:
+        return std::make_unique<PctPolicy>(std::max(options.pct_depth, 1u),
+                                           pct_horizon);
+    case Strategy::Dfs:
+        return std::make_unique<DfsPolicy>(options.dfs_max_depth);
+    case Strategy::Replay:
+        CXL_PANIC("Strategy::Replay requires Explorer::replay()");
+    }
+    CXL_PANIC("unknown strategy");
+}
+
+struct KillPlan {
+    std::uint32_t vthread = kNoVthread;
+    std::uint64_t yield = 0;
+};
+
+Result
+explore(const Options& options, const std::function<void(Run&)>& factory,
+        const Failure* replaying)
+{
+    Result result;
+    std::uint64_t pct_horizon = std::max<std::uint32_t>(options.crash_horizon,
+                                                        16);
+    std::unique_ptr<Policy> policy =
+        make_policy(options, replaying, &pct_horizon);
+    // The kill horizon tracks the longest thread seen so far, so kill
+    // points cover the whole execution once schedules have been observed.
+    std::uint64_t kill_horizon = std::max<std::uint32_t>(options.crash_horizon,
+                                                         1);
+    std::uint64_t budget = replaying ? 1 : options.schedules;
+
+    for (std::uint64_t index = 0; index < budget; ++index) {
+        std::uint64_t seed =
+            schedule_seed(replaying ? replaying->seed : options.seed,
+                          replaying ? replaying->schedule_index : index);
+        policy->begin(seed);
+
+        KillPlan kill;
+        if (replaying != nullptr) {
+            kill.vthread = replaying->kill_vthread;
+            kill.yield = replaying->kill_yield;
+        }
+
+        Run run;
+        factory(run);
+        CXL_ASSERT(!run.spawns_.empty(), "schedule factory spawned nothing");
+
+        if (replaying == nullptr && options.crash &&
+            options.strategy != Strategy::Dfs) {
+            // Independent stream so kill plans don't perturb the walk.
+            std::uint64_t kstate = seed ^ 0xc2b2ae3d27d4eb4fULL;
+            cxlcommon::Xoshiro krng(cxlcommon::splitmix64(kstate));
+            std::vector<std::uint32_t> killable;
+            for (std::size_t i = 0; i < run.spawns_.size(); ++i)
+                if (run.spawns_[i].killable)
+                    killable.push_back(static_cast<std::uint32_t>(i));
+            if (!killable.empty()) {
+                kill.vthread = killable[krng.next_below(killable.size())];
+                kill.yield = 1 + krng.next_below(kill_horizon);
+            }
+        }
+
+        Engine engine(run, *policy, options.max_steps, kill.vthread,
+                      kill.yield);
+        Engine::Outcome outcome = engine.execute();
+
+        ++result.schedules_run;
+        result.total_steps += outcome.steps;
+        if (outcome.truncated)
+            ++result.truncated;
+        if (outcome.killed)
+            ++result.kills;
+        mix(result.fingerprint, outcome.trace.size());
+        for (std::uint32_t choice : outcome.trace)
+            mix(result.fingerprint, choice);
+        mix(result.fingerprint, outcome.killed ? kill.vthread + 1 : 0);
+        mix(result.fingerprint, outcome.killed ? kill.yield : 0);
+        kill_horizon = std::max(kill_horizon, outcome.longest_thread);
+
+        if (!outcome.violated && !outcome.truncated &&
+            !run.end_oracles_.empty()) {
+            RunEnd end;
+            if (outcome.killed) {
+                end.killed = kill.vthread;
+                end.kill_yield = kill.yield;
+            }
+            try {
+                for (const EndOracle& oracle : run.end_oracles_)
+                    oracle(end);
+            } catch (const OracleFailure& failure) {
+                outcome.violated = true;
+                outcome.violation = failure.what();
+            } catch (const std::exception& error) {
+                outcome.violated = true;
+                outcome.violation = std::string("end oracle threw: ") +
+                                    error.what();
+            }
+        }
+
+        if (outcome.violated) {
+            Failure failure;
+            failure.message = outcome.violation;
+            failure.schedule_index =
+                replaying ? replaying->schedule_index : index;
+            failure.seed = replaying ? replaying->seed : options.seed;
+            failure.trace = std::move(outcome.trace);
+            if (outcome.killed) {
+                failure.kill_vthread = kill.vthread;
+                failure.kill_yield = kill.yield;
+            }
+            result.failure = std::move(failure);
+            result.ok = false;
+            return result;
+        }
+
+        if (options.strategy == Strategy::Dfs && replaying == nullptr &&
+            !policy->advance()) {
+            result.exhausted = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+Result
+Explorer::run(const std::function<void(Run&)>& factory)
+{
+    CXL_ASSERT(options_.strategy != Strategy::Replay,
+               "use Explorer::replay() to replay a recorded failure");
+    return explore(options_, factory, nullptr);
+}
+
+Result
+Explorer::replay(const Failure& failure,
+                 const std::function<void(Run&)>& factory)
+{
+    return explore(options_, factory, &failure);
+}
+
+std::string
+format_trace(const std::vector<std::uint32_t>& trace)
+{
+    std::ostringstream out;
+    constexpr std::size_t kMaxShown = 4096;
+    for (std::size_t i = 0; i < trace.size() && i < kMaxShown; ++i) {
+        if (i != 0)
+            out << ',';
+        out << trace[i];
+    }
+    if (trace.size() > kMaxShown)
+        out << ",…(+" << trace.size() - kMaxShown << ")";
+    return out.str();
+}
+
+std::string
+Result::summary() const
+{
+    std::ostringstream out;
+    out << (ok ? "ok" : "FAILED") << ": schedules=" << schedules_run
+        << " steps=" << total_steps << " truncated=" << truncated
+        << " kills=" << kills << (exhausted ? " exhausted" : "")
+        << " fingerprint=0x" << std::hex << fingerprint << std::dec;
+    if (failure) {
+        out << "\n  violation: " << failure->message;
+        out << "\n  replay: seed=" << failure->seed
+            << " schedule=" << failure->schedule_index;
+        if (failure->kill_vthread != kNoVthread)
+            out << " kill=vthread[" << failure->kill_vthread << "]@yield "
+                << failure->kill_yield;
+        out << "\n  trace: " << format_trace(failure->trace);
+    }
+    return out.str();
+}
+
+} // namespace sched

@@ -1,0 +1,7 @@
+#include "sched/hook.h"
+
+namespace sched {
+
+thread_local Listener* t_listener = nullptr;
+
+} // namespace sched

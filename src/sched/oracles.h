@@ -1,0 +1,127 @@
+/// @file
+/// Reusable protocol-oracle building blocks for explored-schedule tests.
+///
+/// The oracles here are event-driven: a test registers them through
+/// Run::on_event() and they observe the Op stream emitted by the hooks to
+/// check protocol rules *as they are (about to be) broken*, before any
+/// aborting CXL_ASSERT deeper in the stack can fire. The central one is
+/// DirtyLineTracker + the flush-before-publish rule of the paper's SWcc
+/// case analysis (§3.2): a thread must not make a descriptor reachable
+/// (CAS it into a shared structure) while its own cache still holds dirty
+/// lines of that descriptor — a crash of the host would lose the
+/// unflushed payload after the publication became visible.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/cacheline.h"
+#include "sched/explorer.h"
+#include "sched/hook.h"
+
+namespace sched {
+
+/// Tracks, per virtual thread, which cachelines inside one watched device
+/// range that thread has written but not yet flushed. Feed every Event to
+/// observe(); query dirty_in() at publication points.
+///
+/// Caveat: the simulated cache can also clean a line by *evicting* it.
+/// Eviction is not an Op (it happens inside CacheModel), so a line can be
+/// clean on the device while still marked dirty here. Explored-schedule
+/// tests keep working sets far below the 64 KiB cache, where evictions
+/// cannot occur, making the tracker exact.
+class DirtyLineTracker {
+  public:
+    /// Watches the device range [begin, end).
+    DirtyLineTracker(std::uint64_t begin, std::uint64_t end)
+        : begin_(begin), end_(end)
+    {
+    }
+
+    void
+    observe(std::uint32_t vthread, const Event& event)
+    {
+        switch (event.op) {
+        case Op::Store:
+        case Op::WriteBytes:
+            mark_dirty(vthread, event.addr, event.aux);
+            break;
+        case Op::Flush:
+            mark_clean(vthread, event.addr, event.aux);
+            break;
+        default:
+            break;
+        }
+    }
+
+    /// True if @p vthread holds a dirty line covering [begin, end).
+    bool
+    dirty_in(std::uint32_t vthread, std::uint64_t begin,
+             std::uint64_t end) const
+    {
+        auto it = dirty_.find(vthread);
+        if (it == dirty_.end())
+            return false;
+        for (std::uint64_t line = cxlcommon::line_of(begin); line < end;
+             line += cxlcommon::kCacheLine)
+            if (it->second.count(line) != 0)
+                return true;
+        return false;
+    }
+
+    bool
+    any_dirty(std::uint32_t vthread) const
+    {
+        auto it = dirty_.find(vthread);
+        return it != dirty_.end() && !it->second.empty();
+    }
+
+  private:
+    void
+    mark_dirty(std::uint32_t vthread, std::uint64_t addr, std::uint64_t len)
+    {
+        if (len == 0 || addr >= end_ || addr + len <= begin_)
+            return;
+        for (std::uint64_t line = cxlcommon::line_of(addr);
+             line < addr + len; line += cxlcommon::kCacheLine)
+            dirty_[vthread].insert(line);
+    }
+
+    void
+    mark_clean(std::uint32_t vthread, std::uint64_t addr, std::uint64_t len)
+    {
+        auto it = dirty_.find(vthread);
+        if (it == dirty_.end())
+            return;
+        if (len == 0)
+            len = cxlcommon::kCacheLine;
+        for (std::uint64_t line = cxlcommon::line_of(addr);
+             line < addr + len; line += cxlcommon::kCacheLine)
+            it->second.erase(line);
+    }
+
+    std::uint64_t begin_;
+    std::uint64_t end_;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>>
+        dirty_;
+};
+
+/// Fails the schedule unless @p tracker shows @p vthread's lines over
+/// [begin, end) all clean — call at the instant a structure covering that
+/// range is about to be published (e.g. on the Op::Cas that links it).
+inline void
+require_flushed(const DirtyLineTracker& tracker, std::uint32_t vthread,
+                std::uint64_t begin, std::uint64_t end,
+                const std::string& what)
+{
+    if (tracker.dirty_in(vthread, begin, end))
+        throw OracleFailure("flush-before-publish violated: " + what +
+                            " published with dirty lines in [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(end) + ")");
+}
+
+} // namespace sched

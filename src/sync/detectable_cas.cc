@@ -1,6 +1,7 @@
 #include "sync/detectable_cas.h"
 
 #include "common/assert.h"
+#include "sched/hook.h"
 
 namespace cxlsync {
 
@@ -9,6 +10,7 @@ DetectableCas::try_cas(cxl::MemSession& mem, cxl::HeapOffset word_offset,
                        std::uint32_t expected, std::uint32_t desired,
                        std::uint16_t version)
 {
+    sched::hook(sched::Op::DcasTry, word_offset, desired);
     std::uint64_t current = mem.atomic_load64(word_offset);
     if (DcasWord::value(current) != expected) {
         return Result{false, DcasWord::value(current)};
@@ -116,6 +118,7 @@ void
 DetectableCas::record_help(cxl::MemSession& mem, cxl::ThreadId tid,
                            std::uint16_t version)
 {
+    sched::hook(sched::Op::DcasHelp, help_entry(tid), tid);
     cxl::HeapOffset entry = help_entry(tid);
     std::uint64_t biased = static_cast<std::uint64_t>(version) + 1;
     std::uint64_t current = mem.atomic_load64(entry);

@@ -1,6 +1,8 @@
 #include "sync/hazard_offsets.h"
 
 #include "common/assert.h"
+#include "common/test_faults.h"
+#include "sched/hook.h"
 
 namespace cxlsync {
 
@@ -14,8 +16,11 @@ HazardOffsets::try_publish(cxl::MemSession& mem, cxl::HeapOffset offset)
             mem.store<std::uint64_t>(at, offset);
             // Huge-heap SWcc rule: flush + fence after every write so other
             // hosts observe the hazard before we install the mapping.
-            mem.flush(at, 8);
-            mem.fence();
+            if (!cxlcommon::test_faults::skip_hazard_publish_flush) {
+                mem.flush(at, 8);
+                mem.fence();
+            }
+            sched::hook(sched::Op::HazardPublish, at, offset);
             return slot;
         }
     }
@@ -36,6 +41,7 @@ HazardOffsets::remove(cxl::MemSession& mem, std::uint32_t slot)
 {
     CXL_ASSERT(slot < slots_, "hazard slot out of range");
     cxl::HeapOffset at = slot_offset(mem.tid(), slot);
+    sched::hook(sched::Op::HazardRemove, at, slot);
     mem.store<std::uint64_t>(at, 0);
     mem.flush(at, 8);
     mem.fence();
@@ -61,6 +67,7 @@ HazardOffsets::is_published(cxl::MemSession& mem, cxl::HeapOffset offset)
         for (std::uint32_t slot = 0; slot < slots_; slot++) {
             cxl::HeapOffset at =
                 slot_offset(static_cast<cxl::ThreadId>(tid), slot);
+            sched::hook(sched::Op::HazardScan, at);
             // Huge-heap SWcc rule: flush before every read so we never act
             // on a stale cached copy of another thread's hazard slot.
             mem.flush(at, 8);

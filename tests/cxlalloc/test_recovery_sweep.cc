@@ -4,15 +4,35 @@
 /// interrupted-operation states far beyond the targeted white-box tests.
 
 #include <gtest/gtest.h>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "fixture.h"
+#include "pod/crashpoint.h"
 
 namespace {
 
 using cxltest::Rig;
 using pod::ThreadCrashed;
+
+/// Every allocator-layer crash point, pulled from the central registry so
+/// new points widen the sweep automatically (`cxlalloc_inspect
+/// --list-crashpoints` prints the same inventory).
+std::vector<int>
+allocator_crash_points()
+{
+    cxlalloc::register_crash_points();
+    std::vector<int> points;
+    for (const pod::CrashPointInfo& info :
+         pod::CrashPointRegistry::instance().all()) {
+        const std::string& name = info.name;
+        if (name.rfind("slab.", 0) == 0 || name.rfind("huge.", 0) == 0) {
+            points.push_back(info.id);
+        }
+    }
+    return points;
+}
 
 /// The workload whose every instrumentation point we sweep: mixed sizes,
 /// frees (local + empty-slab recycling), plus a huge allocation.
@@ -52,19 +72,9 @@ TEST_P(CrashEverywhere, SweepCountdownRange)
 
         // Arm a crash at the countdown-th instrumentation point of ANY
         // kind: use random-crash with probability derived deterministically
-        // is imprecise, so instead arm each known point in turn.
+        // is imprecise, so instead arm each registered point in turn.
         bool crashed = false;
-        for (int point :
-             {cxlalloc::crashpoint::kAfterRecord,
-              cxlalloc::crashpoint::kMidInit,
-              cxlalloc::crashpoint::kAfterDcas,
-              cxlalloc::crashpoint::kMidAlloc,
-              cxlalloc::crashpoint::kMidDetach,
-              cxlalloc::crashpoint::kMidFreeLocal,
-              cxlalloc::crashpoint::kMidSteal,
-              cxlalloc::crashpoint::kMidPushGlobal,
-              cxlalloc::crashpoint::kMidHugeAlloc,
-              cxlalloc::crashpoint::kMidHugeFree}) {
+        for (int point : allocator_crash_points()) {
             t->arm_crash(point, static_cast<std::uint32_t>(countdown));
             try {
                 for (int i = 0; i < 800 && !crashed; i++) {

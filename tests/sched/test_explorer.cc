@@ -1,0 +1,271 @@
+/// @file
+/// Explorer semantics on toy worlds: serialization, outcome coverage,
+/// fingerprint determinism, DFS exhaustiveness, failure replay, crash
+/// injection and the step bound. The worlds yield via raw sched::hook()
+/// calls, so these tests pin down the engine contract independent of the
+/// simulator layers above it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "sched/explorer.h"
+
+namespace {
+
+using sched::Event;
+using sched::Explorer;
+using sched::kNoVthread;
+using sched::Op;
+using sched::Options;
+using sched::OracleFailure;
+using sched::Result;
+using sched::Run;
+using sched::Strategy;
+
+/// Classic lost update: read, yield, write back +1. Final counter is 2
+/// only if the threads' read/write pairs do not interleave.
+struct CounterWorld {
+    int counter = 0;
+    int finals_seen = 0;
+};
+
+std::function<void(Run&)>
+counter_factory(const std::shared_ptr<std::set<int>>& outcomes)
+{
+    return [outcomes](sched::Run& run) {
+        auto w = std::make_shared<CounterWorld>();
+        for (int t = 0; t < 2; t++) {
+            run.spawn("inc" + std::to_string(t), [w] {
+                int v = w->counter;
+                sched::hook(Op::Load, 0, 0); // yield between read and write
+                w->counter = v + 1;
+            });
+        }
+        run.at_end([w, outcomes](const sched::RunEnd&) {
+            outcomes->insert(w->counter);
+        });
+    };
+}
+
+TEST(Explorer, RandomWalkReachesBothLostUpdateOutcomes)
+{
+    auto outcomes = std::make_shared<std::set<int>>();
+    Options opt;
+    opt.strategy = Strategy::Random;
+    opt.seed = 7;
+    opt.schedules = 64;
+    Result r = Explorer(opt).run(counter_factory(outcomes));
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.schedules_run, 64u);
+    // Both the benign (2) and the lost-update (1) interleaving exist.
+    EXPECT_EQ(*outcomes, (std::set<int>{1, 2}));
+}
+
+TEST(Explorer, SameSeedSameFingerprintDifferentSeedDiverges)
+{
+    auto sink = std::make_shared<std::set<int>>();
+    Options opt;
+    opt.seed = 42;
+    opt.schedules = 32;
+    Result a = Explorer(opt).run(counter_factory(sink));
+    Result b = Explorer(opt).run(counter_factory(sink));
+    EXPECT_EQ(a.fingerprint, b.fingerprint)
+        << "same seed must reproduce bit-for-bit identical schedules";
+    EXPECT_EQ(a.total_steps, b.total_steps);
+    opt.seed = 43;
+    Result c = Explorer(opt).run(counter_factory(sink));
+    EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(Explorer, DfsEnumeratesEveryInterleavingExactlyOnce)
+{
+    // Two threads, two recorded ops each: C(4,2) = 6 distinct op orders.
+    auto orders = std::make_shared<std::set<std::string>>();
+    Options opt;
+    opt.strategy = Strategy::Dfs;
+    opt.schedules = 512; // upper bound; the space is far smaller
+    Result r = Explorer(opt).run([orders](sched::Run& run) {
+        auto log = std::make_shared<std::string>();
+        for (int t = 0; t < 2; t++) {
+            run.spawn("t" + std::to_string(t), [log, t] {
+                for (int i = 0; i < 2; i++) {
+                    sched::hook(Op::Fence, static_cast<std::uint64_t>(t), 0);
+                    log->push_back(static_cast<char>('a' + t));
+                }
+            });
+        }
+        run.at_end(
+            [log, orders](const sched::RunEnd&) { orders->insert(*log); });
+    });
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_TRUE(r.exhausted) << "bounded space must be fully enumerated";
+    EXPECT_EQ(orders->size(), 6u) << "aabb abab abba baba baab bbaa";
+}
+
+std::function<void(Run&)>
+no_lost_update_factory()
+{
+    // The end oracle demands the benign outcome; the explorer must find
+    // (and replay) a schedule that violates it.
+    return [](sched::Run& run) {
+        auto w = std::make_shared<CounterWorld>();
+        for (int t = 0; t < 2; t++) {
+            run.spawn("inc" + std::to_string(t), [w] {
+                int v = w->counter;
+                sched::hook(Op::Load, 0, 0);
+                w->counter = v + 1;
+            });
+        }
+        run.at_end([w](const sched::RunEnd&) {
+            if (w->counter != 2) {
+                throw OracleFailure("lost update: counter=" +
+                                    std::to_string(w->counter));
+            }
+        });
+    };
+}
+
+TEST(Explorer, ReplayReproducesAFailureBitForBit)
+{
+    Options opt;
+    opt.seed = 3;
+    opt.schedules = 256;
+    Explorer ex(opt);
+    Result r = ex.run(no_lost_update_factory());
+    ASSERT_FALSE(r.ok);
+    ASSERT_TRUE(r.failure.has_value());
+    EXPECT_EQ(r.failure->seed, opt.seed);
+    EXPECT_NE(r.summary().find("replay"), std::string::npos);
+
+    Result r1 = ex.replay(*r.failure, no_lost_update_factory());
+    Result r2 = ex.replay(*r.failure, no_lost_update_factory());
+    ASSERT_FALSE(r1.ok);
+    ASSERT_FALSE(r2.ok);
+    EXPECT_EQ(r1.failure->message, r.failure->message);
+    EXPECT_EQ(r1.failure->trace, r.failure->trace);
+    EXPECT_EQ(r1.fingerprint, r2.fingerprint)
+        << "replaying the same trace twice must be bit-for-bit identical";
+    EXPECT_EQ(r1.failure->message, r2.failure->message);
+}
+
+TEST(Explorer, PctFindsTheOrderingBug)
+{
+    Options opt;
+    opt.strategy = Strategy::Pct;
+    opt.seed = 11;
+    opt.schedules = 256;
+    opt.pct_depth = 2;
+    Result r = Explorer(opt).run(no_lost_update_factory());
+    EXPECT_FALSE(r.ok) << "PCT should surface the single-preemption bug";
+}
+
+TEST(Explorer, DfsFindsTheOrderingBugAndWouldExhaustOtherwise)
+{
+    Options opt;
+    opt.strategy = Strategy::Dfs;
+    opt.schedules = 512;
+    Result r = Explorer(opt).run(no_lost_update_factory());
+    EXPECT_FALSE(r.ok) << "exhaustive search must hit the buggy order";
+}
+
+TEST(Explorer, CrashInjectionKillsMidBodyAndReportsIt)
+{
+    struct KillWorld {
+        int steps_done[2] = {0, 0};
+    };
+    Options opt;
+    opt.seed = 5;
+    opt.schedules = 128;
+    // Horizon deliberately exceeds the 4 yields per body so a fraction of
+    // schedules draws a kill point past the end and completes un-killed.
+    opt.crash = true;
+    opt.crash_horizon = 16;
+    auto kills_seen = std::make_shared<int>(0);
+    Result r = Explorer(opt).run([kills_seen](sched::Run& run) {
+        auto w = std::make_shared<KillWorld>();
+        for (int t = 0; t < 2; t++) {
+            run.spawn(
+                "k" + std::to_string(t),
+                [w, t] {
+                    for (int i = 0; i < 4; i++) {
+                        sched::hook(Op::Fence, 0, 0);
+                        w->steps_done[t]++;
+                    }
+                },
+                /*killable=*/true);
+        }
+        run.at_end([w, kills_seen](const sched::RunEnd& end) {
+            if (end.killed == kNoVthread) {
+                if (w->steps_done[0] != 4 || w->steps_done[1] != 4) {
+                    throw OracleFailure("unkilled run did not finish");
+                }
+                return;
+            }
+            (*kills_seen)++;
+            if (end.kill_yield == 0) {
+                throw OracleFailure("kill reported without a yield index");
+            }
+            if (w->steps_done[end.killed] >= 4) {
+                throw OracleFailure("killed vthread finished its body");
+            }
+            std::uint32_t other = 1 - end.killed;
+            if (w->steps_done[other] != 4) {
+                throw OracleFailure("surviving vthread did not finish");
+            }
+        });
+    });
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.kills, 0u);
+    EXPECT_LT(r.kills, r.schedules_run)
+        << "some schedules should complete un-killed";
+    EXPECT_EQ(r.kills, static_cast<std::uint64_t>(*kills_seen));
+}
+
+TEST(Explorer, StepBoundTruncatesLivelockWithoutFailing)
+{
+    Options opt;
+    opt.schedules = 4;
+    opt.max_steps = 100;
+    Result r = Explorer(opt).run([](sched::Run& run) {
+        run.spawn("spin", [] {
+            while (true) {
+                sched::hook(Op::Fence, 0, 0);
+            }
+        });
+        run.at_end([](const sched::RunEnd&) {
+            throw OracleFailure("end oracle must not run on truncation");
+        });
+    });
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.truncated, 4u);
+}
+
+TEST(Explorer, EventOraclesSeeEveryYieldWithSuppressedReentry)
+{
+    Options opt;
+    opt.schedules = 8;
+    auto events = std::make_shared<std::uint64_t>(0);
+    Result r = Explorer(opt).run([events](sched::Run& run) {
+        run.spawn("t", [] {
+            sched::hook(Op::Flush, 64, 8);
+            sched::hook(Op::Cas, 128, 9);
+        });
+        run.on_event([events](std::uint32_t vthread, const Event& e) {
+            EXPECT_EQ(vthread, 0u);
+            // Hooks fired from inside an oracle must not recurse.
+            sched::hook(Op::Load, 0, 0);
+            if (e.op == Op::Cas) {
+                EXPECT_EQ(e.addr, 128u);
+                EXPECT_EQ(e.aux, 9u);
+            }
+            (*events)++;
+        });
+    });
+    ASSERT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(*events, 2u * 8u);
+}
+
+} // namespace

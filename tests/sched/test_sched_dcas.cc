@@ -1,0 +1,179 @@
+/// @file
+/// Detectable CAS under explored schedules (paper §3.4.2): two virtual
+/// threads race increments through DetectableCas while the explorer
+/// serializes every interleaving and, in the crash variant, kills one
+/// thread at an arbitrary yield point inside the protocol. The oracle is
+/// exactly-once accounting: the final counter must equal the completed
+/// increments plus the in-flight one iff did_succeed() says it landed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pod/pod.h"
+#include "sched/explorer.h"
+#include "sync/detectable_cas.h"
+
+namespace {
+
+using cxlsync::DetectableCas;
+using sched::Explorer;
+using sched::kNoVthread;
+using sched::Options;
+using sched::OracleFailure;
+using sched::Result;
+using sched::Run;
+using sched::Strategy;
+
+constexpr cxl::HeapOffset kHelpBase = 4096;
+constexpr cxl::HeapOffset kWord = 8192;
+constexpr int kVthreads = 2;
+constexpr std::uint16_t kOpsPerThread = 4;
+
+/// Pod + help array + one counter word, all in the HWcc sync region.
+struct DcasWorld {
+    DcasWorld() : pod(pod_config()), dcas(kHelpBase)
+    {
+        process = pod.create_process();
+        for (int i = 0; i < kVthreads; i++) {
+            ctxs.push_back(pod.create_thread(process));
+            tids.push_back(ctxs.back()->tid());
+        }
+    }
+
+    static pod::PodConfig
+    pod_config()
+    {
+        pod::PodConfig pc;
+        pc.device.size = 64 << 10;
+        pc.device.mode = cxl::CoherenceMode::PartialHwcc;
+        pc.device.sync_region_size = 16 << 10;
+        return pc;
+    }
+
+    pod::Pod pod;
+    pod::Process* process;
+    DetectableCas dcas;
+    std::vector<std::unique_ptr<pod::ThreadContext>> ctxs;
+    std::vector<cxl::ThreadId> tids;
+
+    /// Per-vthread bookkeeping, written only between hooks (so a kill can
+    /// never land between updating it and the protocol step it describes).
+    std::uint16_t attempt_version[kVthreads] = {};
+    bool attempting[kVthreads] = {};
+    std::uint32_t done[kVthreads] = {};
+
+    cxl::MemSession&
+    any_live_mem()
+    {
+        for (auto& ctx : ctxs) {
+            if (ctx != nullptr) {
+                return ctx->mem();
+            }
+        }
+        std::abort(); // at most one vthread is killed per schedule
+    }
+};
+
+std::function<void(Run&)>
+dcas_factory()
+{
+    return [](sched::Run& run) {
+        auto w = std::make_shared<DcasWorld>();
+        for (int i = 0; i < kVthreads; i++) {
+            run.spawn(
+                "inc" + std::to_string(i),
+                [w, i] {
+                    try {
+                        cxl::MemSession& mem = w->ctxs[i]->mem();
+                        for (std::uint16_t k = 1; k <= kOpsPerThread; k++) {
+                            // Record the attempt BEFORE the first yield of
+                            // the protocol; a kill anywhere inside try_cas
+                            // leaves attempting=true and the recovery query
+                            // resolves whether the CAS landed.
+                            w->attempt_version[i] = k;
+                            w->attempting[i] = true;
+                            while (true) {
+                                std::uint32_t cur = w->dcas.read(mem, kWord);
+                                auto r = w->dcas.try_cas(mem, kWord, cur,
+                                                         cur + 1, k);
+                                if (r.success) {
+                                    break;
+                                }
+                            }
+                            w->done[i]++;
+                            w->attempting[i] = false;
+                        }
+                    } catch (const sched::VthreadKilled&) {
+                        // Simulated thread death: leave shared state as-is,
+                        // surrender the pod slot for later adoption.
+                        w->pod.mark_crashed(std::move(w->ctxs[i]));
+                    }
+                },
+                /*killable=*/true);
+        }
+        run.at_end([w](const sched::RunEnd& end) {
+            std::uint64_t expected = 0;
+            for (std::uint32_t d : w->done) {
+                expected += d;
+            }
+            if (end.killed != kNoVthread) {
+                auto adopted =
+                    w->pod.adopt_thread(w->process, w->tids[end.killed]);
+                if (w->attempting[end.killed] &&
+                    w->dcas.did_succeed(adopted->mem(), kWord,
+                                        w->attempt_version[end.killed])) {
+                    expected += 1; // the in-flight increment landed
+                }
+            } else if (expected != kVthreads * kOpsPerThread) {
+                throw OracleFailure("un-killed run lost increments");
+            }
+            std::uint32_t actual = w->dcas.read(w->any_live_mem(), kWord);
+            if (actual != expected) {
+                throw OracleFailure(
+                    "exactly-once violated: counter=" +
+                    std::to_string(actual) + " completed+inflight=" +
+                    std::to_string(expected));
+            }
+        });
+    };
+}
+
+TEST(SchedDcas, AllRandomSchedulesCountExactlyOnce)
+{
+    Options opt;
+    opt.strategy = Strategy::Random;
+    opt.seed = 17;
+    opt.schedules = 128;
+    Result r = Explorer(opt).run(dcas_factory());
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.schedules_run, 128u);
+    EXPECT_EQ(r.truncated, 0u);
+}
+
+TEST(SchedDcas, PctSchedulesCountExactlyOnce)
+{
+    Options opt;
+    opt.strategy = Strategy::Pct;
+    opt.seed = 23;
+    opt.schedules = 128;
+    opt.pct_depth = 3;
+    Result r = Explorer(opt).run(dcas_factory());
+    EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(SchedDcas, KillAtAnyYieldInsideTheProtocolStaysExactlyOnce)
+{
+    Options opt;
+    opt.seed = 29;
+    opt.schedules = 256;
+    opt.crash = true;
+    opt.crash_horizon = 96;
+    Result r = Explorer(opt).run(dcas_factory());
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.kills, 0u) << "crash plan never fired";
+}
+
+} // namespace

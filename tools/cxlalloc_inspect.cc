@@ -1,0 +1,53 @@
+/// @file
+/// Introspection CLI for the simulator's instrumentation inventory.
+///
+///   cxlalloc_inspect --list-crashpoints
+///
+/// prints every registered crash-injection point as `id<TAB>name<TAB>site`,
+/// one per line, sorted by id. Sweep scripts iterate this instead of
+/// hard-coding point numbers, so adding a crash point to any layer
+/// automatically widens every sweep.
+
+#include <cstring>
+#include <iostream>
+
+#include "cxlalloc/recovery.h"
+#include "memento/recoverable_map.h"
+#include "memento/recoverable_queue.h"
+#include "pod/crashpoint.h"
+
+namespace {
+
+int
+list_crashpoints()
+{
+    // Pull in every layer's points without building heaps.
+    cxlalloc::register_crash_points();
+    memento::register_queue_crash_points();
+    memento::register_map_crash_points();
+
+    for (const pod::CrashPointInfo& point :
+         pod::CrashPointRegistry::instance().all()) {
+        std::cout << point.id << '\t' << point.name << '\t' << point.site
+                  << '\n';
+    }
+    return 0;
+}
+
+void
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0 << " --list-crashpoints\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--list-crashpoints") == 0) {
+        return list_crashpoints();
+    }
+    usage(argv[0]);
+    return argc == 2 && std::strcmp(argv[1], "--help") == 0 ? 0 : 2;
+}
