@@ -24,7 +24,9 @@ class MemOpsProbe {
   public:
     explicit MemOpsProbe(cxl::MemSession& mem)
         : mem_(mem), loads0_(mem.counters().loads),
-          stores0_(mem.counters().stores)
+          stores0_(mem.counters().stores),
+          fences0_(mem.counters().fences),
+          flushed0_(mem.counters().flushed_lines)
     {
     }
 
@@ -37,16 +39,29 @@ class MemOpsProbe {
         }
         auto loads = static_cast<double>(mem_.counters().loads - loads0_);
         auto stores = static_cast<double>(mem_.counters().stores - stores0_);
+        auto fences = static_cast<double>(mem_.counters().fences - fences0_);
+        auto flushed =
+            static_cast<double>(mem_.counters().flushed_lines - flushed0_);
         auto n = static_cast<double>(ops);
         state.counters["loads_per_op"] = loads / n;
         state.counters["stores_per_op"] = stores / n;
         state.counters["mem_ops_per_op"] = (loads + stores) / n;
+        // The fence-elision scoreboard: ordering instructions per op are
+        // what the deferred-record + dirty-line work drives down, and the
+        // CI budget gate holds them down (verify_metrics_json --budget).
+        state.counters["fences_per_op"] = fences / n;
+        state.counters["flushed_lines_per_op"] = flushed / n;
         if (obs::MetricsRegistry* reg = bench::bundle_metrics()) {
             mem_.publish_metrics(*reg);
             obs::MetricsShard& sh = reg->shard(mem_.tid());
             sh.add(reg->counter("run.ops"), ops);
             reg->set_gauge(reg->gauge("gbench." + label + ".mem_ops_per_op"),
                            (loads + stores) / n);
+            reg->set_gauge(reg->gauge("gbench." + label + ".fences_per_op"),
+                           fences / n);
+            reg->set_gauge(
+                reg->gauge("gbench." + label + ".flushed_lines_per_op"),
+                flushed / n);
         }
     }
 
@@ -54,6 +69,8 @@ class MemOpsProbe {
     cxl::MemSession& mem_;
     std::uint64_t loads0_;
     std::uint64_t stores0_;
+    std::uint64_t fences0_;
+    std::uint64_t flushed0_;
 };
 
 /// alloc+free pair on the fast path, per allocator. The size argument

@@ -3,8 +3,15 @@
 /// event counters, allocator op counters, and at least one populated
 /// latency histogram with ordered interpolated percentiles.
 ///
-/// Usage: verify_metrics_json <snapshot.json>
+/// Usage: verify_metrics_json <snapshot.json> [--budget <baseline.json>]
+///
+/// With --budget, additionally enforces the fence/flush-line budget: every
+/// per-op gauge in the baseline (gbench.*.{mem_ops,fences,flushed_lines}
+/// _per_op) must exist in the fresh snapshot and must not regress beyond
+/// kBudgetRatio (plus a small absolute epsilon for near-zero gauges). This
+/// is the CI gate that keeps the fence-elision work from silently rotting.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -42,30 +49,104 @@ prefixed_sum(const obs::json::Value& counters, const std::string& prefix)
     return total;
 }
 
+/// Allowed regression: 15% relative plus an absolute slack of 0.1 events
+/// per op (so a 0.0 baseline tolerates measurement jitter, not a rewrite).
+constexpr double kBudgetRatio = 1.15;
+constexpr double kBudgetEpsilon = 0.1;
+
+bool
+budget_gauge(const std::string& name)
+{
+    if (name.rfind("gbench.", 0) != 0) {
+        return false;
+    }
+    auto ends_with = [&](const char* suffix) {
+        std::string s(suffix);
+        return name.size() >= s.size() &&
+               name.compare(name.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends_with(".mem_ops_per_op") || ends_with(".fences_per_op") ||
+           ends_with(".flushed_lines_per_op");
+}
+
+obs::json::Value
+load_json(const char* path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    obs::json::Value root = obs::json::parse(buf.str(), &err);
+    if (root.is_null()) {
+        std::fprintf(stderr, "JSON parse error in %s: %s\n", path,
+                     err.c_str());
+        std::exit(1);
+    }
+    return root;
+}
+
+/// Every budget gauge in @p baseline must be present in @p fresh and no
+/// worse than ratio * baseline + epsilon.
+void
+check_budget(const obs::json::Value& fresh, const obs::json::Value& baseline)
+{
+    const obs::json::Value* base_g = baseline.find("gauges");
+    const obs::json::Value* new_g = fresh.find("gauges");
+    check(base_g != nullptr && base_g->kind() == obs::json::Kind::Object,
+          "baseline gauges object present");
+    check(new_g != nullptr && new_g->kind() == obs::json::Kind::Object,
+          "snapshot gauges object present");
+    if (base_g == nullptr || new_g == nullptr ||
+        base_g->kind() != obs::json::Kind::Object ||
+        new_g->kind() != obs::json::Kind::Object) {
+        return;
+    }
+    std::size_t compared = 0;
+    for (const auto& [name, base_value] : base_g->as_object()) {
+        if (!budget_gauge(name)) {
+            continue;
+        }
+        const obs::json::Value* now = new_g->find(name);
+        if (now == nullptr) {
+            std::fprintf(stderr, "  missing gauge %s\n", name.c_str());
+            check(false, "budget gauge present in fresh snapshot");
+            continue;
+        }
+        double base = base_value.as_number();
+        double cur = now->as_number();
+        double limit = base * kBudgetRatio + kBudgetEpsilon;
+        compared++;
+        if (cur > limit) {
+            std::fprintf(stderr, "  %s: %.4f exceeds budget %.4f "
+                                 "(baseline %.4f)\n",
+                         name.c_str(), cur, limit, base);
+            check(false, "per-op budget respected");
+        }
+    }
+    check(compared > 0, "budget compared at least one gauge");
+    std::printf("budget: %zu gauge(s) within %.0f%% + %.2f of baseline\n",
+                compared, (kBudgetRatio - 1.0) * 100.0, kBudgetEpsilon);
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <snapshot.json>\n", argv[0]);
+    const char* budget_path = nullptr;
+    if (argc == 4 && std::string(argv[2]) == "--budget") {
+        budget_path = argv[3];
+    } else if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: %s <snapshot.json> [--budget <baseline.json>]\n",
+                     argv[0]);
         return 2;
     }
-    std::ifstream in(argv[1]);
-    if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", argv[1]);
-        return 2;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string text = buf.str();
-
-    std::string err;
-    obs::json::Value root = obs::json::parse(text, &err);
-    if (root.is_null()) {
-        std::fprintf(stderr, "JSON parse error: %s\n", err.c_str());
-        return 1;
-    }
+    obs::json::Value root = load_json(argv[1]);
 
     const obs::json::Value* schema = root.find("schema");
     check(schema != nullptr && schema->as_string() == "cxlalloc-metrics-v1",
@@ -109,6 +190,10 @@ main(int argc, char** argv)
     }
     check(populated, "at least one histogram has samples");
     check(ordered, "percentiles ordered min<=p50<=p90<=p99<=p999<=max");
+
+    if (budget_path != nullptr) {
+        check_budget(root, load_json(budget_path));
+    }
 
     if (failures != 0) {
         std::fprintf(stderr, "%d check(s) failed\n", failures);

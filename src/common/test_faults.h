@@ -25,6 +25,18 @@ extern bool skip_swcc_publish_flush;
 /// reclaim the block while the reader still dereferences it.
 extern bool skip_hazard_publish_flush;
 
+/// RecoveryLog::log: defer the record's flush + fence as if the op were a
+/// local one (the deferred-record discipline applied where it is NOT
+/// sound — before a detectable CAS). The RecordFlushOracle must catch the
+/// dirty record row at the DcasTry hook.
+extern bool skip_record_publish_flush;
+
+/// MemSession::note_dirty: drop dirty-line bookkeeping, modeling an
+/// undertracking bug — flush_dirty() then misses genuinely dirty lines
+/// and the flush-before-publish oracle / litmus suite must catch the
+/// stale publication.
+extern bool skip_dirty_line_tracking;
+
 /// Restores every flag to its default (off); tests call this from their
 /// fixture teardown so a failing test cannot poison its neighbours.
 void reset();

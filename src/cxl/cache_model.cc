@@ -15,6 +15,17 @@ ThreadCache::write_back(const Line& line)
     std::memcpy(device_->raw(line.tag), line.data.data(), kCacheLine);
 }
 
+ThreadCache::PendingLine*
+ThreadCache::pending_lookup(std::uint64_t line_offset)
+{
+    for (PendingLine& p : pending_) {
+        if (p.tag == line_offset) {
+            return &p;
+        }
+    }
+    return nullptr;
+}
+
 ThreadCache::Line*
 ThreadCache::lookup(std::uint64_t line_offset)
 {
@@ -66,9 +77,81 @@ ThreadCache::fill(std::uint64_t line_offset)
     Line& line = set.ways[way];
     line.tag = line_offset;
     line.dirty = false;
-    std::memcpy(line.data.data(), device_->raw(line_offset), kCacheLine);
+    // A refill of a flushed-but-unfenced line must see the flushed data,
+    // not the device's older copy; the pending entry stays alive so the
+    // write-back still completes at the next fence.
+    if (PendingLine* p = pending_lookup(line_offset)) {
+        std::memcpy(line.data.data(), p->data.data(), kCacheLine);
+    } else {
+        std::memcpy(line.data.data(), device_->raw(line_offset), kCacheLine);
+    }
     set.mru = static_cast<std::uint8_t>(way);
     return line;
+}
+
+void
+ThreadCache::drain_entry(std::size_t index)
+{
+    CXL_ASSERT(index < buffer_.size(), "store buffer drain out of range");
+    std::uint64_t target = buffer_[index].line;
+    // Apply, in program order, every buffered store to this line up to and
+    // including @p index: same-line stores never reorder, so coherence at
+    // a single location (CoWW) holds under every knob setting.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < buffer_.size(); i++) {
+        BufferedStore& s = buffer_[i];
+        if (i <= index && s.line == target) {
+            Line& entry = fill(s.line);
+            std::memcpy(entry.data.data() + s.within, s.data.data(), s.len);
+            entry.dirty = true;
+        } else {
+            if (kept != i) {
+                buffer_[kept] = s;
+            }
+            kept++;
+        }
+    }
+    buffer_.resize(kept);
+}
+
+void
+ThreadCache::drain_line(std::uint64_t line_offset)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < buffer_.size(); i++) {
+        BufferedStore& s = buffer_[i];
+        if (s.line == line_offset) {
+            Line& entry = fill(s.line);
+            std::memcpy(entry.data.data() + s.within, s.data.data(), s.len);
+            entry.dirty = true;
+        } else {
+            if (kept != i) {
+                buffer_[kept] = s;
+            }
+            kept++;
+        }
+    }
+    buffer_.resize(kept);
+}
+
+void
+ThreadCache::drain_buffer()
+{
+    for (const BufferedStore& s : buffer_) {
+        Line& entry = fill(s.line);
+        std::memcpy(entry.data.data() + s.within, s.data.data(), s.len);
+        entry.dirty = true;
+    }
+    buffer_.clear();
+}
+
+void
+ThreadCache::complete_pending()
+{
+    for (const PendingLine& p : pending_) {
+        std::memcpy(device_->raw(p.tag), p.data.data(), kCacheLine);
+    }
+    pending_.clear();
 }
 
 void
@@ -79,8 +162,26 @@ ThreadCache::read(HeapOffset offset, void* out, std::size_t len)
         std::uint64_t line = line_of(offset);
         std::size_t within = offset - line;
         std::size_t chunk = std::min(len, kCacheLine - within);
+        if (weak() && !knobs_.load_forwarding) {
+            // No forwarding: a read overlapping buffered stores stalls
+            // until they commit to the line.
+            drain_line(line);
+        }
         Line& entry = fill(line);
-        std::memcpy(dst, entry.data.data() + within, chunk);
+        if (weak() && knobs_.load_forwarding) {
+            // Forward from the buffer: overlay this line's buffered
+            // stores, in program order, on the cached copy.
+            std::array<std::byte, kCacheLine> view = entry.data;
+            for (const BufferedStore& s : buffer_) {
+                if (s.line == line) {
+                    std::memcpy(view.data() + s.within, s.data.data(),
+                                s.len);
+                }
+            }
+            std::memcpy(dst, view.data() + within, chunk);
+        } else {
+            std::memcpy(dst, entry.data.data() + within, chunk);
+        }
         dst += chunk;
         offset += chunk;
         len -= chunk;
@@ -95,9 +196,25 @@ ThreadCache::write(HeapOffset offset, const void* in, std::size_t len)
         std::uint64_t line = line_of(offset);
         std::size_t within = offset - line;
         std::size_t chunk = std::min(len, kCacheLine - within);
-        Line& entry = fill(line);
-        std::memcpy(entry.data.data() + within, src, chunk);
-        entry.dirty = true;
+        if (weak()) {
+            BufferedStore s;
+            s.line = line;
+            s.within = static_cast<std::uint32_t>(within);
+            s.len = static_cast<std::uint32_t>(chunk);
+            std::memcpy(s.data.data(), src, chunk);
+            buffer_.push_back(s);
+            if (buffer_.size() > knobs_.store_buffer_entries) {
+                // Overflow: FIFO drains the oldest entry; non-FIFO drains
+                // the youngest, letting a later store reach the line while
+                // earlier ones to other lines stay parked — the write-back
+                // reordering the weaker litmus variants exercise.
+                drain_entry(knobs_.fifo_drain ? 0 : buffer_.size() - 1);
+            }
+        } else {
+            Line& entry = fill(line);
+            std::memcpy(entry.data.data() + within, src, chunk);
+            entry.dirty = true;
+        }
         src += chunk;
         offset += chunk;
         len -= chunk;
@@ -110,17 +227,51 @@ ThreadCache::flush(HeapOffset offset, std::size_t len)
     std::uint64_t first = line_of(offset);
     std::uint64_t last = line_of(offset + len - 1);
     for (std::uint64_t line = first; line <= last; line += kCacheLine) {
+        if (weak()) {
+            // Flushes order after older stores to the same line: commit
+            // them before writing the line back.
+            drain_line(line);
+        }
         Line* entry = lookup(line);
         if (entry == nullptr) {
             continue;
         }
         if (entry->dirty) {
-            write_back(*entry);
+            if (weak()) {
+                // clwb semantics: the write-back is *initiated*; only a
+                // fence guarantees it reached the device.
+                if (PendingLine* p = pending_lookup(line)) {
+                    p->data = entry->data;
+                } else {
+                    pending_.push_back(PendingLine{line, entry->data});
+                }
+            } else {
+                write_back(*entry);
+            }
         }
         entry->tag = kNoTag;
         entry->dirty = false;
         resident_--;
     }
+}
+
+void
+ThreadCache::fence()
+{
+    if (!weak()) {
+        return;
+    }
+    drain_buffer();
+    complete_pending();
+}
+
+void
+ThreadCache::set_knobs(const CacheKnobs& knobs)
+{
+    // Complete anything in flight under the old knobs so no store is
+    // silently dropped by the mode switch.
+    fence();
+    knobs_ = knobs;
 }
 
 void
@@ -133,11 +284,21 @@ ThreadCache::invalidate_all()
         }
     }
     resident_ = 0;
+    // A host crash loses buffered stores AND flushed-but-unfenced lines:
+    // flush without fence is not durability, which is exactly what the
+    // litmus fence variants demonstrate.
+    buffer_.clear();
+    pending_.clear();
 }
 
 void
 ThreadCache::writeback_all()
 {
+    // Process crash: the host survives, so everything in flight completes
+    // — buffered stores, pending write-backs, and dirty lines all reach
+    // the device (pending first; dirty lines may hold newer data).
+    drain_buffer();
+    complete_pending();
     for (Set& set : sets_) {
         for (Line& line : set.ways) {
             if (line.tag != kNoTag && line.dirty) {

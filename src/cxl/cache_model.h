@@ -21,6 +21,15 @@
 ///
 /// The paper assumes threads are pinned to cores, so one cache per thread
 /// (not per core) is a faithful simplification.
+///
+/// Reordering knobs (litmus mode): with CacheKnobs::store_buffer_entries
+/// nonzero the cache additionally models a bounded store buffer with
+/// delayed drain and clwb-style asynchronous write-back: flush() moves
+/// dirty lines to a pending queue and only fence() completes them to the
+/// device. This makes a skipped fence *observable* — the discipline the
+/// litmus suite (tests/litmus) proves necessary and sufficient. With the
+/// knobs at their defaults the model is exactly the strong synchronous
+/// one described above.
 
 #pragma once
 
@@ -34,6 +43,24 @@
 #include "cxl/types.h"
 
 namespace cxl {
+
+/// Configurable reordering behavior for ThreadCache. Defaults model the
+/// strong (synchronous write-back) cache every non-litmus test uses.
+struct CacheKnobs {
+    /// Store-buffer capacity in entries; 0 disables the buffer entirely
+    /// (stores land in the cache line immediately, flush writes back
+    /// synchronously, fence is a no-op).
+    std::uint32_t store_buffer_entries = 0;
+    /// When buffering, reads may forward from the youngest overlapping
+    /// buffered store (TSO-style). When false, a read to a buffered line
+    /// stalls: the overlapping entries drain to the cache first.
+    bool load_forwarding = true;
+    /// Drain order when the buffer overflows: true drains the oldest
+    /// entry (FIFO/TSO), false the youngest (weaker, non-FIFO) — except
+    /// that same-line entries always drain in program order, so
+    /// single-location coherence (CoWW) holds under every knob setting.
+    bool fifo_drain = true;
+};
 
 /// One simulated thread-private cache over the SWcc region.
 class ThreadCache {
@@ -56,8 +83,17 @@ class ThreadCache {
     void write(HeapOffset offset, const void* in, std::size_t len);
 
     /// Writes back dirty bytes of the lines covering [offset, offset+len)
-    /// and invalidates them (clflush semantics).
+    /// and invalidates them. With the store buffer off this is synchronous
+    /// (clflush semantics). With it on, overlapping buffered stores drain
+    /// into the line first (flushes order after older same-line stores),
+    /// and the dirty line moves to a *pending* write-back queue that only
+    /// fence() completes to the device (clwb + sfence semantics).
     void flush(HeapOffset offset, std::size_t len);
+
+    /// Completes ordering: drains the store buffer into cache lines and
+    /// writes every pending flushed line to the device. A no-op in the
+    /// default strong mode (there is nothing in flight to complete).
+    void fence();
 
     /// Drops every line without write-back. Models losing a CPU's cache
     /// contents (a host/OS crash, or scheduling a thread onto another core,
@@ -80,6 +116,18 @@ class ThreadCache {
     /// Valid lines replaced to make room (capacity misses). Dirty victims
     /// were written back; clean victims just dropped.
     std::uint64_t evictions() const { return evictions_; }
+
+    /// Installs reordering knobs. Drains any in-flight state first (via
+    /// fence()) so switching modes never silently loses stores.
+    void set_knobs(const CacheKnobs& knobs);
+    const CacheKnobs& knobs() const { return knobs_; }
+
+    /// Stores still sitting in the store buffer (litmus mode only).
+    std::size_t store_buffer_depth() const { return buffer_.size(); }
+
+    /// Lines flushed but whose write-back has not been fenced to the
+    /// device yet (litmus mode only).
+    std::size_t pending_writebacks() const { return pending_.size(); }
 
     /// Fibonacci-hashed set index: line offsets arrive with regular strides
     /// (descriptor stride 576 = 9 lines), which a plain modulo would pile
@@ -109,14 +157,39 @@ class ThreadCache {
         std::uint8_t victim = 0; ///< round-robin replacement cursor
     };
 
+    /// One store parked in the bounded store buffer: up to a line's worth
+    /// of bytes at [line + within, line + within + len).
+    struct BufferedStore {
+        std::uint64_t line;
+        std::uint32_t within;
+        std::uint32_t len;
+        std::array<std::byte, cxlcommon::kCacheLine> data;
+    };
+
+    /// A flushed line awaiting its fence: clwb issued, write-back not yet
+    /// globally complete.
+    struct PendingLine {
+        std::uint64_t tag;
+        std::array<std::byte, cxlcommon::kCacheLine> data;
+    };
+
     Line& fill(std::uint64_t line_offset);
     Line* lookup(std::uint64_t line_offset);
     void write_back(const Line& line);
+    bool weak() const { return knobs_.store_buffer_entries > 0; }
+    void drain_entry(std::size_t index);
+    void drain_line(std::uint64_t line_offset);
+    void drain_buffer();
+    PendingLine* pending_lookup(std::uint64_t line_offset);
+    void complete_pending();
 
     Device* device_;
     std::vector<Set> sets_;
     std::size_t resident_ = 0;
     std::uint64_t evictions_ = 0;
+    CacheKnobs knobs_;
+    std::vector<BufferedStore> buffer_;
+    std::vector<PendingLine> pending_;
 };
 
 } // namespace cxl

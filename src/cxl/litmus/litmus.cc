@@ -1,0 +1,485 @@
+#include "cxl/litmus/litmus.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace cxl::litmus {
+
+namespace {
+
+DeviceConfig
+litmus_device()
+{
+    return DeviceConfig{.size = 1 << 20,
+                        .mode = CoherenceMode::PartialHwcc,
+                        .sync_region_size = 64 << 10,
+                        .simulate_cache = true};
+}
+
+} // namespace
+
+World::World(int threads, const CacheKnobs& knobs)
+    : dev_(litmus_device()), nmp_(&dev_)
+{
+    CXL_ASSERT(threads >= 1 && threads <= kMaxThreads,
+               "litmus world supports 1..4 threads");
+    sessions_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; t++) {
+        sessions_.emplace_back(&dev_, &nmp_,
+                               static_cast<ThreadId>(t + 1));
+        sessions_.back().cache().set_knobs(knobs);
+    }
+}
+
+std::uint64_t
+World::device_at(HeapOffset offset) const
+{
+    std::uint64_t value;
+    std::memcpy(&value, dev_.raw(offset), sizeof value);
+    return value;
+}
+
+std::uint64_t
+World::device_value(int v) const
+{
+    return device_at(var(v));
+}
+
+std::function<void(sched::Run&)>
+factory(const Shape& shape)
+{
+    return [shape](sched::Run& run) {
+        auto w = std::make_shared<World>(shape.threads, shape.knobs);
+        for (int t = 0; t < shape.threads; t++) {
+            run.spawn(shape.name + ":T" + std::to_string(t),
+                      [w, t, shape] { shape.body(*w, t); });
+        }
+        run.at_end([w, shape](const sched::RunEnd&) {
+            std::string bad = shape.forbidden(*w);
+            if (!bad.empty()) {
+                throw sched::OracleFailure(shape.name +
+                                           ": forbidden outcome reached: " +
+                                           bad);
+            }
+        });
+    };
+}
+
+sched::Result
+check(const Shape& shape, const sched::Options& options)
+{
+    return sched::Explorer(options).run(factory(shape));
+}
+
+CacheKnobs
+weak_knobs(bool fifo)
+{
+    CacheKnobs knobs;
+    knobs.store_buffer_entries = 4;
+    knobs.load_forwarding = true;
+    knobs.fifo_drain = fifo;
+    return knobs;
+}
+
+namespace {
+
+constexpr int kX = 0;
+constexpr int kY = 1;
+
+/// Store buffering: w(x) || w(y), each thread then reads the other's
+/// variable. Forbidden: both read the initial value — impossible once
+/// each write is flushed AND fenced before the cross-read (the cycle
+/// argument: T0.fence < T0.ld(y) < T1.fence < T1.ld(x) < T0.fence).
+Shape
+sb(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        int mine = t == 0 ? kX : kY;
+        int other = t == 0 ? kY : kX;
+        w.st(t, mine, 1);
+        w.flush_var(t, mine);
+        w.fence(t);
+        w.refetch(t, other);
+        w.reg(t, 0) = w.ld(t, other);
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(0, 0) == 0 && w.reg(1, 0) == 0) {
+            return "r0 == 0 && r1 == 0 (both writes invisible)";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// Message passing: data then flag, each flushed and fenced. Forbidden:
+/// flag observed but data stale.
+Shape
+mp(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 1);
+            w.flush_var(t, kX);
+            w.fence(t);
+            w.st(t, kY, 1);
+            w.flush_var(t, kY);
+            w.fence(t);
+        } else {
+            w.refetch(t, kY);
+            w.reg(t, 0) = w.ld(t, kY);
+            w.refetch(t, kX);
+            w.reg(t, 1) = w.ld(t, kX);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(1, 0) == 1 && w.reg(1, 1) == 0) {
+            return "flag seen but data stale (r0 == 1, r1 == 0)";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// MP with ONE trailing fence covering both flushes — the exact pattern
+/// flush_desc relies on: descriptor lines + deferred record share a
+/// single fence. The flag only becomes durable at that fence, by which
+/// point the data write-back completed too.
+Shape
+mp_coalesced(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 1);
+            w.st(t, kY, 1);
+            w.flush_var(t, kX);
+            w.flush_var(t, kY);
+            w.fence(t); // one fence orders both write-backs
+        } else {
+            w.refetch(t, kY);
+            w.reg(t, 0) = w.ld(t, kY);
+            w.refetch(t, kX);
+            w.reg(t, 1) = w.ld(t, kX);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(1, 0) == 1 && w.reg(1, 1) == 0) {
+            return "flag seen but data stale under coalesced fence";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// Load buffering: reads must not observe writes that program-order-
+/// follow the other thread's read. The model never reorders a load with
+/// a later store (loads execute at their hook), so this holds under
+/// every knob setting — documented as a property of the model, proven by
+/// DFS.
+Shape
+lb(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        int mine = t == 0 ? kX : kY;
+        int other = t == 0 ? kY : kX;
+        w.refetch(t, other);
+        w.reg(t, 0) = w.ld(t, other);
+        w.st(t, mine, 1);
+        w.flush_var(t, mine);
+        w.fence(t);
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(0, 0) == 1 && w.reg(1, 0) == 1) {
+            return "both loads saw the other thread's later store";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// Independent reads of independent writes: the device is the single
+/// serialization point, so the two readers must agree on the write
+/// order (multi-copy atomicity holds in a CXL pod's shared medium).
+Shape
+iriw(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 4;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0 || t == 1) {
+            int mine = t == 0 ? kX : kY;
+            w.st(t, mine, 1);
+            w.flush_var(t, mine);
+            w.fence(t);
+            return;
+        }
+        int first = t == 2 ? kX : kY;
+        int second = t == 2 ? kY : kX;
+        w.refetch(t, first);
+        w.reg(t, 0) = w.ld(t, first);
+        w.refetch(t, second);
+        w.reg(t, 1) = w.ld(t, second);
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(2, 0) == 1 && w.reg(2, 1) == 0 && w.reg(3, 0) == 1 &&
+            w.reg(3, 1) == 0) {
+            return "readers disagree on the write order";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// Coherent read-read: two reads of the same location by one thread
+/// (no intervening refetch) must not go backwards in time.
+Shape
+corr(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 1);
+            w.flush_var(t, kX);
+            w.fence(t);
+        } else {
+            w.refetch(t, kX);
+            w.reg(t, 0) = w.ld(t, kX);
+            w.reg(t, 1) = w.ld(t, kX);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(1, 0) == 1 && w.reg(1, 1) == 0) {
+            return "read went backwards (1 then 0)";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// Coherent write-write: same-location stores retire in program order
+/// even under the non-FIFO drain knob (same-line entries always drain
+/// in order — the constraint drain_entry enforces).
+Shape
+coww(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 1;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        w.st(t, kX, 1);
+        w.st(t, kX, 2);
+        w.flush_var(t, kX);
+        w.fence(t);
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.device_value(kX) != 2) {
+            return "same-line stores retired out of order (device x = " +
+                   std::to_string(w.device_value(kX)) + ")";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// R: w(x); w(y) || w(y'); r(x). If the second thread's y-write is the
+/// final one it serialized after the first thread's, whose x-write was
+/// already durable — the read must see it.
+Shape
+shape_r(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 1);
+            w.flush_var(t, kX);
+            w.fence(t);
+            w.st(t, kY, 1);
+            w.flush_var(t, kY);
+            w.fence(t);
+        } else {
+            w.st(t, kY, 2);
+            w.flush_var(t, kY);
+            w.fence(t);
+            w.refetch(t, kX);
+            w.reg(t, 0) = w.ld(t, kX);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.device_value(kY) == 2 && w.reg(1, 0) == 0) {
+            return "y final from T1 but T1 missed T0's earlier x";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// S: w(x=2); w(y=1) || r(y); w(x=1). Seeing the flag implies the
+/// reader's own later x-write serialized after the writer's — x cannot
+/// finish as 2.
+Shape
+shape_s(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 2);
+            w.flush_var(t, kX);
+            w.fence(t);
+            w.st(t, kY, 1);
+            w.flush_var(t, kY);
+            w.fence(t);
+        } else {
+            w.refetch(t, kY);
+            w.reg(t, 0) = w.ld(t, kY);
+            w.st(t, kX, 1);
+            w.flush_var(t, kX);
+            w.fence(t);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(1, 0) == 1 && w.device_value(kX) == 2) {
+            return "flag seen but writer's x outlived reader's x";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// 2+2W: both threads write both variables in opposite orders. A fence
+/// completes a thread's pending write-backs as one unit, so the final
+/// state cannot interleave halves of each thread's pair.
+Shape
+two_plus_two_w(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        if (t == 0) {
+            w.st(t, kX, 1);
+            w.st(t, kY, 2);
+            w.flush_var(t, kX);
+            w.flush_var(t, kY);
+            w.fence(t);
+        } else {
+            w.st(t, kY, 1);
+            w.st(t, kX, 2);
+            w.flush_var(t, kY);
+            w.flush_var(t, kX);
+            w.fence(t);
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.device_value(kX) == 1 && w.device_value(kY) == 1) {
+            return "each thread's first write lost to the other's second";
+        }
+        return "";
+    };
+    return s;
+}
+
+/// The allocator's actual publication pattern: dirty a SUBSET of a
+/// 9-line descriptor, publish via flush_dirty (only dirtied lines) + one
+/// fence + coherent flag. A reader that sees the flag must see every
+/// dirtied line — the litmus guard for flush_desc's dirty-only elision.
+Shape
+swcc_publish_dirty_only(const std::string& name, const CacheKnobs& knobs)
+{
+    Shape s;
+    s.name = name;
+    s.threads = 2;
+    s.knobs = knobs;
+    s.body = [](World& w, int t) {
+        HeapOffset line0 = World::kDescBase;
+        HeapOffset line2 = World::kDescBase + 128;
+        if (t == 0) {
+            w.mem(t).store<std::uint64_t>(line0, 1);
+            w.mem(t).store<std::uint64_t>(line2, 2);
+            w.mem(t).flush_dirty(World::kDescBase, World::kDescLen);
+            w.fence(t);
+            w.mem(t).atomic_store64(World::kFlag, 1);
+        } else {
+            w.reg(t, 0) = w.mem(t).atomic_load64(World::kFlag);
+            if (w.reg(t, 0) == 1) {
+                w.mem(t).flush(line0, 8);
+                w.mem(t).flush(line2, 8);
+                w.reg(t, 1) = w.mem(t).load<std::uint64_t>(line0);
+                w.reg(t, 2) = w.mem(t).load<std::uint64_t>(line2);
+            }
+        }
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(1, 0) == 1 &&
+            (w.reg(1, 1) != 1 || w.reg(1, 2) != 2)) {
+            return "published descriptor observed with stale lines (" +
+                   std::to_string(w.reg(1, 1)) + ", " +
+                   std::to_string(w.reg(1, 2)) + ")";
+        }
+        return "";
+    };
+    return s;
+}
+
+} // namespace
+
+std::vector<Shape>
+disciplined_shapes()
+{
+    CacheKnobs strong; // defaults: synchronous, no buffer
+    CacheKnobs fifo = weak_knobs(/*fifo=*/true);
+    CacheKnobs wild = weak_knobs(/*fifo=*/false);
+    return {
+        sb("SB", strong),
+        sb("SB+buf", fifo),
+        sb("SB+buf-nonfifo", wild),
+        mp("MP", strong),
+        mp("MP+buf", fifo),
+        mp_coalesced("MpCoalesced", strong),
+        mp_coalesced("MpCoalesced+buf", fifo),
+        lb("LB", strong),
+        lb("LB+buf-nonfifo", wild),
+        iriw("IRIW", strong),
+        iriw("IRIW+buf", fifo),
+        corr("CoRR", strong),
+        corr("CoRR+buf", fifo),
+        coww("CoWW+buf", fifo),
+        coww("CoWW+buf-nonfifo", wild),
+        shape_r("R+buf", fifo),
+        shape_s("S+buf", fifo),
+        two_plus_two_w("2+2W", strong),
+        two_plus_two_w("2+2W+buf", fifo),
+        swcc_publish_dirty_only("SwccPublishDirtyOnly", strong),
+        swcc_publish_dirty_only("SwccPublishDirtyOnly+buf", fifo),
+    };
+}
+
+} // namespace cxl::litmus

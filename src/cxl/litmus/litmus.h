@@ -1,0 +1,121 @@
+/// @file
+/// Litmus-test harness for the SWcc memory model (ROADMAP item 5).
+///
+/// A Shape is a classic multi-thread litmus test (SB, LB, MP, IRIW, CoRR,
+/// CoWW, R, S, 2+2W, ...) expressed against MemSession + ThreadCache with
+/// configurable reordering knobs (cxl::CacheKnobs: bounded store buffer,
+/// load forwarding, FIFO vs non-FIFO drain). Each shape declares its
+/// forbidden final outcomes; the sched::Explorer runs the shape's threads
+/// under Random/PCT/DFS strategies and an at_end oracle fails the
+/// schedule if a forbidden outcome is ever reached. DFS proves the
+/// outcome unreachable over the bounded interleaving space; the
+/// deliberately-weakened variants (a skipped flush or fence) must reach
+/// it and replay bit-for-bit.
+///
+/// The proofs these tests encode are what license the allocator's fence
+/// elisions: flush_desc's dirty-only write-back (SwccPublishDirtyOnly),
+/// the single trailing fence covering multiple flushes (MpCoalesced), and
+/// the deferred recovery record (record rides the publication fence).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cxl/cache_model.h"
+#include "cxl/mem_ops.h"
+#include "cxl/nmp.h"
+#include "sched/explorer.h"
+
+namespace cxl::litmus {
+
+/// Shared-memory world for one litmus run: a small simulated device with
+/// per-thread sessions (simulate_cache on, knobs per shape) plus a
+/// register file for observed values. Variables live on distinct SWcc
+/// cachelines; the flag used by message-passing shapes lives in the
+/// always-coherent sync region so its visibility is a single
+/// serialization point (the CAS-word analog).
+class World {
+  public:
+    static constexpr int kMaxThreads = 4;
+    static constexpr int kRegs = 4;
+
+    /// Coherent flag word (sync region).
+    static constexpr HeapOffset kFlag = 4096;
+    /// A 9-line "descriptor" range, mirroring Layout::kSmallDescStride:
+    /// the SwccPublishDirtyOnly shape publishes it via flush_dirty.
+    static constexpr HeapOffset kDescBase = 128 << 10;
+    static constexpr std::uint64_t kDescLen = 576;
+
+    World(int threads, const CacheKnobs& knobs);
+
+    MemSession& mem(int t) { return sessions_[static_cast<std::size_t>(t)]; }
+    std::uint64_t& reg(int t, int i) { return regs_[t][i]; }
+    std::uint64_t reg(int t, int i) const { return regs_[t][i]; }
+
+    /// SWcc variable v's device offset: distinct cachelines, staggered so
+    /// neighboring variables also land in different cache sets.
+    static HeapOffset
+    var(int v)
+    {
+        return (64 << 10) + static_cast<HeapOffset>(v) * 192;
+    }
+
+    /// The value variable v holds on the DEVICE right now (bypasses every
+    /// cache): what a post-crash reader would find.
+    std::uint64_t device_value(int v) const;
+    std::uint64_t device_at(HeapOffset offset) const;
+
+    // Litmus primitives, thread t acting:
+    void
+    st(int t, int v, std::uint64_t value)
+    {
+        mem(t).store<std::uint64_t>(var(v), value);
+    }
+    std::uint64_t ld(int t, int v) { return mem(t).load<std::uint64_t>(var(v)); }
+    void flush_var(int t, int v) { mem(t).flush(var(v), 8); }
+    /// Reader-side SWcc refetch: identical to flush_var, named for the
+    /// protocol role (invalidate own stale copy before loading).
+    void refetch(int t, int v) { mem(t).flush(var(v), 8); }
+    void fence(int t) { mem(t).fence(); }
+
+  private:
+    Device dev_;
+    Nmp nmp_;
+    std::vector<MemSession> sessions_;
+    std::array<std::array<std::uint64_t, kRegs>, kMaxThreads> regs_{};
+};
+
+/// One litmus test: N threads, a per-thread program, and a predicate over
+/// the final state. `forbidden` returns an empty string when the outcome
+/// is allowed, else a description of the forbidden outcome reached (which
+/// becomes the OracleFailure message).
+struct Shape {
+    std::string name;
+    int threads = 2;
+    CacheKnobs knobs;
+    std::function<void(World&, int)> body;
+    std::function<std::string(World&)> forbidden;
+};
+
+/// Schedule factory for the explorer: fresh World per schedule, one
+/// vthread per litmus thread, forbidden-outcome oracle at_end.
+std::function<void(sched::Run&)> factory(const Shape& shape);
+
+/// Explores @p shape under @p options. Result::ok means no explored
+/// schedule reached a forbidden outcome.
+sched::Result check(const Shape& shape, const sched::Options& options);
+
+/// The disciplined shape catalog (every forbidden outcome unreachable
+/// under the SWcc flush/fence discipline). Used by the fast suite, the
+/// DFS suite and the TSan job so the list is defined once.
+std::vector<Shape> disciplined_shapes();
+
+/// Store-buffer knobs used by the "weak" variants: bounded buffer with
+/// delayed drain, forwarding on, FIFO (TSO-like) or non-FIFO drain.
+CacheKnobs weak_knobs(bool fifo = true);
+
+} // namespace cxl::litmus

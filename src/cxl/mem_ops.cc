@@ -6,6 +6,110 @@
 
 namespace cxl {
 
+using cxlcommon::kCacheLine;
+using cxlcommon::line_of;
+
+namespace {
+
+/// Cachelines covered by [offset, offset + len), len > 0.
+std::uint64_t
+covered_lines(HeapOffset offset, std::uint64_t len)
+{
+    return (line_of(offset + len - 1) - line_of(offset)) / kCacheLine + 1;
+}
+
+} // namespace
+
+DirtyLineSet::DirtyLineSet() : slots_(kInitialSlots, kEmpty) {}
+
+std::size_t
+DirtyLineSet::slot_of(std::uint64_t line) const
+{
+    // Fibonacci hash, same rationale as ThreadCache::set_of: line offsets
+    // arrive with regular strides that plain modulo would pile up.
+    return static_cast<std::size_t>(
+               ((line >> cxlcommon::kCacheLineBits) *
+                0x9E3779B97F4A7C15ULL) >>
+               32) &
+           (slots_.size() - 1);
+}
+
+void
+DirtyLineSet::grow()
+{
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    size_ = 0;
+    used_ = 0;
+    for (std::uint64_t line : old) {
+        if (line != kEmpty && line != kTombstone) {
+            insert(line);
+        }
+    }
+}
+
+void
+DirtyLineSet::insert(std::uint64_t line)
+{
+    if (overflowed_) {
+        return;
+    }
+    if (used_ * 4 >= slots_.size() * 3) {
+        if (slots_.size() >= kMaxSlots) {
+            // Latch: callers must now treat EVERY line as possibly dirty.
+            overflowed_ = true;
+            return;
+        }
+        grow();
+    }
+    std::size_t i = slot_of(line);
+    std::size_t first_tombstone = slots_.size();
+    while (slots_[i] != kEmpty) {
+        if (slots_[i] == line) {
+            return;
+        }
+        if (slots_[i] == kTombstone && first_tombstone == slots_.size()) {
+            first_tombstone = i;
+        }
+        i = (i + 1) & (slots_.size() - 1);
+    }
+    if (first_tombstone != slots_.size()) {
+        slots_[first_tombstone] = line;
+    } else {
+        slots_[i] = line;
+        used_++;
+    }
+    size_++;
+}
+
+bool
+DirtyLineSet::erase(std::uint64_t line)
+{
+    std::size_t i = slot_of(line);
+    while (slots_[i] != kEmpty) {
+        if (slots_[i] == line) {
+            slots_[i] = kTombstone;
+            size_--;
+            return true;
+        }
+        i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+}
+
+bool
+DirtyLineSet::contains(std::uint64_t line) const
+{
+    std::size_t i = slot_of(line);
+    while (slots_[i] != kEmpty) {
+        if (slots_[i] == line) {
+            return true;
+        }
+        i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+}
+
 MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
     : device_(device), nmp_(nmp), tid_(tid), cache_(device)
 {
@@ -16,12 +120,25 @@ MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
 void
 MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
 {
+    if (len == 0) {
+        return;
+    }
     sched::hook(sched::Op::ReadBytes, offset, len);
     check_access(offset, len);
-    counters_.loads++;
+    // Bulk traffic is charged and counted per covered line, matching the
+    // per-line accounting flush() uses; a one-word read_bytes costs the
+    // same as a load<>.
+    std::uint64_t lines = covered_lines(offset, len);
+    counters_.loads += lines;
     if (cache_sim_at(offset)) {
+        charge(model_ ? lines * model_->cached_ns : 0);
         cache_.read(offset, out, len);
         return;
+    }
+    if (model_ != nullptr) {
+        bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
+                          device_->in_sync_region(offset);
+        charge(lines * (uncachable ? model_->read_ns : model_->cached_ns));
     }
     std::memcpy(out, device_->raw(offset), len);
 }
@@ -29,26 +146,48 @@ MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
 void
 MemSession::write_bytes(HeapOffset offset, const void* in, std::uint64_t len)
 {
-    sched::hook(sched::Op::WriteBytes, offset, len);
-    check_access(offset, len);
-    counters_.stores++;
-    if (cache_sim_at(offset)) {
-        cache_.write(offset, in, len);
+    if (len == 0) {
         return;
     }
+    sched::hook(sched::Op::WriteBytes, offset, len);
+    check_access(offset, len);
+    std::uint64_t lines = covered_lines(offset, len);
+    counters_.stores += lines;
+    if (cache_sim_at(offset)) {
+        charge(model_ ? lines * model_->cached_ns : 0);
+        cache_.write(offset, in, len);
+        note_dirty(offset, len);
+        return;
+    }
+    if (model_ != nullptr) {
+        bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
+                          device_->in_sync_region(offset);
+        charge(lines * (uncachable ? model_->write_ns : model_->cached_ns));
+    }
     std::memcpy(device_->raw(offset), in, len);
+    if (!device_->in_sync_region(offset)) {
+        note_dirty(offset, len);
+    }
 }
 
 void
 MemSession::flush(HeapOffset offset, std::uint64_t len)
 {
+    if (len == 0) {
+        // A zero-length flush covers no lines. The old code computed
+        // line_of(offset + len - 1) here and underflowed to ~2^58 lines
+        // of simulated latency.
+        return;
+    }
     sched::hook(sched::Op::Flush, offset, len);
+    // Same mapping discipline as loads/stores: flushing a reclaimed range
+    // must fault into the guard (or die), not bypass the TLB shootdown.
+    check_access(offset, len);
     counters_.flushes++;
+    std::uint64_t lines = covered_lines(offset, len);
+    counters_.flushed_lines += lines;
     if (model_ != nullptr) {
         // One clwb per covered line.
-        std::uint64_t lines =
-            (cxlcommon::line_of(offset + len - 1) -
-             cxlcommon::line_of(offset)) / cxlcommon::kCacheLine + 1;
         charge(lines * model_->flush_ns);
     }
     if (device_->config().simulate_cache) {
@@ -56,6 +195,44 @@ MemSession::flush(HeapOffset offset, std::uint64_t len)
     }
     // Without the cache model, stores already reached the arena; the flush
     // still orders against fence() because stores used atomic_ref.
+    std::uint64_t first = line_of(offset);
+    std::uint64_t last = line_of(offset + len - 1);
+    for (std::uint64_t line = first; line <= last; line += kCacheLine) {
+        dirty_.erase(line);
+    }
+}
+
+void
+MemSession::flush_dirty(HeapOffset offset, std::uint64_t len)
+{
+    if (len == 0) {
+        return;
+    }
+    // The hook reports the REQUESTED range; the per-run Flush events that
+    // follow tell oracles which lines were actually written back.
+    sched::hook(sched::Op::FlushDirty, offset, len);
+    if (dirty_.overflowed()) {
+        flush(offset, len);
+        return;
+    }
+    std::uint64_t first = line_of(offset);
+    std::uint64_t last = line_of(offset + len - 1);
+    std::uint64_t run_start = 0;
+    std::uint64_t run_len = 0;
+    for (std::uint64_t line = first; line <= last; line += kCacheLine) {
+        if (dirty_.contains(line)) {
+            if (run_len == 0) {
+                run_start = line;
+            }
+            run_len += kCacheLine;
+        } else if (run_len != 0) {
+            flush(run_start, run_len);
+            run_len = 0;
+        }
+    }
+    if (run_len != 0) {
+        flush(run_start, run_len);
+    }
 }
 
 void
@@ -65,6 +242,12 @@ MemSession::fence()
     counters_.fences++;
     if (model_ != nullptr) {
         charge(model_->fence_ns);
+    }
+    if (device_->config().simulate_cache) {
+        // Completes the simulated cache's in-flight work (store-buffer
+        // drain + pending write-backs) when litmus knobs are active; a
+        // no-op in the default strong mode.
+        cache_.fence();
     }
     // sfence semantics: order the preceding flushes (stores) before
     // subsequent stores.
@@ -213,6 +396,7 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("mem.loads", c.loads);
     pub("mem.stores", c.stores);
     pub("mem.flushes", c.flushes);
+    pub("mem.flushed_lines", c.flushed_lines);
     pub("mem.fences", c.fences);
     pub("mem.cas_ops", c.cas_ops);
     pub("mem.cas_failures", c.cas_failures);

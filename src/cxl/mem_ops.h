@@ -21,9 +21,11 @@
 #include <atomic>
 #include <cstring>
 #include <type_traits>
+#include <vector>
 
 #include "common/assert.h"
 #include "common/cacheline.h"
+#include "common/test_faults.h"
 #include "cxl/cache_model.h"
 #include "cxl/device.h"
 #include "cxl/latency_model.h"
@@ -40,9 +42,17 @@ namespace cxl {
 
 /// Event counts for one thread's session.
 struct MemEventCounters {
+    /// Line-granular access counts: a bulk read/write of N cachelines
+    /// counts N (matching the per-line latency it is charged), a word
+    /// access counts 1.
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;
+    /// flush() calls (one per invocation, however many lines it covers).
     std::uint64_t flushes = 0;
+    /// Cachelines actually written back/invalidated by those flushes —
+    /// the per-line cost the fence-elision work optimizes. flush_dirty()
+    /// adds only the lines it really flushed.
+    std::uint64_t flushed_lines = 0;
     std::uint64_t fences = 0;
     std::uint64_t cas_ops = 0;
     std::uint64_t cas_failures = 0;
@@ -64,6 +74,7 @@ struct MemEventCounters {
         loads += o.loads;
         stores += o.stores;
         flushes += o.flushes;
+        flushed_lines += o.flushed_lines;
         fences += o.fences;
         cas_ops += o.cas_ops;
         cas_failures += o.cas_failures;
@@ -102,6 +113,42 @@ class MappingGuard {
     /// them all on mismatch — the munmap-shootdown analog that keeps PC-T
     /// reclamation (hazard-offset unmaps, huge-region reclaim) correct.
     virtual std::uint64_t mapping_epoch() const = 0;
+};
+
+/// Session-side record of which SWcc cachelines this thread has dirtied
+/// since it last flushed them: the index flush_dirty() consults to write
+/// back 1 line instead of 9 on the common descriptor publication. Open-
+/// addressed, fixed small footprint, grows on pressure; if it ever hits
+/// the size cap it latches `overflowed` and flush_dirty() degrades to a
+/// conservative full-range flush (correctness never depends on the set
+/// being complete — only the elision's effectiveness does).
+class DirtyLineSet {
+  public:
+    DirtyLineSet();
+
+    /// Records a line-aligned offset as dirty. No-op after overflow.
+    void insert(std::uint64_t line);
+
+    /// Clears a line; returns true if it was recorded dirty.
+    bool erase(std::uint64_t line);
+
+    bool contains(std::uint64_t line) const;
+    bool overflowed() const { return overflowed_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+    static constexpr std::uint64_t kTombstone = ~std::uint64_t{0} - 1;
+    static constexpr std::size_t kInitialSlots = 1024;
+    static constexpr std::size_t kMaxSlots = 1 << 16;
+
+    std::size_t slot_of(std::uint64_t line) const;
+    void grow();
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t size_ = 0;
+    std::size_t used_ = 0; ///< live + tombstoned slots (probe-chain load)
+    bool overflowed_ = false;
 };
 
 /// A thread's access session. Not thread-safe; one per thread.
@@ -159,10 +206,14 @@ class MemSession {
         if (cache_sim_at(offset)) {
             charge(model_ ? model_->cached_ns : 0);
             cache_.write(offset, &value, sizeof(T));
+            note_dirty(offset, sizeof(T));
             return;
         }
         charge_store(offset);
         atomic_at<T>(offset).store(value, std::memory_order_relaxed);
+        if (!device_->in_sync_region(offset)) {
+            note_dirty(offset, sizeof(T));
+        }
     }
 
     /// Bulk read of SWcc data (goes through the cache model if enabled).
@@ -183,9 +234,24 @@ class MemSession {
     }
 
     /// Writes back + invalidates the cachelines covering [offset, +len).
+    /// Mapping-checked like every other access path (flushing a reclaimed
+    /// range must fault, not silently touch stale translations). A zero-
+    /// length flush is a no-op: no event, no counter, no latency.
     void flush(HeapOffset offset, std::uint64_t len = cxlcommon::kCacheLine);
 
-    /// Store fence ordering flushes before subsequent writes.
+    /// Flushes only the lines of [offset, offset+len) this session has
+    /// dirtied since their last flush — the paper's §3.2.2 observation
+    /// that the owner already knows which descriptor fields it wrote.
+    /// Counts one flush (and per-line latency) per contiguous dirty run;
+    /// clean lines cost nothing. Falls back to flush(offset, len) if the
+    /// dirty index overflowed. Guarded by litmus shape SwccPublishDirtyOnly
+    /// and the sched publish oracle (flush-before-publish over the full
+    /// descriptor range stays enforced).
+    void flush_dirty(HeapOffset offset, std::uint64_t len);
+
+    /// Store fence ordering flushes before subsequent writes. In litmus
+    /// mode (cache knobs with a store buffer) this also completes the
+    /// cache's in-flight store-buffer drain and pending write-backs.
     void fence();
 
     /// 64-bit compare-and-swap on the sync region. Under NoHwcc this is an
@@ -235,6 +301,10 @@ class MemSession {
     }
 
     ThreadCache& cache() { return cache_; }
+
+    /// The session's dirty-line index (tests and stats).
+    const DirtyLineSet& dirty_set() const { return dirty_; }
+
     MemEventCounters& counters() { return counters_; }
     const MemEventCounters& counters() const { return counters_; }
 
@@ -335,6 +405,24 @@ class MemSession {
         charge(uncachable ? model_->write_ns : model_->cached_ns);
     }
 
+    /// Records the SWcc lines covering [offset, offset+len) as dirtied by
+    /// this session. The test fault models an undertracking bug: lines go
+    /// dirty without being recorded, so flush_dirty() under-flushes and
+    /// the publish oracle / litmus suite must catch the stale publication.
+    void
+    note_dirty(HeapOffset offset, std::uint64_t len)
+    {
+        if (cxlcommon::test_faults::skip_dirty_line_tracking) {
+            return;
+        }
+        std::uint64_t first = cxlcommon::line_of(offset);
+        std::uint64_t last = cxlcommon::line_of(offset + len - 1);
+        for (std::uint64_t line = first; line <= last;
+             line += cxlcommon::kCacheLine) {
+            dirty_.insert(line);
+        }
+    }
+
     /// One verified-mapped range, page-rounded; start == end means empty.
     struct TlbEntry {
         HeapOffset start = 0;
@@ -350,6 +438,7 @@ class MemSession {
     Nmp* nmp_;
     ThreadId tid_;
     ThreadCache cache_;
+    DirtyLineSet dirty_;
     MappingGuard* guard_ = nullptr;
     std::array<TlbEntry, kTlbEntries> tlb_{};
     std::uint32_t tlb_next_ = 0;

@@ -12,15 +12,36 @@
 /// circular), and aux carries the size class or block index plus a bit
 /// selecting the small vs large heap.
 ///
-/// The record is single-writer (its thread) and written+flushed+fenced
-/// before the operation's first shared-visible step; the next operation
-/// overwrites it, so on recovery exactly one — possibly interrupted,
-/// possibly completed — operation needs an idempotent redo.
+/// The record is single-writer (its thread) and written before the
+/// operation's first shared-visible step; the next operation overwrites
+/// it, so on recovery exactly one — possibly interrupted, possibly
+/// completed — operation needs an idempotent redo.
+///
+/// Durability discipline (the fence-elision case analysis):
+///  - Operations that publish through a detectable CAS (PopGlobal,
+///    Extend, FreeRemote[Batch], PushGlobal, Huge*) use log(): store +
+///    flush + fence before the CAS. After a HOST crash the record that
+///    described the CAS must be durable for `did_succeed` version
+///    reasoning to hold. Guarded by sched::RecordFlushOracle (and the
+///    skip_record_publish_flush fault shows the oracle has teeth).
+///  - Purely local operations (Alloc, FreeLocal, scavenge, and the
+///    Detach/Disown descriptor transitions) use log_local(): store only.
+///    Recovery from a PROCESS crash — the failure model the 8-byte redo
+///    operates under, see ThreadCache::writeback_all() — writes the
+///    thread's cache back, so recovery always reads the newest record;
+///    no flush or fence is needed on the fast path. Guarded by litmus
+///    shape MpCoalesced + tests/sched RecordFlushOracle suites and
+///    SwccProtocol.OwnerKeepsDescriptorCached.
+///  - A deferred record is written back at the latest by the next
+///    flush_pending() (flush_desc folds it into the publication's
+///    existing fence) or the next log()/clear() of the same row.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 
+#include "common/test_faults.h"
 #include "cxl/mem_ops.h"
 #include "cxlalloc/layout.h"
 
@@ -80,8 +101,9 @@ class RecoveryLog {
     /// ablation, where log() is a no-op.
     bool enabled() const { return enabled_; }
 
-    /// Publishes @p record as the calling thread's in-flight operation:
-    /// 8-byte store, flush, fence — the paper's per-operation overhead.
+    /// Publishes @p record as the calling thread's in-flight operation
+    /// and makes it durable: 8-byte store, flush, fence. Required before
+    /// any detectable CAS (see the header discipline).
     void
     log(cxl::MemSession& mem, const OpRecord& record)
     {
@@ -90,8 +112,45 @@ class RecoveryLog {
         }
         cxl::HeapOffset row = layout_->recovery_row(mem.tid());
         mem.store<std::uint64_t>(row, record.pack());
+        if (cxlcommon::test_faults::skip_record_publish_flush) {
+            // Deliberately-broken variant: defer where deferral is NOT
+            // sound. RecordFlushOracle must catch the dirty row at the
+            // next DcasTry.
+            pending_[mem.tid()] = true;
+            return;
+        }
         mem.flush(row, 8);
         mem.fence();
+        pending_[mem.tid()] = false;
+    }
+
+    /// Records a purely local operation: 8-byte store only, no ordering.
+    /// Sound because process-crash recovery writes the cache back before
+    /// reading the record; the row is written back opportunistically by
+    /// the next flush_pending() / log() / clear().
+    void
+    log_local(cxl::MemSession& mem, const OpRecord& record)
+    {
+        if (!enabled_) {
+            return;
+        }
+        cxl::HeapOffset row = layout_->recovery_row(mem.tid());
+        mem.store<std::uint64_t>(row, record.pack());
+        pending_[mem.tid()] = true;
+    }
+
+    /// Writes back a deferred record (flush only — the caller's fence
+    /// completes it). flush_desc calls this right before its fence, so a
+    /// Detach/Disown/PushGlobal record rides the descriptor publication's
+    /// existing ordering at zero extra fences.
+    void
+    flush_pending(cxl::MemSession& mem)
+    {
+        if (!enabled_ || !pending_[mem.tid()]) {
+            return;
+        }
+        mem.flush(layout_->recovery_row(mem.tid()), 8);
+        pending_[mem.tid()] = false;
     }
 
     /// Reads thread @p tid's last record (used by that thread's recovery).
@@ -111,11 +170,15 @@ class RecoveryLog {
         mem.store<std::uint64_t>(row, 0);
         mem.flush(row, 8);
         mem.fence();
+        pending_[mem.tid()] = false;
     }
 
   private:
     const Layout* layout_;
     bool enabled_;
+    /// Per-thread "record stored but not yet written back" flags.
+    /// Single-writer (each slot only by its own thread), like the rows.
+    std::array<bool, cxl::kMaxThreads + 1> pending_{};
 };
 
 /// Named crash-injection points (white-box recovery tests, paper §5.1).

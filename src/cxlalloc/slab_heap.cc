@@ -152,7 +152,17 @@ SlabHeap::set_state(cxl::MemSession& mem, std::uint32_t slab, SlabState s)
 void
 SlabHeap::flush_desc(cxl::MemSession& mem, std::uint32_t slab)
 {
-    mem.flush(desc(slab), desc_stride_);
+    // Write back only the descriptor lines this thread dirtied — 1 line
+    // instead of 9 in the common publication (the owner already knows
+    // what it wrote; paper §3.2.2 generalized). The publish oracle in
+    // tests/sched/test_sched_swcc.cc and litmus shape SwccPublishDirtyOnly
+    // guard this elision: the full descriptor range must be clean at the
+    // publishing CAS.
+    mem.flush_dirty(desc(slab), desc_stride_);
+    // A deferred local-op record (Detach/Disown/FreeLocal/...) rides this
+    // publication's fence instead of paying its own — guarded by the
+    // RecordFlushOracle suites in tests/sched/test_sched_record.cc.
+    log_->flush_pending(mem);
     mem.fence();
 }
 
@@ -443,11 +453,13 @@ SlabHeap::allocate(pod::ThreadContext& ctx, ThreadState& ts,
     std::uint32_t block = bitset_peek(mem, slab, cls, /*advance_hint=*/true);
     CXL_ASSERT(block != kNoBlock, "sized list contained a full slab");
 
-    log_->log(mem, OpRecord{.op = Op::Alloc,
-                            .large_heap = large_,
-                            .aux = static_cast<std::uint16_t>(block),
-                            .version = ts.version,
-                            .index = slab});
+    // Local operation: the record needs no flush or fence (process-crash
+    // recovery writes the cache back; see RecoveryLog's discipline note).
+    log_->log_local(mem, OpRecord{.op = Op::Alloc,
+                                  .large_heap = large_,
+                                  .aux = static_cast<std::uint16_t>(block),
+                                  .version = ts.version,
+                                  .index = slab});
     ctx.maybe_crash(crashpoint::kAfterRecord);
     std::uint32_t left = bitset_clear(mem, slab, block);
     ctx.maybe_crash(crashpoint::kMidAlloc);
@@ -512,11 +524,11 @@ SlabHeap::scavenge_warm_slab(pod::ThreadContext& ctx, ThreadState& ts)
                 CXL_PARANOID_ASSERT(
                     bitset_count(mem, slab, cls) == blocks_of(cls),
                     "free-block counter diverged from bitset");
-                log_->log(mem, OpRecord{.op = Op::FreeLocal,
-                                        .large_heap = large_,
-                                        .aux = 0,
-                                        .version = ts.version,
-                                        .index = slab});
+                log_->log_local(mem, OpRecord{.op = Op::FreeLocal,
+                                              .large_heap = large_,
+                                              .aux = 0,
+                                              .version = ts.version,
+                                              .index = slab});
                 remove_sized(mem, cls, slab);
                 set_class_biased(mem, slab, 0);
                 push_unsized(mem, slab);
@@ -654,11 +666,12 @@ SlabHeap::full_transition(pod::ThreadContext& ctx, std::uint32_t slab,
     if (remote == blocks_of(cls)) {
         // No remote frees yet: keep ownership but unlink (detached state).
         // A later local free will relink it to the sized list.
-        log_->log(mem, OpRecord{.op = Op::Detach,
-                                .large_heap = large_,
-                                .aux = static_cast<std::uint16_t>(cls),
-                                .version = 0,
-                                .index = slab});
+        // Deferred: flush_desc below folds the record into its fence.
+        log_->log_local(mem, OpRecord{.op = Op::Detach,
+                                      .large_heap = large_,
+                                      .aux = static_cast<std::uint16_t>(cls),
+                                      .version = 0,
+                                      .index = slab});
         ctx.maybe_crash(crashpoint::kAfterRecord);
         remove_sized(mem, cls, slab);
         set_state(mem, slab, SlabState::Detached);
@@ -669,11 +682,11 @@ SlabHeap::full_transition(pod::ThreadContext& ctx, std::uint32_t slab,
     } else {
         // Mixed local/remote frees: give the slab up so every future free
         // takes the remote path and the whole slab is eventually stolen.
-        log_->log(mem, OpRecord{.op = Op::Disown,
-                                .large_heap = large_,
-                                .aux = static_cast<std::uint16_t>(cls),
-                                .version = 0,
-                                .index = slab});
+        log_->log_local(mem, OpRecord{.op = Op::Disown,
+                                      .large_heap = large_,
+                                      .aux = static_cast<std::uint16_t>(cls),
+                                      .version = 0,
+                                      .index = slab});
         ctx.maybe_crash(crashpoint::kAfterRecord);
         remove_sized(mem, cls, slab);
         set_owner(mem, slab, cxl::kNoThread);
@@ -839,11 +852,11 @@ SlabHeap::free_local(pod::ThreadContext& ctx, ThreadState& ts,
     cxl::MemSession& mem = ctx.mem();
     std::uint32_t cls = class_biased(mem, slab) - 1;
     CXL_ASSERT(!bitset_test(mem, slab, block), "double free (local)");
-    log_->log(mem, OpRecord{.op = Op::FreeLocal,
-                            .large_heap = large_,
-                            .aux = static_cast<std::uint16_t>(block),
-                            .version = ts.version,
-                            .index = slab});
+    log_->log_local(mem, OpRecord{.op = Op::FreeLocal,
+                                  .large_heap = large_,
+                                  .aux = static_cast<std::uint16_t>(block),
+                                  .version = ts.version,
+                                  .index = slab});
     ctx.maybe_crash(crashpoint::kAfterRecord);
     SlabState st = state(mem, slab);
     CXL_ASSERT(st == SlabState::TlSized || st == SlabState::Detached,
@@ -925,16 +938,26 @@ SlabHeap::push_global_one(pod::ThreadContext& ctx, ThreadState& ts)
         std::uint64_t word = mem.atomic_load64(free_word_);
         std::uint32_t headraw = DcasWord::value(word);
         set_next_raw(mem, slab, headraw);
+        std::uint16_t ver = ts.next_version();
+        // Record + descriptor coalesce into flush_desc's single flush +
+        // fence (the record's flush_pending rides the same fence); on a
+        // CAS retry only the re-dirtied kNext line and record row are
+        // written back again — the owner-cached argument generalized.
+        log_->log_local(mem, OpRecord{.op = Op::PushGlobal,
+                                      .large_heap = large_,
+                                      .aux = 0,
+                                      .version = ver,
+                                      .index = slab});
         // Ownership transfers to whoever pops: flush + fence first.
         if (!cxlcommon::test_faults::skip_swcc_publish_flush) {
             flush_desc(mem, slab);
+        } else {
+            // Fault isolation: skip only the DESCRIPTOR flush. The record
+            // still goes durable so the publish oracle — not the record
+            // oracle — is what catches this variant.
+            log_->flush_pending(mem);
+            mem.fence();
         }
-        std::uint16_t ver = ts.next_version();
-        log_->log(mem, OpRecord{.op = Op::PushGlobal,
-                                .large_heap = large_,
-                                .aux = 0,
-                                .version = ver,
-                                .index = slab});
         ctx.maybe_crash(crashpoint::kMidPushGlobal);
         if (dcas_->try_cas(mem, free_word_, headraw, slab + 1, ver).success) {
             return;

@@ -34,7 +34,7 @@ inline constexpr MetricId kInvalidMetric = ~MetricId{0};
 /// Shard 0 is process-level; 1..kMaxShards-1 mirror pod thread ids.
 inline constexpr std::uint32_t kMaxShards = 65;
 inline constexpr std::uint32_t kMaxCounters = 128;
-inline constexpr std::uint32_t kMaxGauges = 32;
+inline constexpr std::uint32_t kMaxGauges = 96;
 inline constexpr std::uint32_t kMaxHistograms = 32;
 
 /// One thread's unsynchronized metric storage. Writers: the owning thread.

@@ -29,6 +29,8 @@ enum class Op : std::uint8_t {
     ReadBytes,    ///< bulk SWcc read (addr, len)
     WriteBytes,   ///< bulk SWcc write (addr, len)
     Flush,        ///< cacheline write-back + invalidate (addr, len)
+    FlushDirty,   ///< dirty-only flush requested (addr, len): the Flush
+                  ///< events that follow are the lines actually written
     Fence,        ///< store fence
     Cas,          ///< 64-bit CAS on the sync region (addr, desired word)
     AtomicLoad,   ///< coherent 64-bit load (addr)

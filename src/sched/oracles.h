@@ -124,4 +124,60 @@ require_flushed(const DirtyLineTracker& tracker, std::uint32_t vthread,
                             std::to_string(end) + ")");
 }
 
+/// Guards the deferred-record discipline the fence-elision work leans on:
+/// a thread may delay its recovery record's flush through LOCAL
+/// operations (a process crash writes the cache back, so recovery still
+/// reads the newest record), but before any detectable CAS the record
+/// must be durable — after a HOST crash, `did_succeed` reasoning needs
+/// the record that described the CAS, not a stale predecessor. The
+/// oracle watches each vthread's recovery-record row and fails the
+/// schedule if a DcasTry fires while the row is dirty. Every allocator
+/// publication funnels through DetectableCas::try_cas, so hooking
+/// Op::DcasTry covers pop_global / extend / free_remote / push_global and
+/// the batch drain alike.
+class RecordFlushOracle {
+  public:
+    /// Watches record rows inside the device range [rows_begin, rows_end).
+    RecordFlushOracle(std::uint64_t rows_begin, std::uint64_t rows_end)
+        : tracker_(rows_begin, rows_end)
+    {
+    }
+
+    /// Binds @p vthread to its recovery-record row [row, row + len).
+    void
+    bind(std::uint32_t vthread, std::uint64_t row,
+         std::uint64_t len = cxlcommon::kCacheLine)
+    {
+        rows_[vthread] = {row, row + len};
+    }
+
+    void
+    observe(std::uint32_t vthread, const Event& event)
+    {
+        tracker_.observe(vthread, event);
+        if (event.op != Op::DcasTry) {
+            return;
+        }
+        auto it = rows_.find(vthread);
+        if (it == rows_.end()) {
+            return;
+        }
+        if (tracker_.dirty_in(vthread, it->second.first,
+                              it->second.second)) {
+            throw OracleFailure(
+                "record-durable-before-CAS violated: vthread " +
+                std::to_string(vthread) +
+                " attempted a detectable CAS with a dirty recovery "
+                "record row at " +
+                std::to_string(it->second.first));
+        }
+    }
+
+  private:
+    DirtyLineTracker tracker_;
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::uint64_t, std::uint64_t>>
+        rows_;
+};
+
 } // namespace sched

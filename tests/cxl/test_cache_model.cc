@@ -272,4 +272,226 @@ TEST_F(CacheModelTest, RandomTraceMatchesFlatReferenceModel)
     }
 }
 
+TEST_F(CacheModelTest, VictimCursorWrapsWithoutEvictingMruPinnedWay)
+{
+    // The round-robin victim cursor must wrap past the set multiple times
+    // while the MRU pin keeps tracking a moving hot way: the hot line is
+    // never selected even when the cursor comes back around to its way,
+    // and every eviction writes exactly one dirty victim to the device.
+    ThreadCache cache(&dev_);
+    auto lines = same_set_lines(3 * ThreadCache::kWays + 2, dev_.size());
+    ASSERT_EQ(lines.size(), 3 * ThreadCache::kWays + 2);
+
+    std::uint64_t hot = 4242;
+    cache.write(lines[0], &hot, sizeof hot);
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        cache.write(lines[0], &hot, sizeof hot); // re-touch: stays MRU
+        std::uint64_t v = 100 + i;
+        cache.write(lines[i], &v, sizeof v);
+    }
+    // 3*kWays+2 distinct lines through kWays ways: the cursor wrapped at
+    // least twice.
+    EXPECT_EQ(cache.evictions(), 2 * ThreadCache::kWays + 2);
+
+    // The pinned line survived every wrap, still dirty (device reads 0).
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(lines[0]), sizeof direct);
+    EXPECT_EQ(direct, 0u);
+    std::uint64_t seen;
+    cache.read(lines[0], &seen, sizeof seen);
+    EXPECT_EQ(seen, 4242u);
+
+    // Each eviction wrote its dirty victim back exactly once; lines still
+    // resident never reached the device.
+    std::uint64_t on_device = 0;
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        std::memcpy(&direct, dev_.raw(lines[i]), sizeof direct);
+        if (direct != 0) {
+            EXPECT_EQ(direct, 100 + i);
+            on_device++;
+        }
+    }
+    EXPECT_EQ(on_device, cache.evictions());
+}
+
+TEST_F(CacheModelTest, StoreBufferDelaysVisibilityUntilFence)
+{
+    // Weak mode: a store sits in the buffer (clwb moves it to the pending
+    // write-back queue), and only sfence completes it to the device. The
+    // owning thread still sees its own store via forwarding.
+    ThreadCache cache(&dev_);
+    cxl::CacheKnobs k;
+    k.store_buffer_entries = 4;
+    cache.set_knobs(k);
+
+    std::uint64_t v = 9;
+    cache.write(4096, &v, sizeof v);
+    EXPECT_EQ(cache.store_buffer_depth(), 1u);
+
+    std::uint64_t seen = 0;
+    cache.read(4096, &seen, sizeof seen);
+    EXPECT_EQ(seen, 9u); // forwarded, not drained
+    EXPECT_EQ(cache.store_buffer_depth(), 1u);
+
+    cache.flush(4096, sizeof v); // clwb: queued, not yet durable
+    EXPECT_EQ(cache.store_buffer_depth(), 0u);
+    EXPECT_EQ(cache.pending_writebacks(), 1u);
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(4096), sizeof direct);
+    EXPECT_EQ(direct, 0u);
+
+    cache.fence(); // sfence: completes the queued write-back
+    EXPECT_EQ(cache.pending_writebacks(), 0u);
+    std::memcpy(&direct, dev_.raw(4096), sizeof direct);
+    EXPECT_EQ(direct, 9u);
+}
+
+TEST_F(CacheModelTest, LoadForwardingOffStallsOnBufferedLine)
+{
+    ThreadCache cache(&dev_);
+    cxl::CacheKnobs k;
+    k.store_buffer_entries = 4;
+    k.load_forwarding = false;
+    cache.set_knobs(k);
+
+    std::uint64_t v = 5;
+    cache.write(4096, &v, sizeof v);
+    EXPECT_EQ(cache.store_buffer_depth(), 1u);
+    std::uint64_t seen = 0;
+    cache.read(4096, &seen, sizeof seen);
+    EXPECT_EQ(seen, 5u);
+    // Without forwarding the load stalled until the line's buffered
+    // stores drained into the cache.
+    EXPECT_EQ(cache.store_buffer_depth(), 0u);
+}
+
+TEST_F(CacheModelTest, SameLineStoresRetireInProgramOrderEvenNonFifo)
+{
+    // CoWW at unit level: overflow drains under the non-FIFO knob, but
+    // same-line entries always apply in program order, so the final value
+    // is the younger store.
+    ThreadCache cache(&dev_);
+    cxl::CacheKnobs k;
+    k.store_buffer_entries = 1;
+    k.fifo_drain = false;
+    cache.set_knobs(k);
+
+    std::uint64_t a = 1, b = 2;
+    cache.write(4096, &a, sizeof a);
+    cache.write(4096, &b, sizeof b); // overflow: oldest-for-this-line drains
+    cache.fence();
+    cache.flush(4096, sizeof b);
+    cache.fence();
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(4096), sizeof direct);
+    EXPECT_EQ(direct, 2u);
+}
+
+TEST_F(CacheModelTest, NonFifoDrainRetiresYoungestStoreFirst)
+{
+    // Distinct-line drain order is the knob's observable: overflow under
+    // FIFO drains the OLDEST buffered store, non-FIFO the YOUNGEST (the
+    // incoming store goes straight through while older ones to other
+    // lines stay parked). Route the drains into a full cache set — a
+    // drained store fills its line and evicts a dirty victim — so the
+    // orders produce different eviction counts: FIFO pushes both parked
+    // same-set stores through the full set (2 evictions), non-FIFO
+    // commits only the other-set arrivals (0 evictions).
+    for (bool fifo : {true, false}) {
+        Device dev(DeviceConfig{.size = 1 << 20,
+                                .mode = CoherenceMode::PartialHwcc,
+                                .sync_region_size = 4096,
+                                .simulate_cache = true});
+        ThreadCache cache(&dev);
+        auto lines = same_set_lines(ThreadCache::kWays + 2, dev.size());
+        ASSERT_EQ(lines.size(), ThreadCache::kWays + 2);
+        // Fill the set with dirty lines (strong mode).
+        for (std::size_t i = 2; i < lines.size(); i++) {
+            std::uint64_t v = 500 + i;
+            cache.write(lines[i], &v, sizeof v);
+        }
+        ASSERT_EQ(cache.evictions(), 0u);
+
+        cxl::CacheKnobs k;
+        k.store_buffer_entries = 2;
+        k.fifo_drain = fifo;
+        cache.set_knobs(k);
+
+        // Two other-set offsets for the overflow traffic.
+        std::uint32_t set = ThreadCache::set_of(lines[0]);
+        std::vector<std::uint64_t> other;
+        for (std::uint64_t off = 0; other.size() < 2 && off < dev.size();
+             off += 64) {
+            if (ThreadCache::set_of(off) != set) {
+                other.push_back(off);
+            }
+        }
+        ASSERT_EQ(other.size(), 2u);
+
+        std::uint64_t v = 111;
+        cache.write(lines[0], &v, sizeof v);
+        v = 222;
+        cache.write(lines[1], &v, sizeof v);
+        v = 9;
+        cache.write(other[0], &v, sizeof v); // 1st overflow drain
+        cache.write(other[1], &v, sizeof v); // 2nd overflow drain
+        EXPECT_EQ(cache.store_buffer_depth(), 2u);
+        EXPECT_EQ(cache.evictions(), fifo ? 2u : 0u)
+            << (fifo ? "fifo" : "non-fifo");
+
+        // Convergence: after fence + flush everything is where it belongs.
+        cache.fence();
+        cache.writeback_all();
+        std::uint64_t direct;
+        std::memcpy(&direct, dev.raw(lines[0]), sizeof direct);
+        EXPECT_EQ(direct, 111u);
+        std::memcpy(&direct, dev.raw(lines[1]), sizeof direct);
+        EXPECT_EQ(direct, 222u);
+    }
+}
+
+TEST_F(CacheModelTest, WritebackAllAndInvalidateAllDivergeOnWeakState)
+{
+    // The crash-severity split, extended to the new knobs: a PROCESS crash
+    // (writeback_all) preserves buffered stores and flushed-but-unfenced
+    // pending lines; a HOST crash (invalidate_all) loses both.
+    for (bool host_crash : {false, true}) {
+        Device dev(DeviceConfig{.size = 1 << 20,
+                                .mode = CoherenceMode::PartialHwcc,
+                                .sync_region_size = 4096,
+                                .simulate_cache = true});
+        ThreadCache cache(&dev);
+        cxl::CacheKnobs k;
+        k.store_buffer_entries = 4;
+        cache.set_knobs(k);
+
+        std::uint64_t a = 1, b = 2;
+        cache.write(8192, &a, sizeof a);  // buffered only
+        cache.write(16384, &b, sizeof b); // buffered...
+        cache.flush(16384, sizeof b);     // ...then pending, never fenced
+        EXPECT_EQ(cache.store_buffer_depth(), 1u);
+        EXPECT_EQ(cache.pending_writebacks(), 1u);
+
+        if (host_crash) {
+            cache.invalidate_all();
+        } else {
+            cache.writeback_all();
+        }
+        EXPECT_EQ(cache.store_buffer_depth(), 0u);
+        EXPECT_EQ(cache.pending_writebacks(), 0u);
+        EXPECT_EQ(cache.resident_lines(), 0u);
+
+        std::uint64_t da, db;
+        std::memcpy(&da, dev.raw(8192), sizeof da);
+        std::memcpy(&db, dev.raw(16384), sizeof db);
+        if (host_crash) {
+            EXPECT_EQ(da, 0u) << "host crash must lose buffered stores";
+            EXPECT_EQ(db, 0u) << "host crash must lose unfenced pending";
+        } else {
+            EXPECT_EQ(da, 1u) << "process crash must keep buffered stores";
+            EXPECT_EQ(db, 2u) << "process crash must keep pending lines";
+        }
+    }
+}
+
 } // namespace

@@ -1,8 +1,11 @@
 /// Edge cases and misuse guards of the memory-access layer.
 
 #include <gtest/gtest.h>
+#include <cstddef>
 #include <thread>
+#include <vector>
 
+#include "common/test_faults.h"
 #include "cxl/mem_ops.h"
 
 namespace {
@@ -158,6 +161,191 @@ TEST(MemOpsEdge, SimulatedCacheLineGranularity)
     b.flush(200000, 64);
     EXPECT_EQ(b.load<std::uint32_t>(200000), 1u);
     EXPECT_EQ(b.load<std::uint32_t>(200004), 2u);
+}
+
+/// Guard stub recording every on_access and an adjustable mapping epoch.
+struct CountingGuard : cxl::MappingGuard {
+    bool
+    on_access(MemSession&, cxl::HeapOffset offset, std::uint64_t len) override
+    {
+        calls++;
+        last_offset = offset;
+        last_len = len;
+        return true; // verified: session may cache the translation
+    }
+    std::uint64_t mapping_epoch() const override { return epoch; }
+
+    std::uint64_t calls = 0;
+    std::uint64_t epoch = 1;
+    cxl::HeapOffset last_offset = 0;
+    std::uint64_t last_len = 0;
+};
+
+TEST(MemOpsEdge, FlushConsultsMappingGuard)
+{
+    // Regression: flush() used to skip check_access entirely, so flushing
+    // a reclaimed (remapped) range bypassed the munmap-shootdown analog.
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    CountingGuard g;
+    s.set_mapping_guard(&g);
+
+    s.flush(8192, 64);
+    EXPECT_EQ(g.calls, 1u) << "flush must fault unverified ranges in";
+    EXPECT_EQ(g.last_offset, 8192u);
+
+    s.flush(8192, 64); // translation now cached in the session TLB
+    EXPECT_EQ(g.calls, 1u);
+
+    g.epoch++; // a mapping was removed somewhere: shootdown
+    s.flush(8192, 64);
+    EXPECT_EQ(g.calls, 2u)
+        << "flush after a remap must re-verify, not use the stale TLB";
+}
+
+TEST(MemOpsEdge, ZeroLengthFlushIsNoOp)
+{
+    // Regression: flush(offset, 0) underflowed the covered-line count and
+    // flushed (and charged for) a huge range.
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession s = rig.session(1);
+    std::uint64_t flushes = s.counters().flushes;
+    std::uint64_t lines = s.counters().flushed_lines;
+    s.flush(4096, 0);
+    s.flush(rig.dev.size(), 0); // boundary: end-of-device, still a no-op
+    EXPECT_EQ(s.counters().flushes, flushes);
+    EXPECT_EQ(s.counters().flushed_lines, lines);
+    EXPECT_EQ(s.sim_ns(), 0u);
+}
+
+TEST(MemOpsEdge, BulkOpsCountPerCoveredLine)
+{
+    // read_bytes/write_bytes used to count one load/store and charge zero
+    // latency regardless of length; they now account per covered line,
+    // consistent with flush (see ARCHITECTURE.md on mem.loads semantics).
+    Rig rig(CoherenceMode::PartialHwcc);
+    MemSession s = rig.session(1);
+    std::vector<std::byte> buf(260);
+
+    s.write_bytes(8192 + 28, buf.data(), 260); // spans 5 lines
+    EXPECT_EQ(s.counters().stores, 5u);
+    s.read_bytes(8192 + 28, buf.data(), 260);
+    EXPECT_EQ(s.counters().loads, 5u);
+
+    // A one-word transfer still costs exactly one event, like load<>.
+    s.write_bytes(16384, buf.data(), 8);
+    EXPECT_EQ(s.counters().stores, 6u);
+
+    // Zero-length transfers touch no lines.
+    s.read_bytes(8192, buf.data(), 0);
+    s.write_bytes(8192, buf.data(), 0);
+    EXPECT_EQ(s.counters().loads, 5u);
+    EXPECT_EQ(s.counters().stores, 6u);
+
+    // flush matches: one flush event, per-line write-back accounting.
+    std::uint64_t lines = s.counters().flushed_lines;
+    s.flush(8192 + 28, 260);
+    EXPECT_EQ(s.counters().flushes, 1u);
+    EXPECT_EQ(s.counters().flushed_lines - lines, 5u);
+}
+
+TEST(MemOpsEdge, FlushDirtyWritesBackOnlyDirtiedLines)
+{
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession s = rig.session(1);
+    const cxl::HeapOffset base = 128 << 10;
+    const std::uint64_t len = 576; // a 9-line descriptor
+
+    s.store<std::uint64_t>(base, 1);       // line 0
+    s.store<std::uint64_t>(base + 128, 2); // line 2
+    std::uint64_t flushes = s.counters().flushes;
+    std::uint64_t lines = s.counters().flushed_lines;
+    s.flush_dirty(base, len);
+    EXPECT_EQ(s.counters().flushes - flushes, 2u) << "two disjoint runs";
+    EXPECT_EQ(s.counters().flushed_lines - lines, 2u)
+        << "only the 2 dirtied of 9 lines written back";
+
+    // Idempotent: the lines are clean now.
+    flushes = s.counters().flushes;
+    s.flush_dirty(base, len);
+    EXPECT_EQ(s.counters().flushes, flushes);
+
+    // Adjacent dirty lines coalesce into one ranged clwb.
+    s.store<std::uint64_t>(base + 64, 3);
+    s.store<std::uint64_t>(base + 128, 4);
+    flushes = s.counters().flushes;
+    lines = s.counters().flushed_lines;
+    s.flush_dirty(base, len);
+    EXPECT_EQ(s.counters().flushes - flushes, 1u);
+    EXPECT_EQ(s.counters().flushed_lines - lines, 2u);
+
+    // The elided flushes were real elisions, not lost writes: a reader
+    // sees everything after the publication fence.
+    s.fence();
+    MemSession r = rig.session(2);
+    r.flush(base, len);
+    EXPECT_EQ(r.load<std::uint64_t>(base), 1u);
+    EXPECT_EQ(r.load<std::uint64_t>(base + 64), 3u);
+    EXPECT_EQ(r.load<std::uint64_t>(base + 128), 4u);
+
+    // Zero-length request: no-op.
+    flushes = s.counters().flushes;
+    s.flush_dirty(base, 0);
+    EXPECT_EQ(s.counters().flushes, flushes);
+}
+
+TEST(MemOpsEdge, DirtyLineSetInsertEraseGrowOverflow)
+{
+    cxl::DirtyLineSet set;
+    EXPECT_FALSE(set.contains(64));
+    set.insert(64);
+    EXPECT_TRUE(set.contains(64));
+    EXPECT_EQ(set.size(), 1u);
+    set.insert(64); // dedup
+    EXPECT_EQ(set.size(), 1u);
+    set.erase(64);
+    EXPECT_FALSE(set.contains(64));
+    EXPECT_EQ(set.size(), 0u);
+    set.insert(128); // tombstone reuse
+    EXPECT_TRUE(set.contains(128));
+
+    // Growth keeps every entry findable.
+    for (std::uint64_t i = 0; i < 5000; i++) {
+        set.insert(i * 64);
+    }
+    for (std::uint64_t i = 0; i < 5000; i++) {
+        ASSERT_TRUE(set.contains(i * 64)) << i;
+    }
+    EXPECT_FALSE(set.overflowed());
+
+    // Past the size cap the set latches overflowed (flush_dirty then
+    // degrades to a conservative full-range flush).
+    for (std::uint64_t i = 0; i < 70000; i++) {
+        set.insert(i * 64);
+    }
+    EXPECT_TRUE(set.overflowed());
+    set.insert(1 << 30); // no-op after overflow; latch is sticky
+    EXPECT_TRUE(set.overflowed());
+}
+
+TEST(MemOpsEdge, DisabledDirtyTrackingDegradesButStillPublishes)
+{
+    // The skip_dirty_line_tracking fault models an undertracking bug:
+    // flush_dirty believes nothing is dirty and elides everything. The
+    // litmus suite proves this is CAUGHT (publish-undertracked); here we
+    // just pin the mechanism the fault relies on.
+    struct FaultGuard {
+        ~FaultGuard() { cxlcommon::test_faults::reset(); }
+    } guard;
+    cxlcommon::test_faults::skip_dirty_line_tracking = true;
+
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession s = rig.session(1);
+    s.store<std::uint64_t>(128 << 10, 7);
+    EXPECT_EQ(s.dirty_set().size(), 0u);
+    std::uint64_t flushes = s.counters().flushes;
+    s.flush_dirty(128 << 10, 576);
+    EXPECT_EQ(s.counters().flushes, flushes) << "undertracked: elides all";
 }
 
 } // namespace

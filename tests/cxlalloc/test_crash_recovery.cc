@@ -375,8 +375,12 @@ TEST(CrashRecovery, RecoverableOverheadIsPerOpRecord)
         rig.alloc.deallocate(*t, rig.alloc.allocate(*t, 64));
     }
     std::uint64_t flushes = t->mem().counters().flushes - flushes_before;
-    // One record write+flush per operation (alloc + free = 2 per cycle).
-    EXPECT_EQ(flushes, 200u);
+    // The record is a plain 8-byte store on the fast path; its write-back
+    // is deferred to the next publication fence (RecoveryLog::log_local),
+    // so recoverable steady state now costs ZERO flushes — identical to
+    // the nonrecoverable ablation above. The remaining overhead is the
+    // store itself.
+    EXPECT_EQ(flushes, 0u);
     rig.pod.release_thread(std::move(t));
 }
 

@@ -1,0 +1,91 @@
+/// @file
+/// DFS exhaustion proofs for the litmus catalog (slow label).
+///
+/// For every shape with at most two threads the bounded interleaving
+/// space is small enough to enumerate completely: `ok && exhausted`
+/// upgrades the fast suite's "never observed" to "unreachable under the
+/// model". The four-thread IRIW shapes are explored under the same DFS
+/// within a schedule budget (ok, possibly not exhausted). DFS must also
+/// FIND the weakened-SB bug deterministically, without random luck.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cxl/litmus/litmus.h"
+#include "sched/explorer.h"
+
+using cxl::litmus::check;
+using cxl::litmus::disciplined_shapes;
+using cxl::litmus::Shape;
+using cxl::litmus::weak_knobs;
+using cxl::litmus::World;
+
+namespace {
+
+sched::Options
+dfs_opts(std::uint32_t schedules)
+{
+    sched::Options o;
+    o.strategy = sched::Strategy::Dfs;
+    o.schedules = schedules;
+    return o;
+}
+
+TEST(LitmusDfs, TwoThreadShapesExhaustivelyUnreachable)
+{
+    for (const Shape& shape : disciplined_shapes()) {
+        if (shape.threads > 2) {
+            continue; // IRIW: budgeted, in the test below
+        }
+        sched::Result r = check(shape, dfs_opts(2'000'000));
+        EXPECT_TRUE(r.ok) << shape.name << ": "
+                          << (r.failure ? r.failure->message : "?");
+        EXPECT_TRUE(r.exhausted)
+            << shape.name << ": interleaving space not fully enumerated ("
+            << r.schedules_run << " schedules)";
+        EXPECT_EQ(r.truncated, 0u) << shape.name;
+    }
+}
+
+TEST(LitmusDfs, IriwHoldsWithinDfsBudget)
+{
+    for (const Shape& shape : disciplined_shapes()) {
+        if (shape.threads <= 2) {
+            continue;
+        }
+        sched::Result r = check(shape, dfs_opts(100'000));
+        EXPECT_TRUE(r.ok) << shape.name << ": "
+                          << (r.failure ? r.failure->message : "?");
+        EXPECT_GT(r.schedules_run, 1000u) << shape.name;
+    }
+}
+
+TEST(LitmusDfs, DfsFindsWeakenedSbDeterministically)
+{
+    Shape s;
+    s.name = "SB-skip-fence";
+    s.threads = 2;
+    s.knobs = weak_knobs(/*fifo=*/true);
+    s.body = [](World& w, int t) {
+        int mine = t == 0 ? 0 : 1;
+        int other = t == 0 ? 1 : 0;
+        w.st(t, mine, 1);
+        w.flush_var(t, mine);
+        w.refetch(t, other);
+        w.reg(t, 0) = w.ld(t, other);
+    };
+    s.forbidden = [](World& w) -> std::string {
+        if (w.reg(0, 0) == 0 && w.reg(1, 0) == 0) {
+            return "both writes invisible (skipped fences)";
+        }
+        return "";
+    };
+    sched::Result r = check(s, dfs_opts(2'000'000));
+    ASSERT_FALSE(r.ok) << "DFS failed to find the seeded ordering bug";
+    ASSERT_TRUE(r.failure.has_value());
+    EXPECT_NE(r.failure->message.find("forbidden outcome"),
+              std::string::npos);
+}
+
+} // namespace
