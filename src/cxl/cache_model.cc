@@ -15,6 +15,44 @@ ThreadCache::write_back(const Line& line)
     std::memcpy(device_->raw(line.tag), line.data.data(), kCacheLine);
 }
 
+void
+ThreadCache::persist_durable_line()
+{
+    if (durable_line_ == kNoTag) {
+        return;
+    }
+    // Snapshot the newest value of the registered line — buffered stores
+    // over the resident copy over the pending copy over the device — and
+    // write it to the device. Pure: no cache, buffer, or pending state
+    // changes, so litmus-mode ordering semantics are untouched; a later
+    // flush/fence of the same line just rewrites identical bytes. Runs
+    // atomically with the eviction that triggered it (cache internals
+    // emit no sched hooks), so no simulated crash can observe the evicted
+    // effect without the record.
+    const Line* resident = nullptr;
+    for (const Line& way : sets_[set_of(durable_line_)].ways) {
+        if (way.tag == durable_line_) {
+            resident = &way;
+            break;
+        }
+    }
+    std::array<std::byte, kCacheLine> value;
+    if (resident != nullptr) {
+        value = resident->data;
+    } else if (const PendingLine* p = pending_lookup(durable_line_)) {
+        value = p->data;
+    } else {
+        std::memcpy(value.data(), device_->raw(durable_line_), kCacheLine);
+    }
+    for (const BufferedStore& s : buffer_) {
+        if (s.line == durable_line_) {
+            std::memcpy(value.data() + s.within, s.data.data(), s.len);
+        }
+    }
+    std::memcpy(device_->raw(durable_line_), value.data(), kCacheLine);
+    durable_writebacks_++;
+}
+
 ThreadCache::PendingLine*
 ThreadCache::pending_lookup(std::uint64_t line_offset)
 {
@@ -69,7 +107,13 @@ ThreadCache::fill(std::uint64_t line_offset)
             // Early write-back: safe because this thread is the exclusive
             // writer of any line it holds dirty (SWcc ownership rules) —
             // the store was going to reach the device at the next flush or
-            // process-crash writeback anyway.
+            // process-crash writeback anyway. For *recovery* safety the
+            // registered durable line (the recovery-record row) goes first:
+            // if this victim carries a later operation's effect, the device
+            // must not pair it with a stale record after a host crash.
+            if (old.tag != durable_line_) {
+                persist_durable_line();
+            }
             write_back(old);
         }
         evictions_++;

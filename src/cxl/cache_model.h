@@ -19,6 +19,20 @@
 /// it must eventually do), and losing a clean line merely forces a
 /// refetch of possibly-fresher data.
 ///
+/// One refinement makes that argument hold for *recovery* too: eviction is
+/// the only channel by which an operation's effect can reach the device
+/// out of program order (every explicit flush is protocol-ordered). If an
+/// effect line of a later operation were written back while the thread's
+/// deferred recovery record was still cache-resident, a HOST crash would
+/// leave a durable effect paired with a stale durable record, and replay
+/// would redo an outdated operation (e.g. re-free a block that was since
+/// re-allocated). The cache therefore supports one registered *durable
+/// line* — the thread's recovery-record row — whose newest value is
+/// persisted to the device before any other dirty victim's early
+/// write-back. This keeps the invariant "no durable effect without a
+/// durable record at least as new" under every crash severity; see
+/// RecoveryLog's discipline note and ARCHITECTURE.md elision case 1.
+///
 /// The paper assumes threads are pinned to cores, so one cache per thread
 /// (not per core) is a faithful simplification.
 ///
@@ -117,6 +131,19 @@ class ThreadCache {
     /// were written back; clean victims just dropped.
     std::uint64_t evictions() const { return evictions_; }
 
+    /// Registers the one line whose newest value must reach the device
+    /// before any dirty victim's early write-back: the thread's recovery-
+    /// record row. kNoTag (the default) disables the mechanism.
+    void
+    set_durable_line(std::uint64_t line_offset)
+    {
+        durable_line_ = line_offset;
+    }
+
+    /// Times the durable line was persisted ahead of a dirty eviction
+    /// (tests pin the mechanism with this).
+    std::uint64_t durable_writebacks() const { return durable_writebacks_; }
+
     /// Installs reordering knobs. Drains any in-flight state first (via
     /// fence()) so switching modes never silently loses stores.
     void set_knobs(const CacheKnobs& knobs);
@@ -176,6 +203,7 @@ class ThreadCache {
     Line& fill(std::uint64_t line_offset);
     Line* lookup(std::uint64_t line_offset);
     void write_back(const Line& line);
+    void persist_durable_line();
     bool weak() const { return knobs_.store_buffer_entries > 0; }
     void drain_entry(std::size_t index);
     void drain_line(std::uint64_t line_offset);
@@ -187,6 +215,8 @@ class ThreadCache {
     std::vector<Set> sets_;
     std::size_t resident_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t durable_line_ = kNoTag;
+    std::uint64_t durable_writebacks_ = 0;
     CacheKnobs knobs_;
     std::vector<BufferedStore> buffer_;
     std::vector<PendingLine> pending_;

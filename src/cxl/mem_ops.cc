@@ -35,10 +35,10 @@ DirtyLineSet::slot_of(std::uint64_t line) const
 }
 
 void
-DirtyLineSet::grow()
+DirtyLineSet::rehash(std::size_t new_slots)
 {
     std::vector<std::uint64_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, kEmpty);
+    slots_.assign(new_slots, kEmpty);
     size_ = 0;
     used_ = 0;
     for (std::uint64_t line : old) {
@@ -55,12 +55,24 @@ DirtyLineSet::insert(std::uint64_t line)
         return;
     }
     if (used_ * 4 >= slots_.size() * 3) {
-        if (slots_.size() >= kMaxSlots) {
-            // Latch: callers must now treat EVERY line as possibly dirty.
-            overflowed_ = true;
-            return;
+        // Probe chains are loaded — but by what? Steady alloc/free churn
+        // erases every line it flushes, so most of `used_` can be
+        // tombstones. Growing (or latching) on tombstone pressure would
+        // ratchet a long-lived session into the conservative full-flush
+        // path for no live reason; instead, rehash in place to purge the
+        // tombstones and only grow/latch when LIVE entries genuinely load
+        // the table.
+        if (size_ * 4 >= slots_.size() * 3) {
+            if (slots_.size() >= kMaxSlots) {
+                // Latch: callers must now treat EVERY line as possibly
+                // dirty.
+                overflowed_ = true;
+                return;
+            }
+            rehash(slots_.size() * 2);
+        } else {
+            rehash(slots_.size());
         }
-        grow();
     }
     std::size_t i = slot_of(line);
     std::size_t first_tombstone = slots_.size();
@@ -211,6 +223,11 @@ MemSession::flush_dirty(HeapOffset offset, std::uint64_t len)
     // The hook reports the REQUESTED range; the per-run Flush events that
     // follow tell oracles which lines were actually written back.
     sched::hook(sched::Op::FlushDirty, offset, len);
+    // Mapping-check the REQUESTED range, mirroring flush(): the nested
+    // flush() calls only cover dirty sub-runs, so a flush_dirty over a
+    // reclaimed range whose lines happen to be clean would otherwise slip
+    // past the guard and the TLB shootdown.
+    check_access(offset, len);
     if (dirty_.overflowed()) {
         flush(offset, len);
         return;

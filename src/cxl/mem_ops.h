@@ -118,10 +118,12 @@ class MappingGuard {
 /// Session-side record of which SWcc cachelines this thread has dirtied
 /// since it last flushed them: the index flush_dirty() consults to write
 /// back 1 line instead of 9 on the common descriptor publication. Open-
-/// addressed, fixed small footprint, grows on pressure; if it ever hits
-/// the size cap it latches `overflowed` and flush_dirty() degrades to a
-/// conservative full-range flush (correctness never depends on the set
-/// being complete — only the elision's effectiveness does).
+/// addressed, fixed small footprint. Tombstone pressure from steady
+/// insert/erase churn is purged by rehashing in place; the table only
+/// grows when LIVE entries load it, and only if they exceed the size cap
+/// does it latch `overflowed`, degrading flush_dirty() to a conservative
+/// full-range flush (correctness never depends on the set being complete
+/// — only the elision's effectiveness does).
 class DirtyLineSet {
   public:
     DirtyLineSet();
@@ -143,7 +145,7 @@ class DirtyLineSet {
     static constexpr std::size_t kMaxSlots = 1 << 16;
 
     std::size_t slot_of(std::uint64_t line) const;
-    void grow();
+    void rehash(std::size_t new_slots);
 
     std::vector<std::uint64_t> slots_;
     std::size_t size_ = 0;
@@ -291,6 +293,18 @@ class MemSession {
 
     /// Atomic (coherent) 64-bit store to the sync region.
     void atomic_store64(HeapOffset offset, std::uint64_t value);
+
+    /// Registers the line holding this thread's recovery-record row as the
+    /// cache's durable line: its newest value is persisted ahead of any
+    /// dirty capacity eviction, so a host crash can never surface a later
+    /// operation's effect next to a stale record (see ThreadCache and
+    /// RecoveryLog's discipline note). Idempotent; a no-op without the
+    /// cache model (stores then reach the device in program order anyway).
+    void
+    set_durable_row(HeapOffset row)
+    {
+        cache_.set_durable_line(cxlcommon::line_of(row));
+    }
 
     /// Drops this thread's simulated cache without write-back: what a crash
     /// does to unflushed state.

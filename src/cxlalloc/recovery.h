@@ -26,15 +26,27 @@
 ///    skip_record_publish_flush fault shows the oracle has teeth).
 ///  - Purely local operations (Alloc, FreeLocal, scavenge, and the
 ///    Detach/Disown descriptor transitions) use log_local(): store only.
-///    Recovery from a PROCESS crash — the failure model the 8-byte redo
-///    operates under, see ThreadCache::writeback_all() — writes the
-///    thread's cache back, so recovery always reads the newest record;
-///    no flush or fence is needed on the fast path. Guarded by litmus
-///    shape MpCoalesced + tests/sched RecordFlushOracle suites and
+///    Recovery from a PROCESS crash writes the thread's cache back (see
+///    ThreadCache::writeback_all()), so recovery always reads the newest
+///    record; no flush or fence is needed on the fast path. Guarded by
+///    litmus shape MpCoalesced + tests/sched RecordFlushOracle suites and
 ///    SwccProtocol.OwnerKeepsDescriptorCached.
 ///  - A deferred record is written back at the latest by the next
 ///    flush_pending() (flush_desc folds it into the publication's
 ///    existing fence) or the next log()/clear() of the same row.
+///  - HOST crashes drop the cache instead of writing it back, and the
+///    redo of Alloc/FreeLocal mutates the bitset unconditionally — so the
+///    device must never hold a later operation's effect next to a stale
+///    record (replaying an outdated FreeLocal would re-free a block that
+///    was re-allocated since: double allocation). Explicit flushes are
+///    protocol-ordered (flush_pending rides every flush_desc), which
+///    leaves capacity EVICTIONS as the only out-of-order durability
+///    channel. log_local() therefore registers the record row as the
+///    session cache's *durable line*: ThreadCache persists its newest
+///    value ahead of any other dirty victim's early write-back, keeping
+///    the durable record at least as new as every durable effect. Guarded
+///    by CrashRecovery.HostCrashEvictionCannotResurrectStaleRecord and
+///    CacheModelTest.DurableLinePersistsAheadOfDirtyEvictions.
 
 #pragma once
 
@@ -126,7 +138,11 @@ class RecoveryLog {
 
     /// Records a purely local operation: 8-byte store only, no ordering.
     /// Sound because process-crash recovery writes the cache back before
-    /// reading the record; the row is written back opportunistically by
+    /// reading the record, and because the row is registered as the
+    /// session's durable line — the cache persists its newest value ahead
+    /// of any dirty capacity eviction, so even a HOST crash never pairs a
+    /// durable later effect with a stale durable record (see the header
+    /// discipline). The row is otherwise written back opportunistically by
     /// the next flush_pending() / log() / clear().
     void
     log_local(cxl::MemSession& mem, const OpRecord& record)
@@ -135,6 +151,7 @@ class RecoveryLog {
             return;
         }
         cxl::HeapOffset row = layout_->recovery_row(mem.tid());
+        mem.set_durable_row(row);
         mem.store<std::uint64_t>(row, record.pack());
         pending_[mem.tid()] = true;
     }

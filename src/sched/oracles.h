@@ -32,7 +32,10 @@ namespace sched {
 /// Eviction is not an Op (it happens inside CacheModel), so a line can be
 /// clean on the device while still marked dirty here. Explored-schedule
 /// tests keep working sets far below the 64 KiB cache, where evictions
-/// cannot occur, making the tracker exact.
+/// cannot occur, making the tracker exact. The recovery soundness of
+/// eviction-sized workloads is instead pinned by the cache's durable-line
+/// rule (ThreadCache::set_durable_line) and
+/// CrashRecovery.HostCrashEvictionCannotResurrectStaleRecord.
 class DirtyLineTracker {
   public:
     /// Watches the device range [begin, end).

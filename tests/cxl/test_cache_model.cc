@@ -314,6 +314,125 @@ TEST_F(CacheModelTest, VictimCursorWrapsWithoutEvictingMruPinnedWay)
     EXPECT_EQ(on_device, cache.evictions());
 }
 
+TEST_F(CacheModelTest, DurableLinePersistsAheadOfDirtyEvictions)
+{
+    // The recovery-record row: once registered as the durable line, every
+    // dirty victim's early write-back persists the newest record value
+    // first, so a host crash can never surface a later operation's effect
+    // on the device next to a stale record (see RecoveryLog's discipline).
+    ThreadCache cache(&dev_);
+    auto lines = same_set_lines(ThreadCache::kWays + 1, dev_.size());
+    ASSERT_EQ(lines.size(), ThreadCache::kWays + 1);
+    // Put the durable line in a different set so conflict pressure never
+    // selects it as the victim itself.
+    std::uint64_t durable = 0;
+    for (std::uint64_t off = 64; off < dev_.size(); off += 64) {
+        if (ThreadCache::set_of(off) != ThreadCache::set_of(lines[0])) {
+            durable = off;
+            break;
+        }
+    }
+    ASSERT_NE(durable, 0u);
+    cache.set_durable_line(durable);
+
+    std::uint64_t record = 0xAAAA;
+    cache.write(durable, &record, sizeof record);
+    for (std::size_t i = 0; i < ThreadCache::kWays; i++) {
+        std::uint64_t v = 100 + i;
+        cache.write(lines[i], &v, sizeof v); // fill the set, no eviction
+    }
+    ASSERT_EQ(cache.evictions(), 0u);
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(durable), sizeof direct);
+    EXPECT_EQ(direct, 0u) << "no eviction yet: record still cache-only";
+
+    std::uint64_t v = 999;
+    cache.write(lines[ThreadCache::kWays], &v, sizeof v); // dirty eviction
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.durable_writebacks(), 1u);
+    std::memcpy(&direct, dev_.raw(durable), sizeof direct);
+    EXPECT_EQ(direct, 0xAAAAu) << "record persisted ahead of the victim";
+
+    // Persisting is a snapshot, not a flush: the line stays resident and
+    // dirty, and a newer record value rides the next eviction.
+    record = 0xBBBB;
+    cache.write(durable, &record, sizeof record);
+    v = 1000;
+    cache.write(lines[0], &v, sizeof v); // refill: evicts another victim
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_EQ(cache.durable_writebacks(), 2u);
+    std::memcpy(&direct, dev_.raw(durable), sizeof direct);
+    EXPECT_EQ(direct, 0xBBBBu);
+}
+
+TEST_F(CacheModelTest, DurableLineEvictedItselfNeedsNoExtraPersist)
+{
+    // When the victim IS the durable line, its early write-back already
+    // carries the newest value — no second persist.
+    ThreadCache cache(&dev_);
+    auto lines = same_set_lines(ThreadCache::kWays + 1, dev_.size());
+    ASSERT_EQ(lines.size(), ThreadCache::kWays + 1);
+    cache.set_durable_line(lines[0]);
+
+    for (std::size_t i = 0; i < ThreadCache::kWays; i++) {
+        std::uint64_t v = 100 + i;
+        cache.write(lines[i], &v, sizeof v);
+    }
+    std::uint64_t v = 999;
+    cache.write(lines[ThreadCache::kWays], &v, sizeof v);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.durable_writebacks(), 0u);
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(lines[0]), sizeof direct);
+    EXPECT_EQ(direct, 100u) << "victim write-back carried the record";
+}
+
+TEST_F(CacheModelTest, DurableLineSnapshotsBufferedStoresWithoutDraining)
+{
+    // Weak mode: the newest record value may still sit in the store
+    // buffer when an unrelated drain forces a dirty eviction. The persist
+    // overlays buffered stores onto the snapshot without draining them —
+    // litmus-mode ordering state is untouched.
+    ThreadCache cache(&dev_);
+    auto lines = same_set_lines(ThreadCache::kWays + 1, dev_.size());
+    ASSERT_EQ(lines.size(), ThreadCache::kWays + 1);
+    std::uint64_t durable = 0;
+    for (std::uint64_t off = 64; off < dev_.size(); off += 64) {
+        if (ThreadCache::set_of(off) != ThreadCache::set_of(lines[0])) {
+            durable = off;
+            break;
+        }
+    }
+    ASSERT_NE(durable, 0u);
+    cache.set_durable_line(durable);
+
+    // Fill the set with dirty lines in strong mode, then go weak.
+    for (std::size_t i = 0; i < ThreadCache::kWays; i++) {
+        std::uint64_t v = 100 + i;
+        cache.write(lines[i], &v, sizeof v);
+    }
+    cxl::CacheKnobs k;
+    k.store_buffer_entries = 2;
+    cache.set_knobs(k);
+
+    std::uint64_t conflict = 7; // oldest buffered: drains on overflow
+    cache.write(lines[ThreadCache::kWays], &conflict, sizeof conflict);
+    std::uint64_t record = 0x77;
+    cache.write(durable, &record, sizeof record);
+    EXPECT_EQ(cache.store_buffer_depth(), 2u);
+
+    std::uint64_t other = 1; // overflow: drains the conflict line ->
+                             // fill -> dirty eviction -> persist
+    cache.write(durable + 64, &other, sizeof other);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.durable_writebacks(), 1u);
+    std::uint64_t direct;
+    std::memcpy(&direct, dev_.raw(durable), sizeof direct);
+    EXPECT_EQ(direct, 0x77u) << "buffered record value reached the device";
+    EXPECT_EQ(cache.store_buffer_depth(), 2u)
+        << "persist must not drain the buffer";
+}
+
 TEST_F(CacheModelTest, StoreBufferDelaysVisibilityUntilFence)
 {
     // Weak mode: a store sits in the buffer (clwb moves it to the pending

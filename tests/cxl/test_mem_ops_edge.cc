@@ -328,6 +328,56 @@ TEST(MemOpsEdge, DirtyLineSetInsertEraseGrowOverflow)
     EXPECT_TRUE(set.overflowed());
 }
 
+TEST(MemOpsEdge, DirtyLineSetChurnDoesNotLatchOverflow)
+{
+    // Regression: erase() left tombstones that counted toward the probe
+    // load forever, and growth was the only rehash — so steady alloc/free
+    // cycling (insert+erase of a small working set) latched `overflowed`
+    // once TOTAL traffic passed the cap, permanently degrading flush_dirty
+    // to conservative full-range flushes. Tombstones are now purged by an
+    // in-place rehash; only a genuinely large LIVE set may latch.
+    cxl::DirtyLineSet set;
+    for (std::uint64_t i = 0; i < 100; i++) {
+        set.insert((1 << 20) + i * 64); // long-lived dirty lines
+    }
+    for (std::uint64_t i = 0; i < 200000; i++) {
+        std::uint64_t line = (i % 16) * 64;
+        set.insert(line);
+        set.erase(line);
+    }
+    EXPECT_FALSE(set.overflowed())
+        << "tombstone churn alone must never latch the overflow";
+    EXPECT_EQ(set.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; i++) {
+        ASSERT_TRUE(set.contains((1 << 20) + i * 64)) << i;
+    }
+}
+
+TEST(MemOpsEdge, FlushDirtyConsultsMappingGuard)
+{
+    // Regression: flush_dirty() never check_access'd the REQUESTED range —
+    // the nested flush() calls only cover dirty sub-runs, so a flush_dirty
+    // over a reclaimed range whose lines happened to be clean silently
+    // succeeded, bypassing the guard invariant flush() enforces.
+    Rig rig(CoherenceMode::PartialHwcc, /*sim=*/true);
+    MemSession s = rig.session(1);
+    CountingGuard g;
+    s.set_mapping_guard(&g);
+
+    s.flush_dirty(8192, 576); // nothing dirty: no flush is issued...
+    EXPECT_EQ(g.calls, 1u) << "...but the range must still be verified";
+    EXPECT_EQ(g.last_offset, 8192u);
+    EXPECT_EQ(g.last_len, 576u);
+
+    s.flush_dirty(8192, 576); // translation now cached in the session TLB
+    EXPECT_EQ(g.calls, 1u);
+
+    g.epoch++; // a mapping was removed somewhere: shootdown
+    s.flush_dirty(8192, 576);
+    EXPECT_EQ(g.calls, 2u)
+        << "clean-range flush_dirty after a remap must re-verify";
+}
+
 TEST(MemOpsEdge, DisabledDirtyTrackingDegradesButStillPublishes)
 {
     // The skip_dirty_line_tracking fault models an undertracking bug:

@@ -4,9 +4,12 @@
 /// except at most the in-flight block.
 
 #include <gtest/gtest.h>
+#include <cstring>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "common/random.h"
+#include "cxl/cache_model.h"
 #include "cxlalloc/recovery.h"
 #include "fixture.h"
 
@@ -141,6 +144,125 @@ TEST(CrashRecovery, CrashDuringLocalFree)
     cxl::HeapOffset q = rig.alloc.allocate(*t, 256);
     EXPECT_EQ(q, p);
     verify_consistent(rig, *t);
+    rig.pod.release_thread(std::move(t));
+}
+
+/// Reads an 8-byte word straight from the device array, bypassing every
+/// simulated thread cache — i.e. the state a HOST crash preserves.
+std::uint64_t
+device_word(Rig& rig, cxl::HeapOffset off)
+{
+    std::uint64_t w;
+    std::memcpy(&w, rig.pod.device().raw(off), sizeof(w));
+    return w;
+}
+
+/// Reads `want` distinct small-data lines that map to cache set
+/// `target_set`: enough clean conflict fills to cycle the set's ways and
+/// evict everything previously resident there, dirty lines included.
+/// Returns how many conflict lines were actually found and read.
+int
+churn_cache_set(Rig& rig, pod::ThreadContext& ctx, std::uint32_t target_set,
+                int want)
+{
+    const cxlalloc::Layout& layout = rig.alloc.layout();
+    cxl::HeapOffset begin = layout.small_data();
+    cxl::HeapOffset end =
+        begin + rig.config.small_slabs * cxlalloc::kSmallSlabSize;
+    int read = 0;
+    for (cxl::HeapOffset line = begin; line < end && read < want;
+         line += cxlcommon::kCacheLine) {
+        if (cxl::ThreadCache::set_of(line) == target_set) {
+            (void)ctx.mem().load<std::uint64_t>(line);
+            read++;
+        }
+    }
+    return read;
+}
+
+TEST(CrashRecovery, HostCrashEvictionCannotResurrectStaleRecord)
+{
+    // The deferred (log_local) recovery record is host-crash sound only if
+    // no later operation's effect can become durable while the device still
+    // holds an older record. Explicit flushes are protocol-ordered, so the
+    // dangerous channel is a capacity EVICTION writing an effect line back
+    // early. Construct exactly that interleaving and host-crash on it.
+    RigOptions opt;
+    opt.simulate_cache = true;
+    Rig rig(opt);
+    auto t = rig.thread();
+    const cxlalloc::Layout& layout = rig.alloc.layout();
+
+    // Fill one 256 B slab completely: the final allocation's Detach
+    // transition flush_descs the whole descriptor, making the class byte
+    // and the all-zero bitset durable.
+    constexpr int kBlocks = 128; // 32 KiB slab / 256 B blocks
+    std::vector<cxl::HeapOffset> warm;
+    for (int i = 0; i < kBlocks; i++) {
+        warm.push_back(rig.alloc.allocate(*t, 256));
+        ASSERT_NE(warm.back(), 0u);
+    }
+    auto slab = static_cast<std::uint32_t>(
+        (warm[0] - layout.small_data()) / cxlalloc::kSmallSlabSize);
+    cxl::HeapOffset desc = layout.small_swcc_desc(slab);
+    cxl::HeapOffset record_row = layout.recovery_row(t->tid());
+    std::uint32_t record_set = cxl::ThreadCache::set_of(record_row);
+    std::uint32_t desc_set = cxl::ThreadCache::set_of(desc);
+    // Geometry precondition: evicting the descriptor line must not drag the
+    // record row out with it (that write-back would mask the hazard).
+    ASSERT_NE(record_set, desc_set);
+
+    // Free blocks 1 then 0: the cache now holds dirty bitset bits for both
+    // and a deferred FreeLocal(block 0) record; nothing was flushed.
+    rig.alloc.deallocate(*t, warm[1]);
+    rig.alloc.deallocate(*t, warm[0]);
+
+    // Make THAT record durable by evicting its row, as steady-state cache
+    // pressure would.
+    std::uint64_t detach_rec = device_word(rig, record_row);
+    ASSERT_EQ(churn_cache_set(rig, *t, record_set, 24), 24);
+    std::uint64_t freelocal_rec = device_word(rig, record_row);
+    ASSERT_NE(freelocal_rec, detach_rec)
+        << "conflict reads failed to evict the dirty record row";
+
+    // Re-allocate: hands block 0 back (lowest free bit). The Alloc record
+    // and the cleared bitset bit exist only in the cache.
+    cxl::HeapOffset a = rig.alloc.allocate(*t, 256);
+    ASSERT_EQ(a, warm[0]);
+
+    // Evict the descriptor's first line: the cleared bit goes durable while
+    // the device record still says FreeLocal(block 0) — unless the cache
+    // persists the registered durable line (the record row) first.
+    ASSERT_EQ(device_word(rig, desc + cxlalloc::DescField::kBitset), 0u);
+    std::uint64_t evictions = t->mem().cache().evictions();
+    ASSERT_EQ(churn_cache_set(rig, *t, desc_set, 24), 24);
+    EXPECT_GT(t->mem().cache().evictions(), evictions);
+    ASSERT_EQ(device_word(rig, desc + cxlalloc::DescField::kBitset),
+              std::uint64_t{1} << 1)
+        << "descriptor bitset line was not written back as constructed";
+    EXPECT_GE(t->mem().cache().durable_writebacks(), 1u);
+    EXPECT_NE(device_word(rig, record_row), freelocal_rec)
+        << "an effect line went durable ahead of the newer Alloc record";
+
+    // Host crash: everything still cached is lost.
+    cxl::ThreadId tid = t->tid();
+    rig.pod.mark_crashed(std::move(t), pod::Pod::CrashSeverity::Host);
+    t = rig.pod.adopt_thread(rig.process, tid);
+    rig.alloc.recover(*t);
+    rig.alloc.check_invariants(t->mem());
+    rig.alloc.check_local_invariants(t->mem());
+
+    // Block 0 is live application memory across the crash. Replaying a
+    // stale FreeLocal would mark it free again — a double allocation.
+    std::uint64_t word0 =
+        t->mem().load<std::uint64_t>(desc + cxlalloc::DescField::kBitset);
+    EXPECT_EQ(word0 & 1u, 0u)
+        << "host-crash recovery resurrected a stale FreeLocal record";
+    for (int i = 0; i < kBlocks; i++) {
+        cxl::HeapOffset p = rig.alloc.allocate(*t, 256);
+        ASSERT_NE(p, 0u);
+        EXPECT_NE(p, a) << "live block handed out twice after recovery";
+    }
     rig.pod.release_thread(std::move(t));
 }
 
