@@ -6,6 +6,8 @@
 ///   --metrics-json <path>   dump a machine-readable registry snapshot
 ///   --metrics-csv <path>    same, as CSV rows
 ///   --smoke                 shrink the run matrix (CI smoke tests)
+///   --pod                   run the multi-host pod variant (benches that
+///                           support one; see docs/POD_TOPOLOGY.md)
 ///
 /// Passing either --metrics-* flag turns on bundle instrumentation
 /// (bench::bundle_metrics), so un-flagged runs keep uninstrumented hot
@@ -26,6 +28,7 @@ struct Options {
     std::string metrics_json;
     std::string metrics_csv;
     bool smoke = false;
+    bool pod = false;
 };
 
 inline Options
@@ -47,10 +50,12 @@ parse_options(int argc, char** argv)
             o.metrics_csv = path_arg("--metrics-csv");
         } else if (a == "--smoke") {
             o.smoke = true;
+        } else if (a == "--pod") {
+            o.pod = true;
         } else {
             std::fprintf(stderr,
                          "unknown argument '%s' (supported: --metrics-json "
-                         "<path>, --metrics-csv <path>, --smoke)\n",
+                         "<path>, --metrics-csv <path>, --smoke, --pod)\n",
                          a.c_str());
             std::exit(2);
         }

@@ -10,6 +10,11 @@
 /// _per_op) must exist in the fresh snapshot and must not regress beyond
 /// kBudgetRatio (plus a small absolute epsilon for near-zero gauges). This
 /// is the CI gate that keeps the fence-elision work from silently rotting.
+///
+/// Pod-topology runs add pod.* summary gauges (pod.remote_op_ratio,
+/// pod.steal_per_op — see docs/POD_TOPOLOGY.md) to the same gate: a change
+/// that quietly starts routing host-local traffic over cross-host edges, or
+/// stealing where home placement used to suffice, fails the budget.
 
 #include <cmath>
 #include <cstdio>
@@ -57,16 +62,21 @@ constexpr double kBudgetEpsilon = 0.1;
 bool
 budget_gauge(const std::string& name)
 {
-    if (name.rfind("gbench.", 0) != 0) {
-        return false;
-    }
     auto ends_with = [&](const char* suffix) {
         std::string s(suffix);
         return name.size() >= s.size() &&
                name.compare(name.size() - s.size(), s.size(), s) == 0;
     };
-    return ends_with(".mem_ops_per_op") || ends_with(".fences_per_op") ||
-           ends_with(".flushed_lines_per_op");
+    if (name.rfind("gbench.", 0) == 0) {
+        return ends_with(".mem_ops_per_op") || ends_with(".fences_per_op") ||
+               ends_with(".flushed_lines_per_op");
+    }
+    if (name.rfind("pod.", 0) == 0) {
+        // Placement-quality gauges: ratios and per-op rates only (the
+        // pod.scale.* throughput gauges are informational, not budgeted).
+        return ends_with("_ratio") || ends_with("_per_op");
+    }
+    return false;
 }
 
 obs::json::Value

@@ -1,0 +1,70 @@
+/// @file
+/// PodAllocator adapter over the topology-aware sharded cxlalloc heap, so
+/// the key-value store and benchmarks can drive a multi-host pod through
+/// the same interface as the single-device allocators.
+
+#pragma once
+
+#include "baselines/pod_allocator.h"
+#include "cxlalloc/pod_shard.h"
+
+namespace baselines {
+
+class PodShardedAdapter : public PodAllocator {
+  public:
+    explicit PodShardedAdapter(cxlalloc::PodShardedAllocator* alloc)
+        : alloc_(alloc)
+    {
+    }
+
+    const char*
+    name() const override
+    {
+        return "cxlalloc-pod";
+    }
+
+    AllocTraits
+    traits() const override
+    {
+        AllocTraits t;
+        t.memory = "XP, CXL";
+        t.cross_process = true;
+        t.mmap_support = true;
+        t.nonblocking_failure = true;
+        t.recovery = AllocTraits::Recovery::NonBlocking;
+        t.strategy = "App";
+        return t;
+    }
+
+    void
+    attach_thread(pod::ThreadContext& ctx) override
+    {
+        alloc_->attach_thread(ctx);
+    }
+
+    cxl::HeapOffset
+    allocate(pod::ThreadContext& ctx, std::uint64_t size) override
+    {
+        return alloc_->allocate(ctx, size);
+    }
+
+    void
+    deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset) override
+    {
+        alloc_->deallocate(ctx, offset);
+    }
+
+    std::uint64_t
+    hwcc_bytes(cxl::MemSession&) override
+    {
+        // Sum over shards: every window contributes its own HWcc prefix.
+        return alloc_->hwcc_bytes();
+    }
+
+    cxlalloc::PodShardedAllocator& impl() { return *alloc_; }
+
+  private:
+    cxlalloc::PodShardedAllocator* alloc_;
+};
+
+} // namespace baselines

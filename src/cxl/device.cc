@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
+
 #include "common/assert.h"
 #include "common/cacheline.h"
 
@@ -27,17 +31,55 @@ Device::Device(const DeviceConfig& config)
     CXL_FATAL_IF(config_.size == 0, "device size must be nonzero");
     CXL_FATAL_IF(config_.size % kPageSize != 0,
                  "device size must be page aligned");
-    CXL_FATAL_IF(config_.sync_region_size > config_.size,
-                 "sync region larger than device");
-    arena_ = std::make_unique<std::byte[]>(config_.size);
+    CXL_FATAL_IF(config_.windows == 0, "device needs at least one window");
+    CXL_FATAL_IF(config_.windows > kMaxDevices,
+                 "more windows than kMaxDevices");
+    if (config_.windows > 1 || config_.window_bits != 0) {
+        CXL_FATAL_IF(config_.window_bits < 12 || config_.window_bits >= 63,
+                     "window bits out of range");
+        CXL_FATAL_IF(config_.size !=
+                         (static_cast<std::uint64_t>(config_.windows)
+                          << config_.window_bits),
+                     "windowed device size must be windows << window_bits");
+        CXL_FATAL_IF(config_.sync_region_size >
+                         (std::uint64_t{1} << config_.window_bits),
+                     "sync region larger than a window");
+    } else {
+        CXL_FATAL_IF(config_.sync_region_size > config_.size,
+                     "sync region larger than device");
+    }
     // A fresh device is zero-filled: cxlalloc relies on zeroed memory being
-    // a valid, initialized heap (paper §4).
-    std::memset(arena_.get(), 0, config_.size);
+    // a valid, initialized heap (paper §4). mmap gives that for free and
+    // commits pages lazily — a windowed pod arena reserves
+    // windows << window_bits bytes of address space but only pages the
+    // workload touches cost physical memory.
+#if defined(__unix__) || defined(__APPLE__)
+    void* map = ::mmap(nullptr, config_.size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (map != MAP_FAILED) {
+        arena_ = static_cast<std::byte*>(map);
+        arena_map_len_ = config_.size;
+    }
+#endif
+    if (arena_ == nullptr) {
+        arena_heap_ = std::make_unique<std::byte[]>(config_.size);
+        std::memset(arena_heap_.get(), 0, config_.size);
+        arena_ = arena_heap_.get();
+    }
     std::uint64_t pages = config_.size / kPageSize;
     commit_bitmap_ = std::vector<std::atomic<std::uint64_t>>((pages + 63) / 64);
     for (auto& word : commit_bitmap_) {
         word.store(0, std::memory_order_relaxed);
     }
+}
+
+Device::~Device()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (arena_map_len_ != 0) {
+        ::munmap(arena_, arena_map_len_);
+    }
+#endif
 }
 
 void

@@ -23,27 +23,43 @@ namespace cxl {
 
 /// Static configuration of the device.
 struct DeviceConfig {
-    /// Total capacity in bytes (must be page-aligned).
+    /// Total capacity in bytes (must be page-aligned). With windows > 1
+    /// this must equal windows << window_bits.
     std::uint64_t size = 256ULL << 20;
 
     /// Coherence support.
     CoherenceMode mode = CoherenceMode::PartialHwcc;
 
-    /// Bytes at the start of the device that support inter-host atomics:
-    /// the HWcc region (PartialHwcc) or device-biased region (NoHwcc).
-    /// Ignored under FullHwcc (the whole device is coherent).
+    /// Bytes at the start of the device (of each window, when windowed)
+    /// that support inter-host atomics: the HWcc region (PartialHwcc) or
+    /// device-biased region (NoHwcc). Ignored under FullHwcc (the whole
+    /// device is coherent).
     std::uint64_t sync_region_size = 16ULL << 20;
 
     /// When true, per-thread SWcc caches are simulated so that stale reads
     /// are deterministically observable. When false, accesses go straight
     /// to the arena (fast path for benchmarks); flush/fence are counted.
     bool simulate_cache = false;
+
+    /// Pod mode: the arena is partitioned into `windows` equal power-of-two
+    /// windows of 1 << window_bits bytes, one per pod memory device; the
+    /// device id of an offset is its high bits (cxl::pod_device_of). The
+    /// defaults (1 window, 0 bits) are the legacy single-device arena.
+    /// Each window carries its own sync-region prefix, so every device
+    /// contributes HWcc (or device-biased) words for the metadata that
+    /// lives on it.
+    std::uint32_t windows = 1;
+    std::uint32_t window_bits = 0;
 };
 
 /// The shared memory device: a flat byte arena plus commit accounting.
+/// In pod mode the one arena models all of the pod's device heads —
+/// offsets stay globally unique (PC-S across hosts holds by construction)
+/// and the window high bits carry the device id.
 class Device {
   public:
     explicit Device(const DeviceConfig& config);
+    ~Device();
 
     Device(const Device&) = delete;
     Device& operator=(const Device&) = delete;
@@ -52,15 +68,35 @@ class Device {
     std::uint64_t size() const { return config_.size; }
     CoherenceMode mode() const { return config_.mode; }
 
+    /// Number of device windows (1 = legacy single device).
+    std::uint32_t windows() const { return config_.windows; }
+    std::uint32_t window_bits() const { return config_.window_bits; }
+
+    /// Device id owning @p offset (0 on a single-window device).
+    DeviceId
+    device_of(HeapOffset offset) const
+    {
+        return pod_device_of(offset, config_.window_bits);
+    }
+
+    /// First offset of window @p device.
+    HeapOffset
+    window_base(DeviceId device) const
+    {
+        return static_cast<HeapOffset>(device) << config_.window_bits;
+    }
+
     /// True if @p offset lies in the region where inter-host atomics work
-    /// (HWcc or device-biased, depending on mode).
+    /// (HWcc or device-biased, depending on mode). Windowed devices carry
+    /// one such prefix per window.
     bool
     in_sync_region(HeapOffset offset) const
     {
         if (config_.mode == CoherenceMode::FullHwcc) {
             return true;
         }
-        return offset < config_.sync_region_size;
+        return pod_local_of(offset, config_.window_bits) <
+               config_.sync_region_size;
     }
 
     /// Raw pointer into the arena. Callers outside MemSession should only
@@ -68,13 +104,13 @@ class Device {
     std::byte*
     raw(HeapOffset offset)
     {
-        return arena_.get() + offset;
+        return arena_ + offset;
     }
 
     const std::byte*
     raw(HeapOffset offset) const
     {
-        return arena_.get() + offset;
+        return arena_ + offset;
     }
 
     /// Marks the pages covering [offset, offset+len) as committed (backed
@@ -94,7 +130,12 @@ class Device {
 
   private:
     DeviceConfig config_;
-    std::unique_ptr<std::byte[]> arena_;
+    /// Arena storage: mmap'd (lazy-zero, so a 16-window pod arena costs
+    /// physical memory only for pages actually touched) with a new[]
+    /// fallback; `arena_` is the base either way.
+    std::byte* arena_ = nullptr;
+    std::unique_ptr<std::byte[]> arena_heap_;
+    std::uint64_t arena_map_len_ = 0;
     /// One bit per page; atomic words so threads can commit concurrently.
     std::vector<std::atomic<std::uint64_t>> commit_bitmap_;
     std::atomic<std::uint64_t> committed_pages_{0};

@@ -1,5 +1,6 @@
 #include "cxl/mem_ops.h"
 
+#include <cstdio>
 #include <thread>
 
 #include "obs/registry.h"
@@ -130,6 +131,25 @@ MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
 }
 
 void
+MemSession::set_pod_routing(const EdgeCost* row, std::uint32_t devices,
+                            DeviceId home, std::uint32_t host)
+{
+    CXL_ASSERT(row != nullptr && devices > 0, "empty edge row");
+    CXL_ASSERT(devices <= device_->windows(),
+               "more topology devices than device windows");
+    CXL_ASSERT(home < devices, "home device out of range");
+    CXL_ASSERT(row[home].reachable, "home device must be reachable");
+    edge_row_ = row;
+    edge_devices_ = devices;
+    home_device_ = home;
+    host_ = host;
+    window_bits_ = device_->window_bits();
+    edge_ops_.assign(devices, 0);
+    edge_ns_.assign(devices, 0);
+    edge_hist_.assign(devices, obs::Histogram{});
+}
+
+void
 MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
 {
     if (len == 0) {
@@ -151,6 +171,7 @@ MemSession::read_bytes(HeapOffset offset, void* out, std::uint64_t len)
         bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
                           device_->in_sync_region(offset);
         charge(lines * (uncachable ? model_->read_ns : model_->cached_ns));
+        charge_edge(offset, lines, len, /*write=*/false);
     }
     std::memcpy(out, device_->raw(offset), len);
 }
@@ -175,6 +196,7 @@ MemSession::write_bytes(HeapOffset offset, const void* in, std::uint64_t len)
         bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
                           device_->in_sync_region(offset);
         charge(lines * (uncachable ? model_->write_ns : model_->cached_ns));
+        charge_edge(offset, lines, len, /*write=*/true);
     }
     std::memcpy(device_->raw(offset), in, len);
     if (!device_->in_sync_region(offset)) {
@@ -199,8 +221,9 @@ MemSession::flush(HeapOffset offset, std::uint64_t len)
     std::uint64_t lines = covered_lines(offset, len);
     counters_.flushed_lines += lines;
     if (model_ != nullptr) {
-        // One clwb per covered line.
+        // One clwb per covered line; write-backs cross the edge.
         charge(lines * model_->flush_ns);
+        charge_edge(offset, lines, len, /*write=*/true);
     }
     if (device_->config().simulate_cache) {
         cache_.flush(offset, len);
@@ -288,6 +311,7 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
             charge(model_->mcas_ns +
                    (result.conflict ? model_->mcas_conflict_ns : 0));
             mcas_round_trip_ns_.record(model_->mcas_ns);
+            charge_edge(offset, 1, 8, /*write=*/true);
         }
         if (result.conflict) {
             counters_.mcas_conflicts++;
@@ -312,6 +336,7 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
         std::memory_order_acquire);
     if (model_ != nullptr) {
         charge(model_->cas_ns + (ok ? 0 : model_->cas_contended_ns));
+        charge_edge(offset, 1, 8, /*write=*/true);
     }
     if (!ok) {
         counters_.cas_failures++;
@@ -424,6 +449,8 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("mem.faults", c.faults);
     pub("mem.tlb_hits", c.tlb_hits);
     pub("mem.tlb_misses", c.tlb_misses);
+    pub("pod.local_ops", c.pod_local);
+    pub("pod.remote_ops", c.pod_remote);
     pub("cache.evictions", cache_.evictions());
     pub("mem.sim_ns", sim_ns_);
     if (mcas_round_trip_ns_.count() != 0) {
@@ -431,6 +458,34 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
         hists.histograms.emplace_back("mem.mcas_round_trip_ns",
                                       mcas_round_trip_ns_.snapshot());
         registry.absorb(hists);
+    }
+    // Per-edge traffic from this session's host row: access counts, extra
+    // edge nanoseconds, and the edge-latency distribution (nonzero-cost
+    // accesses only — a zero-cost host-local edge has no distribution).
+    if (edge_row_ != nullptr) {
+        obs::MetricsSnapshot hists;
+        char name[64];
+        for (std::uint32_t d = 0; d < edge_devices_; d++) {
+            if (edge_ops_[d] != 0) {
+                std::snprintf(name, sizeof name, "pod.edge.h%u.d%u.ops",
+                              host_, d);
+                pub(name, edge_ops_[d]);
+            }
+            if (edge_ns_[d] != 0) {
+                std::snprintf(name, sizeof name, "pod.edge.h%u.d%u.ns",
+                              host_, d);
+                pub(name, edge_ns_[d]);
+            }
+            if (edge_hist_[d].count() != 0) {
+                std::snprintf(name, sizeof name, "pod.edge.h%u.d%u.lat_ns",
+                              host_, d);
+                hists.histograms.emplace_back(name,
+                                              edge_hist_[d].snapshot());
+            }
+        }
+        if (!hists.histograms.empty()) {
+            registry.absorb(hists);
+        }
     }
 }
 

@@ -67,6 +67,12 @@ struct MemEventCounters {
     std::uint64_t tlb_hits = 0;
     /// Accesses that had to consult the mapping guard.
     std::uint64_t tlb_misses = 0;
+    /// Pod routing split (sessions with set_pod_routing only): accesses to
+    /// the session host's home device vs any other device. One event per
+    /// access (not per line) — the placement-policy signal, not a latency
+    /// proxy.
+    std::uint64_t pod_local = 0;
+    std::uint64_t pod_remote = 0;
 
     MemEventCounters&
     operator+=(const MemEventCounters& o)
@@ -85,6 +91,8 @@ struct MemEventCounters {
         faults += o.faults;
         tlb_hits += o.tlb_hits;
         tlb_misses += o.tlb_misses;
+        pod_local += o.pod_local;
+        pod_remote += o.pod_remote;
         return *this;
     }
 };
@@ -176,6 +184,28 @@ class MemSession {
     {
         model_ = model;
     }
+
+    /// Routes this session through a pod topology: @p row is the session
+    /// host's row of the (host, device) edge-cost matrix (@p devices
+    /// entries, must outlive the session), @p home its first-touch home
+    /// device, @p host the host id (metric labels only). From then on
+    /// every access is checked against the row's reachability, charged the
+    /// edge's extra latency on top of the base model, and counted into the
+    /// pod_local/pod_remote split plus per-edge ops/ns accounting. The
+    /// device must be window-partitioned (pod/topology.h); a session
+    /// without routing behaves exactly as before.
+    void set_pod_routing(const EdgeCost* row, std::uint32_t devices,
+                         DeviceId home, std::uint32_t host);
+
+    /// Device id an offset routes to (0 without a windowed device).
+    DeviceId
+    device_of(HeapOffset offset) const
+    {
+        return pod_device_of(offset, window_bits_);
+    }
+
+    DeviceId home_device() const { return home_device_; }
+    std::uint32_t pod_host() const { return host_; }
 
     /// Loads a word-sized trivially copyable T from shared memory.
     template <typename T>
@@ -336,6 +366,11 @@ class MemSession {
         sim_ns_ = 0;
         counters_ = MemEventCounters{};
         mcas_round_trip_ns_.reset();
+        for (std::uint32_t d = 0; d < edge_devices_; d++) {
+            edge_ops_[d] = 0;
+            edge_ns_[d] = 0;
+            edge_hist_[d].reset();
+        }
     }
 
   private:
@@ -366,6 +401,23 @@ class MemSession {
         std::uint64_t size = device_->size();
         CXL_ASSERT(len <= size && offset <= size - len,
                    "access past device end");
+        if (edge_row_ != nullptr) {
+            DeviceId dev = pod_device_of(offset, window_bits_);
+            CXL_ASSERT(dev == pod_device_of(offset + len - 1, window_bits_),
+                       "access spans device windows");
+            CXL_ASSERT(dev < edge_devices_, "device id out of range");
+            // Reachability is a safety property (an unreachable edge has
+            // no wire to carry the access), so it is enforced even in
+            // builds without invariant checks.
+            CXL_FATAL_IF(!edge_row_[dev].reachable,
+                         "access to pod device unreachable from this host");
+            if (dev == home_device_) {
+                counters_.pod_local++;
+            } else {
+                counters_.pod_remote++;
+            }
+            edge_ops_[dev]++;
+        }
         if (guard_ == nullptr) {
             return;
         }
@@ -406,6 +458,7 @@ class MemSession {
         bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
                           device_->in_sync_region(offset);
         charge(uncachable ? model_->read_ns : model_->cached_ns);
+        charge_edge(offset, 1, 8, /*write=*/false);
     }
 
     void
@@ -417,6 +470,32 @@ class MemSession {
         bool uncachable = device_->mode() == CoherenceMode::NoHwcc &&
                           device_->in_sync_region(offset);
         charge(uncachable ? model_->write_ns : model_->cached_ns);
+        charge_edge(offset, 1, 8, /*write=*/true);
+    }
+
+    /// Adds the (host, device) edge cost of moving @p lines cachelines /
+    /// @p bytes bytes at @p offset on top of the base model charge, and
+    /// folds it into the per-edge latency accounting. A no-op without pod
+    /// routing or a latency model, and free on zero-cost (host-local)
+    /// edges.
+    void
+    charge_edge(HeapOffset offset, std::uint64_t lines, std::uint64_t bytes,
+                bool write)
+    {
+        if (edge_row_ == nullptr || model_ == nullptr) {
+            return;
+        }
+        DeviceId dev = pod_device_of(offset, window_bits_);
+        const EdgeCost& e = edge_row_[dev];
+        std::uint64_t add =
+            lines * (write ? e.write_add_ns : e.read_add_ns) +
+            bytes * e.ns_per_kib / 1024;
+        if (add == 0) {
+            return;
+        }
+        charge(add);
+        edge_ns_[dev] += add;
+        edge_hist_[dev].record(add);
     }
 
     /// Records the SWcc lines covering [offset, offset+len) as dirtied by
@@ -463,6 +542,20 @@ class MemSession {
     /// Modeled cost of each mCAS device round trip (single or batched),
     /// merged into "mem.mcas_round_trip_ns" by publish_metrics.
     obs::Histogram mcas_round_trip_ns_;
+
+    // ---- Pod routing (set_pod_routing; all empty/zero otherwise). ----
+    /// This host's row of the edge-cost matrix (edge_devices_ entries).
+    const EdgeCost* edge_row_ = nullptr;
+    std::uint32_t edge_devices_ = 0;
+    DeviceId home_device_ = 0;
+    std::uint32_t host_ = 0;
+    std::uint32_t window_bits_ = 0;
+    /// Per-device accounting for this session's host row: accesses, extra
+    /// edge nanoseconds, and the edge-latency distribution (published as
+    /// pod.edge.h<host>.d<dev>.* by publish_metrics).
+    std::vector<std::uint64_t> edge_ops_;
+    std::vector<std::uint64_t> edge_ns_;
+    std::vector<obs::Histogram> edge_hist_;
 };
 
 } // namespace cxl

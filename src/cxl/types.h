@@ -19,11 +19,13 @@ using ThreadId = std::uint16_t;
 inline constexpr ThreadId kNoThread = 0;
 
 /// Maximum number of pod-global thread slots. Thread IDs are 1..kMaxThreads.
-/// 8-16 hosts with a handful of pinned threads each; 64 slots is generous.
-inline constexpr std::uint32_t kMaxThreads = 64;
+/// Sized for the pod-topology experiments: 16 hosts x 8 pinned threads each
+/// plus harness helpers (preload, probes, recovery adopters).
+inline constexpr std::uint32_t kMaxThreads = 160;
 
-/// Maximum number of sharing processes in the pod.
-inline constexpr std::uint32_t kMaxProcesses = 16;
+/// Maximum number of sharing processes in the pod (>= one per host in the
+/// largest pod preset, plus per-thread processes in the PC-T studies).
+inline constexpr std::uint32_t kMaxProcesses = 64;
 
 /// Simulated page size: the granularity at which memory mappings are
 /// installed into a process (the mmap analog).
@@ -42,5 +44,58 @@ enum class CoherenceMode {
 };
 
 const char* to_string(CoherenceMode mode);
+
+// ---- Pod topology primitives (see pod/topology.h for the pod model). ----
+
+/// Identifies one memory device (head) of the pod. With a window-partitioned
+/// device the id is carried in the high bits of every HeapOffset.
+using DeviceId = std::uint16_t;
+
+/// Maximum devices per pod: DeviceId values are 0..kMaxDevices-1.
+inline constexpr std::uint32_t kMaxDevices = 16;
+
+/// Cost of one (host, device) edge of the pod interconnect. Added on top of
+/// the LatencyModel's base per-op costs, so a zero-cost edge reproduces the
+/// single-device behavior exactly.
+struct EdgeCost {
+    /// False models an Octopus-style sparse pod: the host has no path to
+    /// the device at all. Accesses must be rejected, never misrouted.
+    bool reachable = true;
+    /// Extra nanoseconds per cacheline read over this edge (switch hops,
+    /// longer flit path).
+    std::uint32_t read_add_ns = 0;
+    /// Extra nanoseconds per cacheline written or flushed over this edge.
+    std::uint32_t write_add_ns = 0;
+    /// Bandwidth term for bulk transfers: extra nanoseconds per KiB moved.
+    std::uint32_t ns_per_kib = 0;
+};
+
+/// Offset -> device routing for a window-partitioned arena: device d owns
+/// offsets [d << window_bits, (d+1) << window_bits). window_bits == 0 means
+/// the legacy single-device arena (everything routes to device 0).
+constexpr DeviceId
+pod_device_of(HeapOffset offset, std::uint32_t window_bits)
+{
+    return window_bits == 0 ? DeviceId{0}
+                            : static_cast<DeviceId>(offset >> window_bits);
+}
+
+/// Device-local offset (the low window bits).
+constexpr HeapOffset
+pod_local_of(HeapOffset offset, std::uint32_t window_bits)
+{
+    return window_bits == 0
+               ? offset
+               : offset & ((HeapOffset{1} << window_bits) - 1);
+}
+
+/// Composes a pod-global offset from a device id and a device-local offset.
+constexpr HeapOffset
+pod_encode(DeviceId device, HeapOffset local, std::uint32_t window_bits)
+{
+    return window_bits == 0
+               ? local
+               : (static_cast<HeapOffset>(device) << window_bits) | local;
+}
 
 } // namespace cxl

@@ -19,10 +19,19 @@ CxlAllocator::CxlAllocator(pod::Pod& pod, const Config& config)
     register_crash_points();
     CXL_FATAL_IF(pod.device().size() < layout_.end(),
                  "device too small for heap layout");
+    // With a based layout (a pod shard) the sync region is the per-window
+    // prefix, so the requirement is base-relative either way.
     CXL_FATAL_IF(pod.device().mode() != cxl::CoherenceMode::FullHwcc &&
                      pod.device().config().sync_region_size <
-                         layout_.hwcc_end(),
+                         layout_.hwcc_end() - layout_.base(),
                  "sync region too small for HWcc metadata");
+    CXL_FATAL_IF(layout_.base() != 0 &&
+                     (pod.device().device_of(layout_.base()) !=
+                          pod.device().device_of(layout_.end() - 1) ||
+                      layout_.base() !=
+                          pod.device().window_base(
+                              pod.device().device_of(layout_.base()))),
+                 "based heap layout must exactly occupy one device window");
 }
 
 void
@@ -31,7 +40,8 @@ CxlAllocator::attach(pod::Process& process)
     // Virtual address space reservations (paper Fig. 2, grey regions):
     // carve out the offset ranges cxlalloc manages so nothing else in the
     // process can take them (PC-S).
-    process.reserve("hwcc-metadata", 0, layout_.hwcc_end());
+    process.reserve("hwcc-metadata", layout_.base(),
+                    layout_.hwcc_end() - layout_.base());
     process.reserve("swcc-metadata", layout_.hwcc_end(),
                     layout_.small_data() - layout_.hwcc_end());
     process.reserve("small-data", layout_.small_data(),
@@ -44,7 +54,8 @@ CxlAllocator::attach(pod::Process& process)
 
     // Fixed-size metadata is mapped eagerly; per-slab descriptors and all
     // data are mapped lazily (heap extension + fault handler).
-    process.install_mapping(0, layout_.hwcc_end());
+    process.install_mapping(layout_.base(),
+                            layout_.hwcc_end() - layout_.base());
     process.install_mapping(layout_.recovery_row(0),
                             layout_.small_local(0) - layout_.recovery_row(0));
     process.install_mapping(layout_.small_local(0),
@@ -280,6 +291,12 @@ CxlAllocator::recover(pod::ThreadContext& ctx)
     if (inst_.registry != nullptr) {
         inst_.registry->shard(ctx.tid()).add(inst_.recoveries);
     }
+}
+
+Op
+CxlAllocator::pending_op(pod::ThreadContext& ctx)
+{
+    return log_.read(ctx.mem(), ctx.tid()).op;
 }
 
 void

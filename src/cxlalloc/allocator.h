@@ -84,6 +84,12 @@ class CxlAllocator : public pod::FaultResolver {
     /// Non-blocking: live threads keep allocating throughout.
     void recover(pod::ThreadContext& ctx);
 
+    /// The operation recorded in the adopted slot's recovery record,
+    /// without redoing anything. Pod-sharded recovery uses this to order
+    /// shard recovery: the (at most one) shard with an interrupted NMP
+    /// batch must recover before any other shard resets the thread's ring.
+    Op pending_op(pod::ThreadContext& ctx);
+
     /// Runs the huge heap's asynchronous reclamation pass for this thread.
     void cleanup(pod::ThreadContext& ctx);
 

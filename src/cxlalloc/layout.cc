@@ -36,13 +36,16 @@ Layout::Layout(const Config& config)
                  "heap capacities must be nonzero");
     CXL_FATAL_IF(config.huge_region_size % cxl::kPageSize != 0,
                  "huge region size must be page aligned");
+    CXL_FATAL_IF(config.base % cxl::kPageSize != 0,
+                 "layout base must be page aligned");
 
     constexpr std::uint32_t kRows = cxl::kMaxThreads + 1;
 
     // ---- HWcc region: everything synchronization-bearing, packed first.
-    // Offset 0 is reserved (a null HeapOffset must never name live data),
-    // so the help array starts one cacheline in.
-    HeapOffset at = cxlcommon::kCacheLine;
+    // Offset base+0 is reserved (for the base-0 heap a null HeapOffset
+    // must never name live data; pod shards keep the window head free so
+    // all shards are congruent), so the help array starts one cacheline in.
+    HeapOffset at = config.base + cxlcommon::kCacheLine;
     help_array_ = at;
     at += kRows * 8;
     small_global_ = at;
@@ -92,9 +95,9 @@ cxl::DeviceConfig
 Layout::device_config(cxl::CoherenceMode mode, bool simulate_cache) const
 {
     cxl::DeviceConfig dev;
-    dev.size = align_up(end_, cxl::kPageSize);
+    dev.size = align_up(end_ - config_.base, cxl::kPageSize);
     dev.mode = mode;
-    dev.sync_region_size = hwcc_end_;
+    dev.sync_region_size = hwcc_end_ - config_.base;
     dev.simulate_cache = simulate_cache;
     return dev;
 }

@@ -56,6 +56,13 @@ struct Config {
     /// Thread-local unsized free lists longer than this spill slabs to the
     /// global free list ("configurable threshold length", paper §3.1.1).
     std::uint32_t unsized_limit = 4;
+
+    /// Device offset the layout starts at (page-aligned). 0 is the legacy
+    /// whole-device heap; a pod shard sets this to its device window's
+    /// base so every derived offset carries the window's device id in its
+    /// high bits (PC-S still holds: all processes compute the same
+    /// layout from the same Config).
+    HeapOffset base = 0;
 };
 
 /// Slab descriptor geometry (SWccDesc, paper Fig. 3). Field offsets within
@@ -117,8 +124,13 @@ class Layout {
 
     const Config& config() const { return config_; }
 
+    /// First device offset of the layout (Config::base).
+    HeapOffset base() const { return config_.base; }
+
     /// Device configuration that fits this layout: total size and the sync
-    /// (HWcc / device-biased) region size.
+    /// (HWcc / device-biased) region size, both relative to base() (a
+    /// based layout describes one window of a pod device, whose sync
+    /// prefix is per-window).
     cxl::DeviceConfig
     device_config(cxl::CoherenceMode mode, bool simulate_cache = false) const;
 
@@ -157,12 +169,13 @@ class Layout {
         return large_hwcc_desc_ + static_cast<HeapOffset>(slab) * 8;
     }
 
-    /// End of the HWcc region = required sync_region_size.
+    /// End of the HWcc region; hwcc_end() - base() = required
+    /// sync_region_size.
     HeapOffset hwcc_end() const { return hwcc_end_; }
 
     /// Total bytes of HWcc memory this layout consumes (the paper's "HWcc
     /// memory" metric, §5.2.1).
-    std::uint64_t hwcc_bytes() const { return hwcc_end_; }
+    std::uint64_t hwcc_bytes() const { return hwcc_end_ - config_.base; }
 
     // ---- SWcc metadata ----
 

@@ -1,0 +1,251 @@
+#include "cxlalloc/pod_shard.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/cacheline.h"
+
+namespace cxlalloc {
+
+namespace {
+
+/// Smallest window_bits whose window holds @p bytes; windows below one
+/// page make no sense (the layout base must be page aligned).
+std::uint32_t
+window_bits_for(std::uint64_t bytes)
+{
+    std::uint32_t bits = 12;
+    while ((1ULL << bits) < bytes) {
+        bits++;
+    }
+    return bits;
+}
+
+} // namespace
+
+cxl::DeviceConfig
+PodShardedAllocator::device_config(const Config& shard_config,
+                                   const pod::Topology& topology,
+                                   cxl::CoherenceMode mode,
+                                   bool simulate_cache,
+                                   std::uint64_t extra_window_bytes)
+{
+    Config base_cfg = shard_config;
+    base_cfg.base = 0;
+    Layout probe(base_cfg);
+
+    std::uint64_t window = cxlcommon::align_up(probe.end(), cxl::kPageSize) +
+                           cxlcommon::align_up(extra_window_bytes,
+                                               cxl::kPageSize);
+
+    cxl::DeviceConfig dev;
+    dev.windows = topology.devices();
+    dev.window_bits = window_bits_for(window);
+    dev.size = static_cast<std::uint64_t>(dev.windows) << dev.window_bits;
+    dev.mode = mode;
+    dev.sync_region_size = probe.hwcc_end();
+    dev.simulate_cache = simulate_cache;
+    return dev;
+}
+
+PodShardedAllocator::PodShardedAllocator(pod::Pod& pod,
+                                         const Config& shard_config)
+    : pod_(pod)
+{
+    const pod::Topology& topo = pod.topology();
+    CXL_FATAL_IF(topo.trivial(),
+                 "pod-sharded allocation needs a non-trivial topology");
+    CXL_FATAL_IF(pod.device().windows() != topo.devices(),
+                 "device windows must match topology devices");
+
+    shards_.reserve(topo.devices());
+    for (cxl::DeviceId d = 0; d < topo.devices(); d++) {
+        Config cfg = shard_config;
+        cfg.base = pod.device().window_base(d);
+        shards_.push_back(std::make_unique<CxlAllocator>(pod, cfg));
+    }
+
+    order_.resize(topo.hosts());
+    for (pod::HostId h = 0; h < topo.hosts(); h++) {
+        order_[h] = topo.placement_order(h);
+        CXL_FATAL_IF(order_[h].empty(),
+                     "host reaches no device in this topology");
+        CXL_FATAL_IF(order_[h].front() != topo.home_of(h),
+                     "placement order must start at the home device");
+    }
+}
+
+void
+PodShardedAllocator::attach(pod::Process& process)
+{
+    for (auto& shard : shards_) {
+        shard->attach(process);
+    }
+    // Every shard's attach registered itself; the router must win so
+    // faults on any window reach the right shard.
+    process.set_resolver(this);
+}
+
+void
+PodShardedAllocator::attach_thread(pod::ThreadContext& ctx)
+{
+    // Home shard only: rebuilding volatile state reads the shard's window,
+    // so an eager sweep would charge every foreign edge before the thread
+    // does any work (and in a sparse topology would fault on unreachable
+    // windows). Non-home shards self-attach on the first operation that
+    // actually reaches them (CxlAllocator::state_of).
+    shards_[reach_of(ctx).front()]->attach_thread(ctx);
+}
+
+cxl::HeapOffset
+PodShardedAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
+{
+    auto host = static_cast<pod::HostId>(ctx.process().host());
+    const std::vector<cxl::DeviceId>& order = order_[host];
+    for (std::size_t i = 0; i < order.size(); i++) {
+        cxl::HeapOffset offset = shards_[order[i]]->allocate(ctx, size);
+        if (offset != 0) {
+            if (inst_.registry != nullptr) {
+                inst_.registry->shard(ctx.tid()).add(
+                    i == 0 ? inst_.alloc_home : inst_.alloc_steal);
+            }
+            return offset;
+        }
+    }
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(ctx.tid()).add(inst_.alloc_exhausted);
+    }
+    return 0;
+}
+
+void
+PodShardedAllocator::deallocate(pod::ThreadContext& ctx,
+                                cxl::HeapOffset offset)
+{
+    cxl::DeviceId d = pod_.device().device_of(offset);
+    CXL_ASSERT(d < shards_.size(), "free offset names no shard");
+    shards_[d]->deallocate(ctx, offset);
+}
+
+void
+PodShardedAllocator::deallocate_batch(pod::ThreadContext& ctx,
+                                      const cxl::HeapOffset* offsets,
+                                      std::uint32_t n)
+{
+    // Partition by owning window so each shard still sees one contiguous
+    // batch (one NMP doorbell per ring, as in the single-heap path).
+    std::vector<std::vector<cxl::HeapOffset>> parts(shards_.size());
+    for (std::uint32_t i = 0; i < n; i++) {
+        cxl::DeviceId d = pod_.device().device_of(offsets[i]);
+        CXL_ASSERT(d < shards_.size(), "free offset names no shard");
+        parts[d].push_back(offsets[i]);
+    }
+    for (cxl::DeviceId d = 0; d < parts.size(); d++) {
+        if (!parts[d].empty()) {
+            shards_[d]->deallocate_batch(
+                ctx, parts[d].data(),
+                static_cast<std::uint32_t>(parts[d].size()));
+        }
+    }
+}
+
+void
+PodShardedAllocator::recover(pod::ThreadContext& ctx)
+{
+    // The adopter sweeps the shards its host reaches (which must include
+    // everything the dead thread touched — adopt recovery work on a host
+    // wired at least as widely as the crashed one). At most one shard
+    // holds the thread's interrupted NMP batch (records are per-shard, but
+    // the thread was executing at most one operation when it died). Its
+    // redo operands live in the thread's NMP ring; every other shard's
+    // recover() resets that ring, so the batch shard must go first.
+    // Redoing the remaining shards' stale-but-completed records is
+    // idempotent by design.
+    const std::vector<cxl::DeviceId>& reach = reach_of(ctx);
+    cxl::DeviceId batch_shard = static_cast<cxl::DeviceId>(shards_.size());
+    for (cxl::DeviceId d : reach) {
+        if (shards_[d]->pending_op(ctx) == Op::FreeRemoteBatch) {
+            batch_shard = d;
+            break;
+        }
+    }
+    if (batch_shard < shards_.size()) {
+        shards_[batch_shard]->recover(ctx);
+    }
+    for (cxl::DeviceId d : reach) {
+        if (d != batch_shard) {
+            shards_[d]->recover(ctx);
+        }
+    }
+}
+
+void
+PodShardedAllocator::cleanup(pod::ThreadContext& ctx)
+{
+    for (cxl::DeviceId d : reach_of(ctx)) {
+        shards_[d]->cleanup(ctx);
+    }
+}
+
+const std::vector<cxl::DeviceId>&
+PodShardedAllocator::reach_of(pod::ThreadContext& ctx) const
+{
+    return order_[static_cast<pod::HostId>(ctx.process().host())];
+}
+
+void
+PodShardedAllocator::check_invariants(cxl::MemSession& mem)
+{
+    for (auto& shard : shards_) {
+        shard->check_invariants(mem);
+    }
+}
+
+void
+PodShardedAllocator::set_metrics(obs::MetricsRegistry* registry)
+{
+    inst_ = Instruments{};
+    inst_.registry = registry;
+    for (auto& shard : shards_) {
+        shard->set_metrics(registry);
+    }
+    if (registry == nullptr) {
+        return;
+    }
+    inst_.alloc_home = registry->counter("pod.alloc_home");
+    inst_.alloc_steal = registry->counter("pod.alloc_steal");
+    inst_.alloc_exhausted = registry->counter("pod.alloc_exhausted");
+}
+
+bool
+PodShardedAllocator::resolve_fault(pod::Process& process,
+                                   cxl::MemSession& mem,
+                                   cxl::HeapOffset offset,
+                                   pod::MappedRange* out)
+{
+    cxl::DeviceId d = pod_.device().device_of(offset);
+    if (d >= shards_.size()) {
+        return false;
+    }
+    return shards_[d]->resolve_fault(process, mem, offset, out);
+}
+
+cxl::HeapOffset
+PodShardedAllocator::extra_base(cxl::DeviceId device) const
+{
+    CXL_ASSERT(device < shards_.size(), "no such shard");
+    return cxlcommon::align_up(shards_[device]->layout().end(),
+                               cxl::kPageSize);
+}
+
+std::uint64_t
+PodShardedAllocator::hwcc_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+        total += shard->layout().hwcc_bytes();
+    }
+    return total;
+}
+
+} // namespace cxlalloc

@@ -1,0 +1,141 @@
+/// @file
+/// PodShardedAllocator: topology-aware allocation over a multi-device pod.
+///
+/// One CxlAllocator shard lives in each device window of a window-
+/// partitioned pod arena (cxl::DeviceConfig windows/window_bits; see
+/// docs/POD_TOPOLOGY.md). All shards share the pod-global thread-id space,
+/// so any thread can allocate from, free into, and recover any shard —
+/// the placement policy, not a capability wall, is what keeps traffic
+/// host-local:
+///
+///  - First-touch home placement: a thread allocates from its host's home
+///    shard (the cheapest reachable edge, pod::Topology::home_of).
+///  - Cross-host steal as last resort: only when the home shard is
+///    exhausted does allocation probe the host's remaining reachable
+///    shards, cheapest edge first (placement_order).
+///  - Sparse topologies reject deterministically: a shard on a device the
+///    host cannot reach is never probed, so exhausting the reachable
+///    shards returns 0 (like any other exhaustion) instead of silently
+///    misrouting the allocation; the session layer additionally refuses
+///    to touch unreachable windows at all.
+///
+/// Frees route by the offset's window bits: freeing another host's memory
+/// is just a remote free into that shard (the slab heaps already handle
+/// remote frees), charged the edge cost like every other access.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cxlalloc/allocator.h"
+#include "pod/topology.h"
+
+namespace cxlalloc {
+
+/// Topology-aware sharded heap: one cxlalloc heap per pod device window.
+class PodShardedAllocator : public pod::FaultResolver {
+  public:
+    /// Device configuration for a pod whose every window holds one shard
+    /// heap of @p shard_config plus @p extra_window_bytes of application
+    /// space (index arrays etc., see extra_base()). The window size is the
+    /// smallest power of two that fits; the per-window sync region covers
+    /// the shard's HWcc metadata.
+    static cxl::DeviceConfig device_config(
+        const Config& shard_config, const pod::Topology& topology,
+        cxl::CoherenceMode mode, bool simulate_cache = false,
+        std::uint64_t extra_window_bytes = 0);
+
+    /// Binds one shard per device window of @p pod (whose topology must be
+    /// non-trivial and match the device's window count). @p shard_config
+    /// is the per-shard geometry; Config::base is derived per shard.
+    PodShardedAllocator(pod::Pod& pod, const Config& shard_config);
+
+    /// Attaches every shard to @p process and installs this router as the
+    /// process's fault resolver.
+    void attach(pod::Process& process);
+
+    /// Per-thread setup on the home shard; other shards attach lazily on
+    /// first touch so a thread that never steals never pays a foreign edge.
+    void attach_thread(pod::ThreadContext& ctx);
+
+    /// Topology-aware allocation (see file comment). Returns 0 when every
+    /// shard reachable from the calling thread's host is exhausted.
+    cxl::HeapOffset allocate(pod::ThreadContext& ctx, std::uint64_t size);
+
+    /// Frees @p offset into the shard its window bits name.
+    void deallocate(pod::ThreadContext& ctx, cxl::HeapOffset offset);
+
+    /// Batched free: offsets are partitioned by window and each shard
+    /// drains its part in one batch (NMP doorbell packing intact).
+    void deallocate_batch(pod::ThreadContext& ctx,
+                          const cxl::HeapOffset* offsets, std::uint32_t n);
+
+    std::byte*
+    pointer(pod::ThreadContext& ctx, cxl::HeapOffset offset,
+            std::uint64_t len)
+    {
+        return ctx.mem().data_ptr(offset, len);
+    }
+
+    /// Recovers the adopted slot across every shard. The (at most one)
+    /// shard whose recovery record is an interrupted NMP batch recovers
+    /// first: its redo state lives in the thread's operand ring, which
+    /// every other shard's recovery resets.
+    void recover(pod::ThreadContext& ctx);
+
+    /// Huge-heap reclamation pass on every shard.
+    void cleanup(pod::ThreadContext& ctx);
+
+    /// Quiescent invariant sweep over every shard.
+    void check_invariants(cxl::MemSession& mem);
+
+    /// Wires "alloc.*" instrumentation of every shard plus the pod-level
+    /// placement counters (pod.alloc_home / pod.alloc_steal /
+    /// pod.alloc_exhausted) into @p registry.
+    void set_metrics(obs::MetricsRegistry* registry);
+
+    /// pod::FaultResolver: dispatch to the shard owning the offset.
+    bool resolve_fault(pod::Process& process, cxl::MemSession& mem,
+                       cxl::HeapOffset offset,
+                       pod::MappedRange* out) override;
+
+    std::uint32_t shard_count() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    CxlAllocator& shard(cxl::DeviceId device) { return *shards_[device]; }
+
+    /// First offset of window @p device's extra application region (the
+    /// extra_window_bytes requested from device_config), page-aligned
+    /// after the shard layout.
+    cxl::HeapOffset extra_base(cxl::DeviceId device) const;
+
+    /// Total HWcc bytes across shards (each window contributes a sync
+    /// prefix).
+    std::uint64_t hwcc_bytes() const;
+
+    pod::Pod& pod() { return pod_; }
+
+  private:
+    /// The shards @p ctx's host is wired to, home first (its probe order).
+    const std::vector<cxl::DeviceId>& reach_of(pod::ThreadContext& ctx) const;
+
+    pod::Pod& pod_;
+    std::vector<std::unique_ptr<CxlAllocator>> shards_;
+    /// Per-host probe order: home first, then reachable shards by edge
+    /// cost (precomputed from the topology).
+    std::vector<std::vector<cxl::DeviceId>> order_;
+
+    struct Instruments {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::MetricId alloc_home = obs::kInvalidMetric;
+        obs::MetricId alloc_steal = obs::kInvalidMetric;
+        obs::MetricId alloc_exhausted = obs::kInvalidMetric;
+    };
+    Instruments inst_;
+};
+
+} // namespace cxlalloc

@@ -19,14 +19,18 @@
 
 #include "baselines/boostish.h"
 #include "baselines/cxlalloc_adapter.h"
+#include "baselines/pod_sharded_adapter.h"
 #include "baselines/cxlshmish.h"
 #include "baselines/lightningish.h"
 #include "baselines/mimic.h"
 #include "baselines/rallocish.h"
+#include "common/cacheline.h"
 #include "common/stats.h"
 #include "cxlalloc/allocator.h"
+#include "cxlalloc/pod_shard.h"
 #include "obs/registry.h"
 #include "pod/pod.h"
+#include "pod/topology.h"
 
 namespace bench {
 
@@ -300,6 +304,165 @@ print_row(const char* figure, const std::string& workload,
                     .c_str(),
                 cxlcommon::format_bytes(r.hwcc_bytes).c_str(),
                 note[0] != '\0' ? "  " : "", note);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-host pod runs (topology-aware sharded allocation; see
+// docs/POD_TOPOLOGY.md).
+
+/// A sharded cxlalloc heap on a multi-host pod: one process per host, one
+/// allocator shard per device window.
+struct PodBundle {
+    MemoryMode mode = MemoryMode::CxlHwcc;
+    std::unique_ptr<pod::Pod> pod;
+    std::unique_ptr<cxlalloc::PodShardedAllocator> heap;
+    std::unique_ptr<baselines::PodShardedAdapter> alloc;
+    std::vector<pod::Process*> host_process; // index = HostId
+    cxl::LatencyModel latency;
+    /// Per-host private extra bytes (from Geometry::extra_bytes), placed in
+    /// the host's home window after the shard layout.
+    std::uint64_t extra_per_host = 0;
+
+    /// Spawns a thread on @p host. The latency model is always installed:
+    /// pod runs exist to measure edge costs.
+    std::unique_ptr<pod::ThreadContext>
+    thread(pod::HostId host)
+    {
+        auto ctx = pod->create_thread(host_process[host]);
+        alloc->attach_thread(*ctx);
+        ctx->mem().set_latency_model(&latency);
+        return ctx;
+    }
+
+    /// Device offset of @p host's private extra slice: hosts sharing a home
+    /// device get consecutive extra_per_host slices of its window.
+    cxl::HeapOffset
+    extra_base_for_host(pod::HostId host) const
+    {
+        const pod::Topology& topo = pod->topology();
+        cxl::DeviceId home = topo.home_of(host);
+        std::uint64_t rank = 0;
+        for (pod::HostId h = 0; h < host; h++) {
+            if (topo.home_of(h) == home) {
+                rank++;
+            }
+        }
+        return heap->extra_base(home) + rank * extra_per_host;
+    }
+};
+
+/// Builds a sharded cxlalloc heap over @p topology. Each device window
+/// holds one shard of @p geom's geometry plus enough extra space to give
+/// every host homed on it a private Geometry::extra_bytes slice.
+inline PodBundle
+make_pod_bundle(const pod::Topology& topology, const Geometry& geom,
+                MemoryMode mode = MemoryMode::CxlHwcc)
+{
+    PodBundle b;
+    b.mode = mode;
+    switch (mode) {
+      case MemoryMode::Local:
+        b.latency = cxl::LatencyModel::local_dram();
+        break;
+      case MemoryMode::CxlHwcc:
+        b.latency = cxl::LatencyModel::cxl_hwcc();
+        break;
+      case MemoryMode::CxlMcas:
+        b.latency = cxl::LatencyModel::cxl_mcas();
+        break;
+    }
+    cxl::CoherenceMode coherence = mode == MemoryMode::CxlMcas
+                                       ? cxl::CoherenceMode::NoHwcc
+                                       : (geom.full_hwcc
+                                              ? cxl::CoherenceMode::FullHwcc
+                                              : cxl::CoherenceMode::PartialHwcc);
+
+    cxlalloc::Config cfg;
+    cfg.small_slabs = geom.small_slabs;
+    cfg.large_slabs = geom.large_slabs;
+    cfg.huge_regions = geom.huge_regions;
+    cfg.huge_region_size = geom.huge_region_size;
+
+    // Worst-case hosts homed on one device decides the per-window extra.
+    std::vector<std::uint32_t> homed(topology.devices(), 0);
+    for (pod::HostId h = 0; h < topology.hosts(); h++) {
+        homed[topology.home_of(h)]++;
+    }
+    std::uint32_t max_homed = 1;
+    for (std::uint32_t n : homed) {
+        max_homed = std::max(max_homed, n);
+    }
+    b.extra_per_host = (geom.extra_bytes + cxlcommon::kCacheLine - 1) &
+                       ~std::uint64_t{cxlcommon::kCacheLine - 1};
+
+    pod::PodConfig pc;
+    pc.device = cxlalloc::PodShardedAllocator::device_config(
+        cfg, topology, coherence, /*simulate_cache=*/false,
+        /*extra_window_bytes=*/b.extra_per_host * max_homed);
+    pc.checked_mappings = geom.checked_mappings;
+    pc.topology = topology;
+    b.pod = std::make_unique<pod::Pod>(pc);
+    b.heap = std::make_unique<cxlalloc::PodShardedAllocator>(*b.pod, cfg);
+    b.heap->set_metrics(bundle_metrics());
+    b.host_process.resize(topology.hosts());
+    for (pod::HostId h = 0; h < topology.hosts(); h++) {
+        b.host_process[h] = b.pod->create_process(h);
+        b.heap->attach(*b.host_process[h]);
+    }
+    b.alloc = std::make_unique<baselines::PodShardedAdapter>(b.heap.get());
+    return b;
+}
+
+/// Runs @p body on @p hosts x @p threads_per_host threads — thread (h, i)
+/// runs on host h's process and sees worker index h * threads_per_host + i.
+/// Aggregation matches run_threads.
+inline RunResult
+run_pod_threads(PodBundle& b, std::uint32_t hosts,
+                std::uint32_t threads_per_host,
+                const std::function<std::uint64_t(pod::ThreadContext&,
+                                                  pod::HostId,
+                                                  std::uint32_t)>& body)
+{
+    std::uint32_t nthreads = hosts * threads_per_host;
+    std::vector<std::thread> workers;
+    std::vector<std::uint64_t> ops(nthreads, 0);
+    std::vector<std::uint64_t> sim(nthreads, 0);
+    std::vector<cxl::MemEventCounters> events(nthreads);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t w = 0; w < nthreads; w++) {
+        workers.emplace_back([&, w] {
+            auto host = static_cast<pod::HostId>(w / threads_per_host);
+            auto ctx = b.thread(host);
+            ops[w] = body(*ctx, host, w);
+            sim[w] = ctx->mem().sim_ns();
+            events[w] = ctx->mem().counters();
+            if (obs::MetricsRegistry* reg = bundle_metrics()) {
+                ctx->mem().publish_metrics(*reg);
+                reg->shard(ctx->tid()).add(reg->counter("run.ops"), ops[w]);
+            }
+            b.pod->release_thread(std::move(ctx));
+        });
+    }
+    for (auto& th : workers) {
+        th.join();
+    }
+    RunResult r;
+    r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    for (std::uint32_t w = 0; w < nthreads; w++) {
+        r.ops += ops[w];
+        r.sim_ns = std::max(r.sim_ns, sim[w]);
+        r.events += events[w];
+    }
+    if (obs::MetricsRegistry* reg = bundle_metrics()) {
+        reg->set_gauge(reg->gauge("run.sim_ns_max"),
+                       static_cast<double>(r.sim_ns));
+    }
+    r.committed_bytes = b.pod->device().committed_bytes();
+    r.metadata_bytes = b.alloc->metadata_overhead_bytes();
+    r.hwcc_bytes = b.heap->hwcc_bytes();
+    return r;
 }
 
 } // namespace bench

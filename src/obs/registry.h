@@ -5,7 +5,7 @@
 /// under a mutex; the returned MetricId then indexes plain arrays inside a
 /// per-thread MetricsShard, so the hot path is an unsynchronized relaxed
 /// add/record with no cache-line sharing between threads. Shards are keyed
-/// by the pod-global ThreadId (1..64, shard 0 serves process-level code),
+/// by the pod-global ThreadId (1..160, shard 0 serves process-level code),
 /// matching cxl::kMaxThreads without depending on the cxl layer.
 ///
 /// snapshot() merges every live shard into a plain MetricsSnapshot that
@@ -32,10 +32,14 @@ using MetricId = std::uint32_t;
 inline constexpr MetricId kInvalidMetric = ~MetricId{0};
 
 /// Shard 0 is process-level; 1..kMaxShards-1 mirror pod thread ids.
-inline constexpr std::uint32_t kMaxShards = 65;
-inline constexpr std::uint32_t kMaxCounters = 128;
-inline constexpr std::uint32_t kMaxGauges = 96;
-inline constexpr std::uint32_t kMaxHistograms = 32;
+/// Capacities cover the pod-topology metrics: per-edge counters (ops + ns
+/// per (host, device) pair, up to 16x16 edges in principle, 16x4 in the
+/// shipped presets) and per-edge latency histograms. Shards are allocated
+/// lazily, so unused capacity costs nothing until a thread id publishes.
+inline constexpr std::uint32_t kMaxShards = 161;
+inline constexpr std::uint32_t kMaxCounters = 320;
+inline constexpr std::uint32_t kMaxGauges = 128;
+inline constexpr std::uint32_t kMaxHistograms = 96;
 
 /// One thread's unsynchronized metric storage. Writers: the owning thread.
 /// Readers: any thread, via the registry snapshot (relaxed atomics).

@@ -7,18 +7,23 @@ namespace pod {
 Pod::Pod(const PodConfig& config)
     : config_(config), device_(config.device), nmp_(&device_)
 {
+    CXL_FATAL_IF(!config_.topology.trivial() &&
+                     device_.windows() != config_.topology.devices(),
+                 "topology devices must match device windows");
     slots_.fill(SlotState::Free);
 }
 
 Process*
-Pod::create_process()
+Pod::create_process(HostId host)
 {
     std::lock_guard<std::mutex> lock(mu_);
     CXL_FATAL_IF(processes_.size() >= cxl::kMaxProcesses,
                  "too many processes in pod");
+    CXL_FATAL_IF(host >= config_.topology.hosts(),
+                 "process host id outside the pod topology");
     auto pid = static_cast<std::uint32_t>(processes_.size());
-    processes_.push_back(
-        std::make_unique<Process>(this, pid, config_.checked_mappings));
+    processes_.push_back(std::make_unique<Process>(
+        this, pid, config_.checked_mappings, host));
     return processes_.back().get();
 }
 

@@ -14,6 +14,7 @@
 #include "cxl/types.h"
 #include "pod/process.h"
 #include "pod/thread_context.h"
+#include "pod/topology.h"
 
 namespace pod {
 
@@ -23,6 +24,11 @@ struct PodConfig {
     /// When true, processes run in checked-mapping mode: PC-T is enforced
     /// per access and faults go through the handler.
     bool checked_mappings = false;
+    /// Host/device topology. The default (trivial 1x1) is the legacy
+    /// single-host, single-device pod; a non-trivial topology requires a
+    /// window-partitioned device with windows == topology.devices(), and
+    /// every thread's session is routed through its host's edge row.
+    Topology topology;
 };
 
 /// State of a pod-global thread slot.
@@ -41,10 +47,12 @@ class Pod {
     cxl::Device& device() { return device_; }
     cxl::Nmp& nmp() { return nmp_; }
     const PodConfig& config() const { return config_; }
+    const Topology& topology() const { return config_.topology; }
 
-    /// Spawns a simulated process (a host-side construct, so a plain mutex
-    /// is fine here — only shared *device* state must be lock-free).
-    Process* create_process();
+    /// Spawns a simulated process on @p host (a host-side construct, so a
+    /// plain mutex is fine here — only shared *device* state must be
+    /// lock-free). Threads of the process inherit the host's edge row.
+    Process* create_process(HostId host = 0);
 
     /// Creates a thread in @p process, assigning the lowest free pod-global
     /// thread slot. Thread IDs are 1-based; 0 means "no thread".

@@ -14,8 +14,9 @@ thread_local bool in_fault_handler = false;
 
 } // namespace
 
-Process::Process(Pod* pod, std::uint32_t pid, bool checked)
-    : pod_(pod), pid_(pid), checked_(checked)
+Process::Process(Pod* pod, std::uint32_t pid, bool checked,
+                 std::uint16_t host)
+    : pod_(pod), pid_(pid), checked_(checked), host_(host)
 {
     std::uint64_t pages = pod->device().size() / cxl::kPageSize;
     page_bitmap_ = std::vector<std::atomic<std::uint64_t>>((pages + 63) / 64);

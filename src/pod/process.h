@@ -32,10 +32,15 @@ class Process : public cxl::MappingGuard {
     /// @param checked  when true, every MemSession access verifies mappings
     ///                 (slow, faithful); when false, PC-T checking is off
     ///                 (fast path for throughput benchmarks).
-    Process(Pod* pod, std::uint32_t pid, bool checked);
+    /// @param host     pod host this process runs on; its threads route
+    ///                 through the host's topology edge row.
+    Process(Pod* pod, std::uint32_t pid, bool checked, std::uint16_t host = 0);
 
     std::uint32_t pid() const { return pid_; }
     Pod& pod() { return *pod_; }
+
+    /// Pod host this process runs on (0 in the trivial topology).
+    std::uint16_t host() const { return host_; }
 
     /// Registers a virtual-address-space reservation. Models
     /// mmap(PROT_NONE) at heap initialization: it pins a contiguous offset
@@ -93,6 +98,7 @@ class Process : public cxl::MappingGuard {
     Pod* pod_;
     std::uint32_t pid_;
     bool checked_;
+    std::uint16_t host_;
     FaultResolver* resolver_ = nullptr;
 
     mutable std::mutex reservation_mu_;

@@ -12,6 +12,12 @@ ThreadContext::ThreadContext(Process* process, cxl::ThreadId tid)
     if (process->checked()) {
         mem_.set_mapping_guard(process);
     }
+    const Topology& topo = process->pod().topology();
+    if (!topo.trivial()) {
+        auto host = static_cast<HostId>(process->host());
+        mem_.set_pod_routing(topo.row(host), topo.devices(),
+                             topo.home_of(host), host);
+    }
 }
 
 } // namespace pod

@@ -1,0 +1,122 @@
+/// @file
+/// Pod topology: N hosts x M memory devices and the per-(host, device)
+/// edge-cost matrix that routes every memory operation (see
+/// docs/POD_TOPOLOGY.md).
+///
+/// Substitution note: a real CXL pod wires hosts to multi-headed devices
+/// through a fabric where distance is not uniform — a host reaches its
+/// directly-attached head in one hop, other heads through switches (more
+/// latency, less bandwidth), and in sparse Octopus-style pods some heads
+/// not at all. This class models exactly that: a dense matrix of
+/// cxl::EdgeCost entries, where an edge's extra read/write/bandwidth cost
+/// rides on top of the base LatencyModel and `reachable == false` means
+/// there is no wire.
+///
+/// Offsets carry their device id in the high window bits (cxl::DeviceConfig
+/// windows/window_bits), so routing an offset is a shift — no table lookup
+/// on the access path. The topology itself is immutable after construction
+/// and shared read-only by every session.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cxl/types.h"
+
+namespace pod {
+
+using HostId = std::uint16_t;
+
+/// Maximum hosts in a pod (bounded by thread slots: every host needs room
+/// for at least one thread).
+inline constexpr std::uint32_t kMaxHosts = 16;
+
+/// An immutable N-host x M-device reachability/latency/bandwidth matrix.
+class Topology {
+  public:
+    /// The trivial 1x1 pod: one host, one device, zero-cost edge — the
+    /// legacy single-device configuration.
+    Topology() : Topology(1, 1) {}
+
+    /// A pod of @p hosts x @p devices with every edge reachable at zero
+    /// extra cost. Edit edges via edge() before wiring sessions.
+    Topology(std::uint32_t hosts, std::uint32_t devices);
+
+    /// Dense preset: every host reaches every device. The device nearest
+    /// to a host (its directly-attached head, devices spread evenly over
+    /// hosts) costs @p near; every other edge costs @p far.
+    static Topology dense(std::uint32_t hosts, std::uint32_t devices,
+                          const cxl::EdgeCost& near,
+                          const cxl::EdgeCost& far);
+
+    /// Octopus-style sparse preset: host h reaches only @p arms devices —
+    /// its nearest head at @p near cost plus the following arms-1 heads
+    /// (mod devices) at @p far. Every other edge is unreachable.
+    static Topology octopus(std::uint32_t hosts, std::uint32_t devices,
+                            std::uint32_t arms, const cxl::EdgeCost& near,
+                            const cxl::EdgeCost& far);
+
+    std::uint32_t hosts() const { return hosts_; }
+    std::uint32_t devices() const { return devices_; }
+
+    /// True for the legacy 1 host x 1 device configuration.
+    bool trivial() const { return hosts_ == 1 && devices_ == 1; }
+
+    cxl::EdgeCost&
+    edge(HostId host, cxl::DeviceId device)
+    {
+        return edges_[index(host, device)];
+    }
+
+    const cxl::EdgeCost&
+    edge(HostId host, cxl::DeviceId device) const
+    {
+        return edges_[index(host, device)];
+    }
+
+    bool
+    reachable(HostId host, cxl::DeviceId device) const
+    {
+        return edge(host, device).reachable;
+    }
+
+    /// Host @p host's full edge row (devices() entries) — what
+    /// cxl::MemSession::set_pod_routing consumes. Stable for the lifetime
+    /// of the Topology.
+    const cxl::EdgeCost*
+    row(HostId host) const
+    {
+        return &edges_[index(host, 0)];
+    }
+
+    /// The host's home device: its cheapest reachable edge (ties to the
+    /// lowest device id). First-touch placement allocates here.
+    cxl::DeviceId home_of(HostId host) const;
+
+    /// Every device reachable from @p host, cheapest edge first (home at
+    /// the front): the allocator's placement-then-steal probe order.
+    std::vector<cxl::DeviceId> placement_order(HostId host) const;
+
+    /// The device nearest to @p host when heads are spread evenly over
+    /// hosts (the presets' "directly attached" assignment).
+    static cxl::DeviceId
+    nearest_device(HostId host, std::uint32_t hosts, std::uint32_t devices)
+    {
+        return static_cast<cxl::DeviceId>(
+            (static_cast<std::uint32_t>(host) * devices) / hosts);
+    }
+
+  private:
+    std::size_t
+    index(HostId host, cxl::DeviceId device) const
+    {
+        return static_cast<std::size_t>(host) * devices_ + device;
+    }
+
+    std::uint32_t hosts_;
+    std::uint32_t devices_;
+    std::vector<cxl::EdgeCost> edges_;
+};
+
+} // namespace pod

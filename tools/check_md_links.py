@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Checks that every relative markdown link in the repo resolves.
+"""Checks that every relative markdown link in the repo resolves, and
+that the documentation set stays complete and cross-referenced.
 
 Scans all tracked *.md files (repo root and docs/), extracts inline
 [text](target) links, and verifies that non-URL, non-anchor targets name
-an existing file or directory relative to the linking file. Exits nonzero
-listing every broken link. No third-party dependencies, so it runs the
-same on a dev box and in CI.
+an existing file or directory relative to the linking file. On top of
+that, REQUIRED_DOCS names the documents the repo promises to keep: each
+must exist, and each docs/ document must be reachable — linked from at
+least one *other* markdown file — so a doc cannot silently fall out of
+the navigation graph. Exits nonzero listing every violation. No
+third-party dependencies, so it runs the same on a dev box and in CI.
 """
 
 import re
@@ -14,10 +18,25 @@ from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+# The documentation contract: these files must exist, and the docs/ ones
+# must be linked from at least one other markdown file.
+REQUIRED_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/POD_TOPOLOGY.md",
+    "docs/RECOVERY.md",
+    "docs/TESTING.md",
+]
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     broken = []
     md_files = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    # repo-relative link targets, per linking file, for the reachability pass
+    linked_from = {}  # target repo-relative posix path -> set of linkers
     for md in md_files:
         text = md.read_text(encoding="utf-8")
         for match in LINK.finditer(text):
@@ -27,15 +46,31 @@ def main() -> int:
             path = target.split("#", 1)[0]
             if not path:
                 continue
-            if not (md.parent / path).exists():
+            resolved = md.parent / path
+            if not resolved.exists():
                 line = text.count("\n", 0, match.start()) + 1
                 broken.append(f"{md.relative_to(root)}:{line}: {target}")
+                continue
+            rel = resolved.resolve().relative_to(root).as_posix()
+            linked_from.setdefault(rel, set()).add(
+                md.relative_to(root).as_posix())
+    for doc in REQUIRED_DOCS:
+        if not (root / doc).exists():
+            broken.append(f"required document missing: {doc}")
+        elif doc.startswith("docs/"):
+            linkers = linked_from.get(doc, set()) - {doc}
+            if not linkers:
+                broken.append(
+                    f"required document not linked from any other "
+                    f"markdown file: {doc}")
     if broken:
-        print("broken markdown links:")
+        print("documentation check failures:")
         for b in broken:
             print(f"  {b}")
         return 1
-    print(f"checked {len(md_files)} markdown files: all relative links resolve")
+    print(f"checked {len(md_files)} markdown files: all relative links "
+          f"resolve; {len(REQUIRED_DOCS)} required docs present and "
+          f"cross-referenced")
     return 0
 
 if __name__ == "__main__":
