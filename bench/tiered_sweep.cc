@@ -1,0 +1,362 @@
+/// Tiered DRAM+CXL placement sweep: simulated per-op latency of a
+/// reference-cell object store under three placements —
+///
+///   cxl      every object on the CXL shard (dram_percent = 0)
+///   static   a stride-scheduled dram_percent% of allocations land in the
+///            host's capacity-limited private DRAM window, no migration
+///   tiered   static placement plus the background HotSlabMigrator
+///            promoting hot CXL slab residents / demoting cold DRAM ones
+///
+/// across a DRAM-fraction sweep, on three workloads: read_latest
+/// (recency-skewed reads), rw_ycsb (50/50 scrambled-Zipfian), and
+/// dynamic_hot_range (a hot window that shifts mid-run, defeating any
+/// static placement). The base latency model is local DRAM; the CXL
+/// fabric's extra cost rides on the topology edges, so DRAM-resident
+/// reads are cheaper by exactly the measured DRAM->CXL gap.
+///
+/// A final pass runs the same harness on a DRAM-less topology: the
+/// migrator must be inert (run_epoch returns 0) and the tiered rows are
+/// reported as skipped — legacy configs run unchanged.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipfian.h"
+#include "cxlalloc/migrate.h"
+#include "support.h"
+#include "sync/detectable_cas.h"
+
+namespace {
+
+constexpr std::uint64_t kObjSize = 64;
+
+struct Plan {
+    std::uint32_t objects;
+    std::uint64_t ops;
+    std::uint64_t epoch_every;
+    std::uint64_t phases; ///< dynamic_hot_range shift count
+};
+
+struct Variant {
+    const char* name;
+    std::uint32_t dram_percent;
+    bool migrate;
+};
+
+enum class Wl { ReadLatest, RwYcsb, DynamicHot };
+
+const char*
+wl_name(Wl w)
+{
+    switch (w) {
+      case Wl::ReadLatest:
+        return "read_latest";
+      case Wl::RwYcsb:
+        return "rw_ycsb";
+      case Wl::DynamicHot:
+        return "dynamic_hot_range";
+    }
+    return "?";
+}
+
+/// Extra cost of the CXL fabric over the base (local-DRAM) latency model:
+/// the paper's measured DRAM->CXL gap (§5.4), so a DRAM-window access
+/// costs local DRAM and a CXL-window access costs CXL.
+cxl::EdgeCost
+cxl_gap_edge()
+{
+    cxl::EdgeCost e;
+    e.read_add_ns = 245;  // 357 - 112
+    e.write_add_ns = 150; // write 120 / flush 170 gap, averaged
+    e.ns_per_kib = 8;
+    return e;
+}
+
+struct RunOut {
+    double ns_op = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    bool skipped = false;
+};
+
+/// One workload x variant run on a fresh bundle. Single worker thread (the
+/// sweep measures placement latency, not scaling); migration epochs run
+/// synchronously on their own thread context, and only the worker's
+/// simulated time is reported — the migrator models a background core.
+RunOut
+run_one(const pod::Topology& topo, const Plan& plan, Wl wl,
+        const Variant& var)
+{
+    bool tiered_topo = topo.has_dram_tier();
+    if (var.migrate && !tiered_topo) {
+        // Satellite behavior: no DRAM window -> migration cannot run.
+        return {0, 0, 0, /*skipped=*/true};
+    }
+
+    bench::Geometry geom;
+    geom.small_slabs = 512; // decoupled from object count; 16 MiB
+    geom.large_slabs = 8;
+    geom.huge_regions = 1;
+    geom.huge_region_size = 1 << 20;
+    geom.app_sync_bytes = static_cast<std::uint64_t>(plan.objects) * 8;
+    geom.dram_percent = var.dram_percent;
+    // DRAM capacity tracks the requested fraction of the object set (plus
+    // slack for the two thread-local active slabs), so "static" is the
+    // capacity-constrained baseline the tentpole compares against.
+    std::uint64_t blocks_per_slab = cxlalloc::kSmallSlabSize / kObjSize;
+    geom.dram_small_slabs = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(plan.objects) * var.dram_percent) /
+            (100 * blocks_per_slab) +
+        2);
+
+    bench::PodBundle b = bench::make_pod_bundle(topo, geom,
+                                                bench::MemoryMode::Local);
+    cxl::DeviceId home = topo.home_of(0);
+    cxlalloc::CxlAllocator& cell_shard = b.heap->shard(home);
+    cxl::HeapOffset cells = cell_shard.layout().app_sync();
+    auto cell_of = [&](std::uint32_t i) {
+        return cells + static_cast<cxl::HeapOffset>(i) * 8;
+    };
+
+    cxlalloc::HotSlabMigrator::Options mopt;
+    mopt.max_moves_per_epoch = 256;
+    cxlalloc::HotSlabMigrator migrator(*b.heap, mopt);
+    migrator.set_cell_table(cells, plan.objects);
+    if (var.migrate) {
+        migrator.set_metrics(bench::bundle_metrics());
+    }
+
+    auto worker = b.thread(0);
+    auto mig_ctx = b.thread(0);
+    cxl::MemSession& mem = worker->mem();
+
+    // Populate: object i's payload, published into cell i. Placement
+    // follows the variant's stride split.
+    char payload[kObjSize];
+    std::memset(payload, 0x5a, sizeof payload);
+    for (std::uint32_t i = 0; i < plan.objects; i++) {
+        cxl::HeapOffset off = b.heap->allocate(*worker, kObjSize);
+        CXL_FATAL_IF(off == 0, "tiered_sweep: populate exhausted the heap");
+        mem.write_bytes(off, payload, kObjSize);
+        mem.flush(off, kObjSize);
+        mem.fence();
+        auto res = cell_shard.cell_publish(
+            *worker, cell_of(i), 0,
+            static_cast<std::uint32_t>(off >> 3));
+        CXL_FATAL_IF(!res.success, "tiered_sweep: populate publish failed");
+    }
+
+    cxlcommon::Xoshiro rng(0x7e11ed + var.dram_percent +
+                           (var.migrate ? 1 : 0) +
+                           static_cast<std::uint64_t>(wl) * 97);
+    cxlcommon::Zipfian rank_zipf(plan.objects);
+    cxlcommon::ScrambledZipfian key_zipf(plan.objects);
+
+    std::uint64_t latest = 0; // read_latest recency cursor
+    std::uint64_t phase_len = plan.ops / plan.phases;
+    char buf[kObjSize];
+
+    std::uint64_t sim0 = mem.sim_ns();
+    for (std::uint64_t op = 0; op < plan.ops; op++) {
+        if (var.migrate && op % plan.epoch_every == plan.epoch_every - 1) {
+            migrator.run_epoch(*mig_ctx);
+        }
+
+        std::uint32_t idx = 0;
+        bool update = false;
+        switch (wl) {
+          case Wl::ReadLatest: {
+            std::uint64_t r = rank_zipf.sample(rng);
+            idx = static_cast<std::uint32_t>(
+                (latest + plan.objects - 1 - r) % plan.objects);
+            update = rng.next_double() < 0.05;
+            if (update) {
+                idx = static_cast<std::uint32_t>(latest % plan.objects);
+                latest++;
+            }
+            break;
+          }
+          case Wl::RwYcsb:
+            idx = static_cast<std::uint32_t>(key_zipf.sample(rng));
+            update = rng.next_double() < 0.5;
+            break;
+          case Wl::DynamicHot: {
+            std::uint64_t phase = op / phase_len;
+            std::uint32_t hot_len = plan.objects / 8;
+            auto hot_base = static_cast<std::uint32_t>(
+                (phase * hot_len) % plan.objects);
+            if (rng.next_double() < 0.9) {
+                idx = (hot_base + static_cast<std::uint32_t>(
+                                      rng.next() % hot_len)) %
+                      plan.objects;
+            } else {
+                idx = static_cast<std::uint32_t>(rng.next() % plan.objects);
+            }
+            update = rng.next_double() < 0.02;
+            break;
+          }
+        }
+
+        cxl::HeapOffset cell = cell_of(idx);
+        std::uint32_t val = cell_shard.dcas().read(mem, cell);
+        if (val == 0) {
+            continue;
+        }
+        auto off = static_cast<cxl::HeapOffset>(val) << 3;
+        if (update) {
+            cxl::HeapOffset fresh = b.heap->allocate(*worker, kObjSize);
+            if (fresh == 0) {
+                continue;
+            }
+            mem.write_bytes(fresh, payload, kObjSize);
+            mem.flush(fresh, kObjSize);
+            mem.fence();
+            auto res = cell_shard.cell_publish(
+                *worker, cell, val, static_cast<std::uint32_t>(fresh >> 3));
+            b.heap->deallocate(*worker, res.success ? off : fresh);
+            migrator.note_access(res.success ? fresh : off);
+        } else {
+            mem.read_bytes(off, buf, kObjSize);
+            migrator.note_access(off);
+        }
+    }
+    std::uint64_t sim = mem.sim_ns() - sim0;
+
+    if (obs::MetricsRegistry* reg = bench::bundle_metrics()) {
+        worker->mem().publish_metrics(*reg);
+        mig_ctx->mem().publish_metrics(*reg);
+        reg->shard(worker->tid()).add(reg->counter("run.ops"), plan.ops);
+    }
+    b.pod->release_thread(std::move(worker));
+    b.pod->release_thread(std::move(mig_ctx));
+
+    RunOut out;
+    out.ns_op = static_cast<double>(sim) / static_cast<double>(plan.ops);
+    out.promotions = migrator.promotions();
+    out.demotions = migrator.demotions();
+    return out;
+}
+
+void
+print_run(Wl wl, const Variant& var, const RunOut& r)
+{
+    if (r.skipped) {
+        std::printf("tiered %-18s %-8s dram=%2u%%   skipped (no DRAM "
+                    "window)\n",
+                    wl_name(wl), var.name, var.dram_percent);
+        return;
+    }
+    char note[64] = "";
+    if (var.migrate) {
+        std::snprintf(note, sizeof note, "  promo=%" PRIu64 " demo=%" PRIu64,
+                      r.promotions, r.demotions);
+    }
+    std::printf("tiered %-18s %-8s dram=%2u%%  %9.1f ns/op (sim)%s\n",
+                wl_name(wl), var.name, var.dram_percent, r.ns_op, note);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::Options opt = bench::parse_options(argc, argv);
+    Plan plan = opt.smoke ? Plan{1024, 8'000, 500, 4}
+                          : Plan{4096, 40'000, 1'000, 8};
+
+    cxl::EdgeCost gap = cxl_gap_edge();
+    pod::Topology base(1, 1);
+    base.edge(0, 0) = gap;
+    pod::Topology tiered_topo = pod::Topology::with_local_dram(base);
+
+    std::puts("Tiered DRAM+CXL placement sweep (1 host, CXL window + "
+              "private DRAM window; base latency = local DRAM, CXL edge "
+              "carries the fabric gap)");
+
+    std::vector<Variant> variants = {
+        {"cxl", 0, false},      {"static", 10, false}, {"tiered", 10, true},
+        {"static", 25, false},  {"tiered", 25, true},  {"static", 50, false},
+        {"tiered", 50, true},
+    };
+
+    obs::MetricsRegistry* reg = bench::bundle_metrics();
+    std::uint64_t total_ops = 0;
+    bool win_ok = true;
+    for (Wl wl : {Wl::ReadLatest, Wl::RwYcsb, Wl::DynamicHot}) {
+        double cxl_ns = 0;
+        double tiered25_ns = 0;
+        double tiered10_ns = 0;
+        for (const Variant& var : variants) {
+            RunOut r = run_one(tiered_topo, plan, wl, var);
+            print_run(wl, var, r);
+            total_ops += plan.ops;
+            if (var.dram_percent == 0) {
+                cxl_ns = r.ns_op;
+            } else if (var.migrate && var.dram_percent == 25) {
+                tiered25_ns = r.ns_op;
+            } else if (var.migrate && var.dram_percent == 10) {
+                tiered10_ns = r.ns_op;
+            }
+            if (reg != nullptr && !r.skipped) {
+                char name[80];
+                std::snprintf(name, sizeof name, "tiered.%s.%s%u.ns_op",
+                              wl_name(wl), var.name, var.dram_percent);
+                reg->set_gauge(reg->gauge(name), r.ns_op);
+            }
+        }
+        // The tentpole claim: tiered beats pure CXL at modest DRAM
+        // fractions on the skewed workloads. Held in CI by the budget
+        // gate on the win-ratio gauges below.
+        if (wl != Wl::RwYcsb &&
+            (tiered25_ns >= cxl_ns || tiered10_ns >= cxl_ns)) {
+            win_ok = false;
+        }
+        if (reg != nullptr && cxl_ns > 0) {
+            char name[80];
+            std::snprintf(name, sizeof name, "pod.tiered.%s.win_ratio",
+                          wl_name(wl));
+            reg->set_gauge(reg->gauge(name), tiered25_ns / cxl_ns);
+        }
+        std::puts("");
+    }
+
+    // Legacy topology: no DRAM window anywhere. The migrator must be inert
+    // and tiered rows are skipped; static degenerates to plain sharded
+    // placement.
+    std::puts("Legacy (DRAM-less) topology: migration unavailable");
+    pod::Topology legacy = pod::Topology::dense(1, 2, cxl::EdgeCost{}, gap);
+    {
+        Plan small = plan;
+        small.ops /= 4;
+        RunOut r = run_one(legacy, small, Wl::RwYcsb, variants[0]);
+        print_run(Wl::RwYcsb, variants[0], r);
+        RunOut skip = run_one(legacy, small, Wl::RwYcsb, Variant{"tiered", 25, true});
+        print_run(Wl::RwYcsb, Variant{"tiered", 25, true}, skip);
+        total_ops += small.ops;
+    }
+
+    if (reg != nullptr) {
+        obs::MetricsSnapshot snap = reg->snapshot();
+        double dram = static_cast<double>(snap.counter("alloc.tier_dram"));
+        double cxl_n = static_cast<double>(snap.counter("alloc.tier_cxl"));
+        double promos = static_cast<double>(snap.counter("migrate.promotions"));
+        double demos = static_cast<double>(snap.counter("migrate.demotions"));
+        reg->set_gauge(reg->gauge("alloc.tier_dram_ratio"),
+                       dram + cxl_n > 0 ? dram / (dram + cxl_n) : 0);
+        reg->set_gauge(reg->gauge("migrate.promotions"), promos);
+        reg->set_gauge(reg->gauge("migrate.demotions_per_op"),
+                       total_ops > 0 ? demos / static_cast<double>(total_ops)
+                                     : 0);
+    }
+
+    std::printf("Sweep shape: tiered %s pure-CXL on read_latest and "
+                "dynamic_hot_range at <= 25%% DRAM;\n",
+                win_ok ? "beats" : "DOES NOT BEAT (regression!)");
+    std::puts("static placement helps in proportion to the DRAM fraction "
+              "but cannot follow the moving hot set — migration can.");
+    bench::finish_metrics(opt);
+    return win_ok ? 0 : 1;
+}

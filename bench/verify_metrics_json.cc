@@ -76,6 +76,16 @@ budget_gauge(const std::string& name)
         // pod.scale.* throughput gauges are informational, not budgeted).
         return ends_with("_ratio") || ends_with("_per_op");
     }
+    if (name.rfind("alloc.", 0) == 0) {
+        // Tier-split quality (alloc.tier_dram_ratio): a placement change
+        // that quietly stops using the DRAM tier fails the budget.
+        return ends_with("_ratio");
+    }
+    if (name.rfind("migrate.", 0) == 0) {
+        // Migration effectiveness: promotion volume and the per-op
+        // demotion rate of the tiered sweep (BENCH_tiered.json).
+        return true;
+    }
     return false;
 }
 

@@ -451,6 +451,7 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("mem.tlb_misses", c.tlb_misses);
     pub("pod.local_ops", c.pod_local);
     pub("pod.remote_ops", c.pod_remote);
+    pub("pod.dram_ops", c.pod_dram);
     pub("cache.evictions", cache_.evictions());
     pub("mem.sim_ns", sim_ns_);
     if (mcas_round_trip_ns_.count() != 0) {

@@ -73,6 +73,9 @@ struct MemEventCounters {
     /// proxy.
     std::uint64_t pod_local = 0;
     std::uint64_t pod_remote = 0;
+    /// Accesses routed to a host-private local-DRAM window (MemTier::
+    /// LocalDram edges) — the tiering win the migrator optimizes for.
+    std::uint64_t pod_dram = 0;
 
     MemEventCounters&
     operator+=(const MemEventCounters& o)
@@ -93,6 +96,7 @@ struct MemEventCounters {
         tlb_misses += o.tlb_misses;
         pod_local += o.pod_local;
         pod_remote += o.pod_remote;
+        pod_dram += o.pod_dram;
         return *this;
     }
 };
@@ -411,7 +415,9 @@ class MemSession {
             // builds without invariant checks.
             CXL_FATAL_IF(!edge_row_[dev].reachable,
                          "access to pod device unreachable from this host");
-            if (dev == home_device_) {
+            if (edge_row_[dev].tier == MemTier::LocalDram) {
+                counters_.pod_dram++;
+            } else if (dev == home_device_) {
                 counters_.pod_local++;
             } else {
                 counters_.pod_remote++;

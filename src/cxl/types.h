@@ -54,6 +54,16 @@ using DeviceId = std::uint16_t;
 /// Maximum devices per pod: DeviceId values are 0..kMaxDevices-1.
 inline constexpr std::uint32_t kMaxDevices = 16;
 
+/// Memory tier a pod device belongs to. CXL devices are the shared fabric
+/// tier every topology has; a LocalDram device models one host's private
+/// DRAM exposed as a dedicated window (pod::Topology::with_local_dram), so
+/// MemSession charges DRAM vs CXL latency purely by the offset's window
+/// bits.
+enum class MemTier : std::uint8_t {
+    Cxl = 0,
+    LocalDram = 1,
+};
+
 /// Cost of one (host, device) edge of the pod interconnect. Added on top of
 /// the LatencyModel's base per-op costs, so a zero-cost edge reproduces the
 /// single-device behavior exactly.
@@ -61,6 +71,11 @@ struct EdgeCost {
     /// False models an Octopus-style sparse pod: the host has no path to
     /// the device at all. Accesses must be rejected, never misrouted.
     bool reachable = true;
+    /// Tier of the device this edge reaches. LocalDram edges are host-
+    /// private (reachable from exactly one host) and are skipped by
+    /// capacity placement (home_of / placement_order): only the explicit
+    /// tiering policy ever allocates there.
+    MemTier tier = MemTier::Cxl;
     /// Extra nanoseconds per cacheline read over this edge (switch hops,
     /// longer flit path).
     std::uint32_t read_add_ns = 0;

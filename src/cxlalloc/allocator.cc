@@ -272,6 +272,12 @@ CxlAllocator::recover(pod::ThreadContext& ctx)
     switch (record.op) {
       case Op::None:
         break;
+      case Op::CellPublish:
+        // A cell publish has no heap effect to redo; the record's only
+        // job — resuming the version counter past the CAS — happened
+        // above. Whether the CAS landed is the publisher's protocol
+        // question (dcas().did_succeed with the recorded version).
+        break;
       case Op::HugeReserve:
       case Op::HugeAlloc:
       case Op::HugeFree:
@@ -297,6 +303,51 @@ Op
 CxlAllocator::pending_op(pod::ThreadContext& ctx)
 {
     return log_.read(ctx.mem(), ctx.tid()).op;
+}
+
+OpRecord
+CxlAllocator::pending_record(pod::ThreadContext& ctx)
+{
+    return log_.read(ctx.mem(), ctx.tid());
+}
+
+void
+CxlAllocator::quiesce_record(pod::ThreadContext& ctx)
+{
+    log_.clear(ctx.mem());
+}
+
+std::uint16_t
+CxlAllocator::log_cell_publish(pod::ThreadContext& ctx)
+{
+    std::uint16_t version = state_of(ctx).next_version();
+    OpRecord rec;
+    rec.op = Op::CellPublish;
+    rec.version = version;
+    log_.log(ctx.mem(), rec);
+    return version;
+}
+
+cxlsync::DetectableCas::Result
+CxlAllocator::cell_publish(pod::ThreadContext& ctx, cxl::HeapOffset cell,
+                           std::uint32_t expected, std::uint32_t desired)
+{
+    std::uint16_t version = log_cell_publish(ctx);
+    return dcas_.try_cas(ctx.mem(), cell, expected, desired, version);
+}
+
+cxl::HeapOffset
+CxlAllocator::record_block_offset(cxl::MemSession& mem,
+                                  const OpRecord& record)
+{
+    SlabHeap& heap = record.large_heap ? large_ : small_;
+    std::uint8_t biased = heap.debug_class_biased(mem, record.index);
+    CXL_ASSERT(biased != 0, "record names a classless slab");
+    std::uint32_t cls = biased - 1;
+    std::uint64_t block_size = record.large_heap ? large_class_size(cls)
+                                                 : small_class_size(cls);
+    return heap.slab_data(record.index) +
+           static_cast<cxl::HeapOffset>(record.aux) * block_size;
 }
 
 void

@@ -90,6 +90,46 @@ class CxlAllocator : public pod::FaultResolver {
     /// batch must recover before any other shard resets the thread's ring.
     Op pending_op(pod::ThreadContext& ctx);
 
+    /// The adopted slot's full recovery record, without redoing anything.
+    /// Migration recovery snapshots every shard's record BEFORE shard
+    /// recovery clears them, then uses the snapshot to tell "block handed
+    /// to the interrupted migration" (Op::Alloc on the target shard) and
+    /// "free already redone" (a free-type op on the freeing shard) apart.
+    OpRecord pending_record(pod::ThreadContext& ctx);
+
+    /// Durably clears the calling thread's recovery record (store + flush
+    /// + fence). The migrator quiesces a shard's record before a stage
+    /// whose recovery inspects it, so a stale record of an earlier
+    /// completed operation can never be misattributed to the migration.
+    void quiesce_record(pod::ThreadContext& ctx);
+
+    /// Publishes a detectable CAS on an application reference cell: logs
+    /// an Op::CellPublish record for a fresh version (durable before the
+    /// CAS, as the version-resume discipline requires), then makes one
+    /// try_cas attempt on the 32-bit value at @p cell. The cell must be a
+    /// word in HWcc memory (Layout::app_sync() or other sync space).
+    cxlsync::DetectableCas::Result
+    cell_publish(pod::ThreadContext& ctx, cxl::HeapOffset cell,
+                 std::uint32_t expected, std::uint32_t desired);
+
+    /// The logging half of cell_publish: consumes and durably records a
+    /// fresh CAS version without performing the CAS. The migrator uses
+    /// this to persist the version into its own migration record between
+    /// the log and the CAS (see cxlalloc/migrate.h).
+    std::uint16_t log_cell_publish(pod::ThreadContext& ctx);
+
+    /// The detectable-CAS instance of this heap (help array in this
+    /// heap's window). For migration publish/did_succeed on cells this
+    /// heap's layout owns.
+    cxlsync::DetectableCas& dcas() { return dcas_; }
+
+    /// Data offset of the block a (completed) slab Alloc/FreeLocal record
+    /// names: slab index + block index + the slab's current class. Only
+    /// meaningful while the slab still carries the class the record's
+    /// operation ran under (migration recovery reads it before any reuse).
+    cxl::HeapOffset record_block_offset(cxl::MemSession& mem,
+                                        const OpRecord& record);
+
     /// Runs the huge heap's asynchronous reclamation pass for this thread.
     void cleanup(pod::ThreadContext& ctx);
 

@@ -58,6 +58,8 @@ Layout::Layout(const Config& config)
     at += static_cast<HeapOffset>(config.small_slabs) * 8;
     large_hwcc_desc_ = at;
     at += static_cast<HeapOffset>(config.large_slabs) * 8;
+    app_sync_ = align_up(at, cxlcommon::kCacheLine);
+    at = app_sync_ + align_up(config.app_sync_bytes, cxlcommon::kCacheLine);
     hwcc_end_ = align_up(at, cxl::kPageSize);
 
     // ---- SWcc metadata.

@@ -57,6 +57,23 @@ struct Config {
     /// global free list ("configurable threshold length", paper §3.1.1).
     std::uint32_t unsized_limit = 4;
 
+    /// Bytes of application HWcc space carved out at the tail of the sync
+    /// region (app_sync()): reference cells and other words the app needs
+    /// plain atomics/CAS on under PartialHwcc/NoHwcc. 0 (the default)
+    /// keeps the layout byte-identical to pre-tiering configs.
+    std::uint64_t app_sync_bytes = 0;
+
+    /// Tiering policy (PodShardedAllocator only; ignored by a single
+    /// heap): percentage of eligible allocations the stride scheduler
+    /// steers to the host's local-DRAM shard when the topology has one.
+    /// 0 (the default) disables the DRAM tier even on tiered topologies.
+    std::uint32_t dram_percent = 0;
+
+    /// Largest allocation the tiering policy places in DRAM; bigger
+    /// requests always go to the CXL tier. 0 means "small heap only"
+    /// (kSmallMax).
+    std::uint64_t dram_max_block = 0;
+
     /// Device offset the layout starts at (page-aligned). 0 is the legacy
     /// whole-device heap; a pod shard sets this to its device window's
     /// base so every derived offset carries the window's device id in its
@@ -168,6 +185,10 @@ class Layout {
     {
         return large_hwcc_desc_ + static_cast<HeapOffset>(slab) * 8;
     }
+
+    /// Application HWcc space (Config::app_sync_bytes; reference cells the
+    /// app CASes). Equals hwcc_end() when none was requested.
+    HeapOffset app_sync() const { return app_sync_; }
 
     /// End of the HWcc region; hwcc_end() - base() = required
     /// sync_region_size.
@@ -296,6 +317,7 @@ class Layout {
     HeapOffset huge_reservations_;
     HeapOffset small_hwcc_desc_;
     HeapOffset large_hwcc_desc_;
+    HeapOffset app_sync_;
     HeapOffset hwcc_end_;
 
     HeapOffset recovery_rows_;

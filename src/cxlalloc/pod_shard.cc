@@ -28,7 +28,8 @@ PodShardedAllocator::device_config(const Config& shard_config,
                                    const pod::Topology& topology,
                                    cxl::CoherenceMode mode,
                                    bool simulate_cache,
-                                   std::uint64_t extra_window_bytes)
+                                   std::uint64_t extra_window_bytes,
+                                   const Config* dram_config)
 {
     Config base_cfg = shard_config;
     base_cfg.base = 0;
@@ -37,41 +38,73 @@ PodShardedAllocator::device_config(const Config& shard_config,
     std::uint64_t window = cxlcommon::align_up(probe.end(), cxl::kPageSize) +
                            cxlcommon::align_up(extra_window_bytes,
                                                cxl::kPageSize);
+    std::uint64_t sync = probe.hwcc_end();
+
+    // Windows are uniform, so tiered pods size them (and the per-window
+    // sync prefix) for the larger of the two shard geometries.
+    if (dram_config != nullptr) {
+        Config dram_cfg = *dram_config;
+        dram_cfg.base = 0;
+        Layout dram_probe(dram_cfg);
+        window = std::max(window, cxlcommon::align_up(dram_probe.end(),
+                                                      cxl::kPageSize));
+        sync = std::max(sync, dram_probe.hwcc_end());
+    }
 
     cxl::DeviceConfig dev;
     dev.windows = topology.devices();
     dev.window_bits = window_bits_for(window);
     dev.size = static_cast<std::uint64_t>(dev.windows) << dev.window_bits;
     dev.mode = mode;
-    dev.sync_region_size = probe.hwcc_end();
+    dev.sync_region_size = sync;
     dev.simulate_cache = simulate_cache;
     return dev;
 }
 
 PodShardedAllocator::PodShardedAllocator(pod::Pod& pod,
-                                         const Config& shard_config)
-    : pod_(pod)
+                                         const Config& shard_config,
+                                         const Config* dram_config)
+    : pod_(pod), dram_percent_(shard_config.dram_percent),
+      dram_max_block_(shard_config.dram_max_block != 0
+                          ? shard_config.dram_max_block
+                          : kSmallMax)
 {
     const pod::Topology& topo = pod.topology();
     CXL_FATAL_IF(topo.trivial(),
                  "pod-sharded allocation needs a non-trivial topology");
     CXL_FATAL_IF(pod.device().windows() != topo.devices(),
                  "device windows must match topology devices");
+    CXL_FATAL_IF(topo.has_dram_tier() && dram_config == nullptr,
+                 "tiered topology needs a DRAM shard config");
 
     shards_.reserve(topo.devices());
     for (cxl::DeviceId d = 0; d < topo.devices(); d++) {
-        Config cfg = shard_config;
+        bool dram = topo.tier_of(d) == cxl::MemTier::LocalDram;
+        Config cfg = dram ? *dram_config : shard_config;
         cfg.base = pod.device().window_base(d);
         shards_.push_back(std::make_unique<CxlAllocator>(pod, cfg));
     }
 
     order_.resize(topo.hosts());
+    sweep_.resize(topo.hosts());
+    dram_of_.resize(topo.hosts());
     for (pod::HostId h = 0; h < topo.hosts(); h++) {
         order_[h] = topo.placement_order(h);
         CXL_FATAL_IF(order_[h].empty(),
                      "host reaches no device in this topology");
         CXL_FATAL_IF(order_[h].front() != topo.home_of(h),
                      "placement order must start at the home device");
+        dram_of_[h] = topo.dram_device_of(h);
+        if (dram_of_[h] >= topo.devices()) {
+            dram_of_[h] = static_cast<cxl::DeviceId>(shards_.size());
+        }
+        sweep_[h] = order_[h];
+        if (dram_of_[h] < shards_.size()) {
+            sweep_[h].push_back(dram_of_[h]);
+        }
+    }
+    for (auto& s : stride_) {
+        s.configure(dram_percent_);
     }
 }
 
@@ -101,13 +134,30 @@ cxl::HeapOffset
 PodShardedAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
 {
     auto host = static_cast<pod::HostId>(ctx.process().host());
+    // Tier split first: the stride scheduler consumes a ticket only for
+    // eligible requests, so the DRAM share applies to what could actually
+    // have gone to DRAM. Exhaustion of the capacity-limited DRAM shard
+    // falls through to the normal CXL probe order.
+    bool tier_split = tiered(host) && size <= dram_max_block_;
+    if (tier_split && stride_[ctx.tid()].next_dram()) {
+        cxl::HeapOffset offset = shards_[dram_of_[host]]->allocate(ctx, size);
+        if (offset != 0) {
+            if (inst_.registry != nullptr) {
+                inst_.registry->shard(ctx.tid()).add(inst_.tier_dram);
+            }
+            return offset;
+        }
+    }
     const std::vector<cxl::DeviceId>& order = order_[host];
     for (std::size_t i = 0; i < order.size(); i++) {
         cxl::HeapOffset offset = shards_[order[i]]->allocate(ctx, size);
         if (offset != 0) {
             if (inst_.registry != nullptr) {
-                inst_.registry->shard(ctx.tid()).add(
-                    i == 0 ? inst_.alloc_home : inst_.alloc_steal);
+                obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
+                sh.add(i == 0 ? inst_.alloc_home : inst_.alloc_steal);
+                if (tier_split) {
+                    sh.add(inst_.tier_cxl);
+                }
             }
             return offset;
         }
@@ -161,7 +211,7 @@ PodShardedAllocator::recover(pod::ThreadContext& ctx)
     // recover() resets that ring, so the batch shard must go first.
     // Redoing the remaining shards' stale-but-completed records is
     // idempotent by design.
-    const std::vector<cxl::DeviceId>& reach = reach_of(ctx);
+    const std::vector<cxl::DeviceId>& reach = sweep_of(ctx);
     cxl::DeviceId batch_shard = static_cast<cxl::DeviceId>(shards_.size());
     for (cxl::DeviceId d : reach) {
         if (shards_[d]->pending_op(ctx) == Op::FreeRemoteBatch) {
@@ -182,7 +232,7 @@ PodShardedAllocator::recover(pod::ThreadContext& ctx)
 void
 PodShardedAllocator::cleanup(pod::ThreadContext& ctx)
 {
-    for (cxl::DeviceId d : reach_of(ctx)) {
+    for (cxl::DeviceId d : sweep_of(ctx)) {
         shards_[d]->cleanup(ctx);
     }
 }
@@ -191,6 +241,12 @@ const std::vector<cxl::DeviceId>&
 PodShardedAllocator::reach_of(pod::ThreadContext& ctx) const
 {
     return order_[static_cast<pod::HostId>(ctx.process().host())];
+}
+
+const std::vector<cxl::DeviceId>&
+PodShardedAllocator::sweep_of(pod::ThreadContext& ctx) const
+{
+    return sweep_[static_cast<pod::HostId>(ctx.process().host())];
 }
 
 void
@@ -215,6 +271,8 @@ PodShardedAllocator::set_metrics(obs::MetricsRegistry* registry)
     inst_.alloc_home = registry->counter("pod.alloc_home");
     inst_.alloc_steal = registry->counter("pod.alloc_steal");
     inst_.alloc_exhausted = registry->counter("pod.alloc_exhausted");
+    inst_.tier_dram = registry->counter("alloc.tier_dram");
+    inst_.tier_cxl = registry->counter("alloc.tier_cxl");
 }
 
 bool

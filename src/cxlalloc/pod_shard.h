@@ -22,14 +22,28 @@
 /// Frees route by the offset's window bits: freeing another host's memory
 /// is just a remote free into that shard (the slab heaps already handle
 /// remote frees), charged the edge cost like every other access.
+///
+/// Tiered placement (topologies with per-host LocalDram windows, see
+/// pod::Topology::with_local_dram): the host's private DRAM window holds a
+/// smaller shard of its own geometry (@p dram_config), and a per-thread
+/// ticketed stride scheduler steers Config::dram_percent% of eligible
+/// allocations (size <= Config::dram_max_block) there first — falling back
+/// to the normal CXL probe order when the DRAM shard is exhausted, so the
+/// DRAM capacity limit degrades placement, never correctness. Counted as
+/// alloc.tier_dram / alloc.tier_cxl. DRAM-placed blocks are host-private:
+/// only their own host can reach the window, so sharing applications must
+/// keep DRAM-resident objects host-local (the migrator's demote path moves
+/// them back to CXL before they are shared).
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "cxlalloc/allocator.h"
+#include "cxlalloc/stride.h"
 #include "pod/topology.h"
 
 namespace cxlalloc {
@@ -42,15 +56,24 @@ class PodShardedAllocator : public pod::FaultResolver {
     /// space (index arrays etc., see extra_base()). The window size is the
     /// smallest power of two that fits; the per-window sync region covers
     /// the shard's HWcc metadata.
+    /// @p dram_config, when given, sizes the windows to also fit the
+    /// (usually smaller) per-host DRAM shard geometry — windows are
+    /// uniform, so the window and sync sizes are the max over both probe
+    /// layouts. Required iff the topology has LocalDram devices.
     static cxl::DeviceConfig device_config(
         const Config& shard_config, const pod::Topology& topology,
         cxl::CoherenceMode mode, bool simulate_cache = false,
-        std::uint64_t extra_window_bytes = 0);
+        std::uint64_t extra_window_bytes = 0,
+        const Config* dram_config = nullptr);
 
     /// Binds one shard per device window of @p pod (whose topology must be
     /// non-trivial and match the device's window count). @p shard_config
     /// is the per-shard geometry; Config::base is derived per shard.
-    PodShardedAllocator(pod::Pod& pod, const Config& shard_config);
+    /// LocalDram windows get a shard of @p dram_config's geometry instead
+    /// (must be non-null iff the topology has a DRAM tier); shard_config's
+    /// dram_percent / dram_max_block drive the tiered placement policy.
+    PodShardedAllocator(pod::Pod& pod, const Config& shard_config,
+                        const Config* dram_config = nullptr);
 
     /// Attaches every shard to @p process and installs this router as the
     /// process's fault resolver.
@@ -108,6 +131,22 @@ class PodShardedAllocator : public pod::FaultResolver {
 
     CxlAllocator& shard(cxl::DeviceId device) { return *shards_[device]; }
 
+    /// Host @p host's private DRAM shard device, or shard_count() when the
+    /// topology gives it none.
+    cxl::DeviceId
+    dram_device(pod::HostId host) const
+    {
+        return dram_of_[host];
+    }
+
+    /// True when @p host's allocations are tier-split (it has a DRAM
+    /// window and the policy percentage is nonzero).
+    bool
+    tiered(pod::HostId host) const
+    {
+        return dram_of_[host] < shards_.size() && dram_percent_ > 0;
+    }
+
     /// First offset of window @p device's extra application region (the
     /// extra_window_bytes requested from device_config), page-aligned
     /// after the shard layout.
@@ -123,17 +162,34 @@ class PodShardedAllocator : public pod::FaultResolver {
     /// The shards @p ctx's host is wired to, home first (its probe order).
     const std::vector<cxl::DeviceId>& reach_of(pod::ThreadContext& ctx) const;
 
+    /// Everything recovery/cleanup must sweep for @p ctx's host: the CXL
+    /// probe order plus the host's DRAM shard (which placement_order
+    /// excludes by design, but which holds recovery records and slabs of
+    /// its own).
+    const std::vector<cxl::DeviceId>& sweep_of(pod::ThreadContext& ctx) const;
+
     pod::Pod& pod_;
     std::vector<std::unique_ptr<CxlAllocator>> shards_;
     /// Per-host probe order: home first, then reachable shards by edge
     /// cost (precomputed from the topology).
     std::vector<std::vector<cxl::DeviceId>> order_;
+    /// Per-host recovery sweep order: order_ plus the DRAM shard, if any.
+    std::vector<std::vector<cxl::DeviceId>> sweep_;
+    /// Per-host DRAM shard (shards_.size() = none).
+    std::vector<cxl::DeviceId> dram_of_;
+    /// Tiering policy from shard_config (see Config).
+    std::uint32_t dram_percent_ = 0;
+    std::uint64_t dram_max_block_ = 0;
+    /// Per-thread stride scheduler (single-writer: the owning thread).
+    std::array<StrideScheduler, cxl::kMaxThreads + 1> stride_{};
 
     struct Instruments {
         obs::MetricsRegistry* registry = nullptr;
         obs::MetricId alloc_home = obs::kInvalidMetric;
         obs::MetricId alloc_steal = obs::kInvalidMetric;
         obs::MetricId alloc_exhausted = obs::kInvalidMetric;
+        obs::MetricId tier_dram = obs::kInvalidMetric;
+        obs::MetricId tier_cxl = obs::kInvalidMetric;
     };
     Instruments inst_;
 };

@@ -63,6 +63,8 @@ to_string(Op op)
         return "huge-free";
       case Op::FreeRemoteBatch:
         return "free-remote-batch";
+      case Op::CellPublish:
+        return "cell-publish";
     }
     return "?";
 }

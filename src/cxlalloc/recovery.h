@@ -83,6 +83,13 @@ enum class Op : std::uint8_t {
     /// device memory and survives the crash; see
     /// SlabHeap::deallocate_batch and its recover case.
     FreeRemoteBatch = 13,
+    /// An application (or migrator) reference-cell publish through the
+    /// allocator's detectable CAS (CxlAllocator::cell_publish): consumes
+    /// one CAS version but needs no heap redo. The record exists so the
+    /// version counter resumes past the publish on recovery — without it
+    /// an adopted slot could reuse the version and corrupt did_succeed
+    /// reasoning (the help array may already have advanced to it).
+    CellPublish = 14,
 };
 
 const char* to_string(Op op);

@@ -1,0 +1,126 @@
+/// @file
+/// Ticketed stride scheduler for tiered placement (after Sidle's
+/// cxl_allocator stride_scheduler): splits a stream of allocations
+/// between the local-DRAM and CXL tiers at a configured percentage.
+///
+/// Each tier holds a ticket that advances by its stride when picked; the
+/// tier with the smaller ticket goes next, so over any window the pick
+/// ratio converges to stride_cxl : stride_dram (strides are the
+/// gcd-reduced complement percentages — a tier's stride is the OTHER
+/// tier's share, so the cheaper-stride tier is picked more often).
+///
+/// Sidle guards ticket overflow by zeroing both tickets, but only in the
+/// branch that is about to overflow — which erases the accumulated phase
+/// between the tiers and (depending on which branch trips first) briefly
+/// skews the split after 2^64 byte-tickets wrap. This port renormalizes
+/// instead: when either ticket crosses the renorm threshold, the common
+/// minimum is subtracted from both, preserving the exact relative phase.
+/// Strides are at most 100, so post-renorm tickets are bounded and the
+/// counters never reach the wrap in the first place (unit-tested by
+/// driving the tickets to the threshold, tests/cxlalloc/test_stride.cc).
+///
+/// Single-threaded by design: one instance per thread (the allocator
+/// keeps one per thread slot), so "atomically w.r.t. the owning thread"
+/// is free — both tickets are reset in one place by their only writer.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cxlalloc {
+
+/// Picks DRAM for dram_percent% of calls, CXL for the rest.
+class StrideScheduler {
+  public:
+    /// Tickets are renormalized (both reduced by their common minimum)
+    /// once either crosses this. Any value far above 100*100 works; small
+    /// enough to be driven by a unit test, large enough that renorm is
+    /// rare on the fast path.
+    static constexpr std::uint64_t kRenormThreshold = 1u << 20;
+
+    StrideScheduler() { configure(0); }
+
+    /// Sets the DRAM share to @p dram_percent (clamped to 100) and resets
+    /// both tickets.
+    void
+    configure(std::uint32_t dram_percent)
+    {
+        if (dram_percent > 100) {
+            dram_percent = 100;
+        }
+        // A tier's stride is the other tier's percentage (gcd-reduced):
+        // smaller stride => picked more often.
+        std::uint32_t d = gcd(dram_percent, 100 - dram_percent);
+        stride_dram_ = (100 - dram_percent) / d;
+        stride_cxl_ = dram_percent / d;
+        ticket_dram_ = 0;
+        ticket_cxl_ = 0;
+    }
+
+    /// True when the next allocation should go to the DRAM tier.
+    bool
+    next_dram()
+    {
+        if (stride_cxl_ == 0) {
+            return false; // 0% DRAM
+        }
+        if (stride_dram_ == 0) {
+            return true; // 100% DRAM
+        }
+        bool dram = ticket_dram_ <= ticket_cxl_;
+        if (dram) {
+            ticket_dram_ += stride_dram_;
+        } else {
+            ticket_cxl_ += stride_cxl_;
+        }
+        if (ticket_dram_ >= kRenormThreshold ||
+            ticket_cxl_ >= kRenormThreshold) {
+            renormalize();
+        }
+        return dram;
+    }
+
+    std::uint64_t ticket_dram() const { return ticket_dram_; }
+    std::uint64_t ticket_cxl() const { return ticket_cxl_; }
+
+    /// Test hook: plants ticket values to drive the renorm/wraparound
+    /// paths without 2^20 iterations.
+    void
+    debug_set_tickets(std::uint64_t dram, std::uint64_t cxl)
+    {
+        ticket_dram_ = dram;
+        ticket_cxl_ = cxl;
+    }
+
+  private:
+    static std::uint32_t
+    gcd(std::uint32_t a, std::uint32_t b)
+    {
+        while (b != 0) {
+            std::uint32_t t = b;
+            b = a % b;
+            a = t;
+        }
+        return a == 0 ? 1 : a;
+    }
+
+    /// Consistent overflow handling (the Sidle fix): subtract the common
+    /// minimum from BOTH tickets in the one place that can grow them, so
+    /// the relative phase — the only state the scheduler has — survives
+    /// unchanged.
+    void
+    renormalize()
+    {
+        std::uint64_t m =
+            ticket_dram_ < ticket_cxl_ ? ticket_dram_ : ticket_cxl_;
+        ticket_dram_ -= m;
+        ticket_cxl_ -= m;
+    }
+
+    std::uint32_t stride_dram_ = 0;
+    std::uint32_t stride_cxl_ = 0;
+    std::uint64_t ticket_dram_ = 0;
+    std::uint64_t ticket_cxl_ = 0;
+};
+
+} // namespace cxlalloc

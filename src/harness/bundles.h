@@ -110,6 +110,16 @@ struct Geometry {
     bool full_hwcc = false;
     /// Enforce PC-T mapping checks per access (Fig. 10 huge study).
     bool checked_mappings = false;
+    /// Per-shard reference-cell table (Layout::app_sync; detectable-CAS
+    /// words the tiered benchmarks and the migrator publish through).
+    std::uint64_t app_sync_bytes = 0;
+    /// Tiered placement knobs, used only when the pod topology has
+    /// LocalDram windows (pod::Topology::with_local_dram): geometry of the
+    /// per-host DRAM shard and the Config::dram_percent /
+    /// Config::dram_max_block policy split.
+    std::uint32_t dram_small_slabs = 64; // 2 MiB
+    std::uint32_t dram_percent = 0;
+    std::uint64_t dram_max_block = 0;    // 0 = small blocks only
 };
 
 /// Builds @p which ("cxlalloc", "ralloc-like", ...) on a fresh device.
@@ -382,6 +392,20 @@ make_pod_bundle(const pod::Topology& topology, const Geometry& geom,
     cfg.large_slabs = geom.large_slabs;
     cfg.huge_regions = geom.huge_regions;
     cfg.huge_region_size = geom.huge_region_size;
+    cfg.app_sync_bytes = geom.app_sync_bytes;
+    cfg.dram_percent = geom.dram_percent;
+    cfg.dram_max_block = geom.dram_max_block;
+
+    // LocalDram windows hold a smaller host-private shard; the policy split
+    // (dram_percent) rides on the shard config above.
+    bool tiered = topology.has_dram_tier();
+    cxlalloc::Config dram_cfg = cfg;
+    if (tiered) {
+        dram_cfg.small_slabs = geom.dram_small_slabs;
+        dram_cfg.large_slabs = 8;
+        dram_cfg.huge_regions = 1;
+        dram_cfg.huge_region_size = 1 << 20;
+    }
 
     // Worst-case hosts homed on one device decides the per-window extra.
     std::vector<std::uint32_t> homed(topology.devices(), 0);
@@ -398,11 +422,13 @@ make_pod_bundle(const pod::Topology& topology, const Geometry& geom,
     pod::PodConfig pc;
     pc.device = cxlalloc::PodShardedAllocator::device_config(
         cfg, topology, coherence, /*simulate_cache=*/false,
-        /*extra_window_bytes=*/b.extra_per_host * max_homed);
+        /*extra_window_bytes=*/b.extra_per_host * max_homed,
+        tiered ? &dram_cfg : nullptr);
     pc.checked_mappings = geom.checked_mappings;
     pc.topology = topology;
     b.pod = std::make_unique<pod::Pod>(pc);
-    b.heap = std::make_unique<cxlalloc::PodShardedAllocator>(*b.pod, cfg);
+    b.heap = std::make_unique<cxlalloc::PodShardedAllocator>(
+        *b.pod, cfg, tiered ? &dram_cfg : nullptr);
     b.heap->set_metrics(bundle_metrics());
     b.host_process.resize(topology.hosts());
     for (pod::HostId h = 0; h < topology.hosts(); h++) {

@@ -77,6 +77,69 @@ Topology::octopus(std::uint32_t hosts, std::uint32_t devices,
     return t;
 }
 
+Topology
+Topology::with_local_dram(const Topology& base)
+{
+    CXL_FATAL_IF(base.devices() + base.hosts() > cxl::kMaxDevices,
+                 "no device ids left for per-host DRAM windows");
+    Topology t(base.hosts(), base.devices() + base.hosts());
+    cxl::EdgeCost unreachable;
+    unreachable.reachable = false;
+    for (std::uint32_t h = 0; h < base.hosts(); h++) {
+        for (std::uint32_t d = 0; d < t.devices(); d++) {
+            t.edge(static_cast<HostId>(h), static_cast<cxl::DeviceId>(d)) =
+                d < base.devices()
+                    ? base.edge(static_cast<HostId>(h),
+                                static_cast<cxl::DeviceId>(d))
+                    : unreachable;
+        }
+        // The host's own DRAM window: reachable, zero edge cost (the base
+        // LatencyModel is the DRAM latency; CXL edges add the fabric gap).
+        cxl::EdgeCost dram;
+        dram.tier = cxl::MemTier::LocalDram;
+        t.edge(static_cast<HostId>(h),
+               static_cast<cxl::DeviceId>(base.devices() + h)) = dram;
+    }
+    return t;
+}
+
+cxl::DeviceId
+Topology::dram_device_of(HostId host) const
+{
+    CXL_ASSERT(host < hosts_, "host id out of range");
+    for (std::uint32_t d = 0; d < devices_; d++) {
+        const cxl::EdgeCost& e = edge(host, static_cast<cxl::DeviceId>(d));
+        if (e.reachable && e.tier == cxl::MemTier::LocalDram) {
+            return static_cast<cxl::DeviceId>(d);
+        }
+    }
+    return static_cast<cxl::DeviceId>(devices_);
+}
+
+bool
+Topology::has_dram_tier() const
+{
+    for (std::uint32_t h = 0; h < hosts_; h++) {
+        if (dram_device_of(static_cast<HostId>(h)) < devices_) {
+            return true;
+        }
+    }
+    return false;
+}
+
+cxl::MemTier
+Topology::tier_of(cxl::DeviceId device) const
+{
+    CXL_ASSERT(device < devices_, "device id out of range");
+    for (std::uint32_t h = 0; h < hosts_; h++) {
+        const cxl::EdgeCost& e = edge(static_cast<HostId>(h), device);
+        if (e.reachable) {
+            return e.tier;
+        }
+    }
+    return cxl::MemTier::Cxl;
+}
+
 cxl::DeviceId
 Topology::home_of(HostId host) const
 {
@@ -86,7 +149,7 @@ Topology::home_of(HostId host) const
     bool found = false;
     for (std::uint32_t d = 0; d < devices_; d++) {
         const cxl::EdgeCost& e = edge(host, static_cast<cxl::DeviceId>(d));
-        if (!e.reachable) {
+        if (!e.reachable || e.tier != cxl::MemTier::Cxl) {
             continue;
         }
         std::uint64_t w = edge_weight(e);
@@ -106,7 +169,8 @@ Topology::placement_order(HostId host) const
     CXL_ASSERT(host < hosts_, "host id out of range");
     std::vector<cxl::DeviceId> order;
     for (std::uint32_t d = 0; d < devices_; d++) {
-        if (reachable(host, static_cast<cxl::DeviceId>(d))) {
+        const cxl::EdgeCost& e = edge(host, static_cast<cxl::DeviceId>(d));
+        if (e.reachable && e.tier == cxl::MemTier::Cxl) {
             order.push_back(static_cast<cxl::DeviceId>(d));
         }
     }

@@ -57,6 +57,15 @@ class Topology {
                             std::uint32_t arms, const cxl::EdgeCost& near,
                             const cxl::EdgeCost& far);
 
+    /// Tiered preset: @p base plus one host-private local-DRAM device per
+    /// host. DRAM device h' = base.devices() + h is reachable only from
+    /// host h, at zero edge cost (the base LatencyModel carries the DRAM
+    /// latency; CXL edges carry the fabric adders on top), and is tagged
+    /// cxl::MemTier::LocalDram so capacity placement skips it — only the
+    /// allocator's explicit tiering policy lands there. Requires
+    /// base.devices() + base.hosts() <= cxl::kMaxDevices.
+    static Topology with_local_dram(const Topology& base);
+
     std::uint32_t hosts() const { return hosts_; }
     std::uint32_t devices() const { return devices_; }
 
@@ -90,13 +99,28 @@ class Topology {
         return &edges_[index(host, 0)];
     }
 
-    /// The host's home device: its cheapest reachable edge (ties to the
-    /// lowest device id). First-touch placement allocates here.
+    /// The host's home device: its cheapest reachable CXL-tier edge (ties
+    /// to the lowest device id). First-touch placement allocates here.
+    /// LocalDram edges never qualify — a private DRAM window must not
+    /// silently absorb placement meant for the shared fabric.
     cxl::DeviceId home_of(HostId host) const;
 
-    /// Every device reachable from @p host, cheapest edge first (home at
-    /// the front): the allocator's placement-then-steal probe order.
+    /// Every CXL-tier device reachable from @p host, cheapest edge first
+    /// (home at the front): the allocator's placement-then-steal probe
+    /// order. LocalDram devices are excluded (see home_of).
     std::vector<cxl::DeviceId> placement_order(HostId host) const;
+
+    /// Host @p host's private local-DRAM device, or devices() when the
+    /// topology has no DRAM tier for it.
+    cxl::DeviceId dram_device_of(HostId host) const;
+
+    /// True when any host has a reachable LocalDram edge.
+    bool has_dram_tier() const;
+
+    /// Tier of @p device: the tier tag of any reachable edge to it (all
+    /// reachable edges of one device agree by construction). A device no
+    /// host reaches reports Cxl.
+    cxl::MemTier tier_of(cxl::DeviceId device) const;
 
     /// The device nearest to @p host when heads are spread evenly over
     /// hosts (the presets' "directly attached" assignment).
