@@ -73,8 +73,17 @@ budget_gauge(const std::string& name)
     }
     if (name.rfind("pod.", 0) == 0) {
         // Placement-quality gauges: ratios and per-op rates only (the
-        // pod.scale.* throughput gauges are informational, not budgeted).
-        return ends_with("_ratio") || ends_with("_per_op");
+        // pod.scale.* throughput gauges are informational, not budgeted) —
+        // plus the fault storm's exact edge-down op count.
+        return ends_with("_ratio") || ends_with("_per_op") ||
+               name == "pod.edge_down_ops";
+    }
+    if (name.rfind("liveness.", 0) == 0 || name.rfind("evac.", 0) == 0) {
+        // Fault-storm health gauges (BENCH_fault_storm.json): false-suspect
+        // volume and evacuation work per op. A detector change that starts
+        // suspecting healthy hosts, or an evacuation that balloons its
+        // per-op block traffic, fails the budget.
+        return true;
     }
     if (name.rfind("alloc.", 0) == 0) {
         // Tier-split quality (alloc.tier_dram_ratio): a placement change

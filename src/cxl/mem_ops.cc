@@ -19,7 +19,21 @@ covered_lines(HeapOffset offset, std::uint64_t len)
     return (line_of(offset + len - 1) - line_of(offset)) / kCacheLine + 1;
 }
 
+std::atomic<bool> g_edge_down_panics{false};
+
 } // namespace
+
+void
+set_edge_down_panics(bool on)
+{
+    g_edge_down_panics.store(on, std::memory_order_relaxed);
+}
+
+bool
+edge_down_panics()
+{
+    return g_edge_down_panics.load(std::memory_order_relaxed);
+}
 
 DirtyLineSet::DirtyLineSet() : slots_(kInitialSlots, kEmpty) {}
 
@@ -132,7 +146,8 @@ MemSession::MemSession(Device* device, Nmp* nmp, ThreadId tid)
 
 void
 MemSession::set_pod_routing(const EdgeCost* row, std::uint32_t devices,
-                            DeviceId home, std::uint32_t host)
+                            DeviceId home, std::uint32_t host,
+                            const EdgeStateCell* states)
 {
     CXL_ASSERT(row != nullptr && devices > 0, "empty edge row");
     CXL_ASSERT(devices <= device_->windows(),
@@ -140,6 +155,7 @@ MemSession::set_pod_routing(const EdgeCost* row, std::uint32_t devices,
     CXL_ASSERT(home < devices, "home device out of range");
     CXL_ASSERT(row[home].reachable, "home device must be reachable");
     edge_row_ = row;
+    edge_state_row_ = states;
     edge_devices_ = devices;
     home_device_ = home;
     host_ = host;
@@ -306,7 +322,20 @@ MemSession::cas64(HeapOffset offset, std::uint64_t& expected,
     check_access(offset, 8);
     if (device_->mode() == CoherenceMode::NoHwcc) {
         counters_.mcas_ops++;
-        McasResult result = nmp_->mcas(tid_, offset, expected, desired);
+        // Stall-aware spwr/doorbell/poll (the legacy Nmp::mcas wrapper
+        // asserts the doorbell answered, which a stalled engine violates):
+        // post the operand, then climb the same bounded retry ladder
+        // mcas_doorbell() uses before escalating.
+        bool posted = nmp_->spwr_post(
+            tid_, McasOperand{.target = offset, .expected = expected,
+                              .swap = desired});
+        CXL_ASSERT(posted, "cas64 while a previous batch is still staged");
+        (void)posted;
+        doorbell_with_ladder();
+        McasResult result;
+        bool completed = nmp_->poll(tid_, &result);
+        CXL_ASSERT(completed, "doorbell produced no completion");
+        (void)completed;
         if (model_ != nullptr) {
             charge(model_->mcas_ns +
                    (result.conflict ? model_->mcas_conflict_ns : 0));
@@ -361,10 +390,40 @@ MemSession::mcas_post(const McasOperand& op)
 }
 
 std::uint32_t
-MemSession::mcas_doorbell()
+MemSession::doorbell_with_ladder()
 {
     sched::hook(sched::Op::McasDoorbell);
     std::uint32_t executed = nmp_->doorbell(tid_);
+    if (executed == 0 && nmp_->posted_occupancy(tid_) > 0) {
+        // Operands are staged but the engine did not answer: a stall, not
+        // an empty ring. Retry on the McasBackoff ladder — bounded, so a
+        // dead engine becomes a typed device-failure report instead of an
+        // infinite spin. The waits are simulated (charged), not wall
+        // clock; each retry passes a sched yield so explorers can
+        // interleave recovery actions between attempts.
+        McasBackoff backoff(tid_);
+        for (std::uint32_t attempt = 0;
+             attempt < kNmpStallRetryLimit && executed == 0; attempt++) {
+            charge(backoff.next_ns());
+            sched::hook(sched::Op::McasDoorbell);
+            executed = nmp_->doorbell(tid_);
+        }
+        if (executed == 0) {
+            counters_.nmp_stall_escalations++;
+            throw NmpStallError(tid_);
+        }
+    }
+    if (executed > 0) {
+        // Injected engine slowdowns surface here as extra simulated ns.
+        charge(nmp_->take_injected_delay_ns());
+    }
+    return executed;
+}
+
+std::uint32_t
+MemSession::mcas_doorbell()
+{
+    std::uint32_t executed = doorbell_with_ladder();
     if (executed == 0) {
         return 0;
     }
@@ -452,6 +511,8 @@ MemSession::publish_metrics(obs::MetricsRegistry& registry) const
     pub("pod.local_ops", c.pod_local);
     pub("pod.remote_ops", c.pod_remote);
     pub("pod.dram_ops", c.pod_dram);
+    pub("pod.edge_down_ops", c.pod_edge_down);
+    pub("mem.nmp_stall_escalations", c.nmp_stall_escalations);
     pub("cache.evictions", cache_.evictions());
     pub("mem.sim_ns", sim_ns_);
     if (mcas_round_trip_ns_.count() != 0) {

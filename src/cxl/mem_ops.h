@@ -40,6 +40,19 @@ class MetricsRegistry;
 
 namespace cxl {
 
+/// Debug knob restoring the historical behavior of an access over an
+/// unusable edge: when true, check_access dies with CXL_FATAL (the
+/// pre-fault-layer contract) instead of throwing EdgeDownError. Process-
+/// global; meant for debugging a pod that should never see edge faults.
+void set_edge_down_panics(bool on);
+bool edge_down_panics();
+
+/// Doorbell retries MemSession attempts against a stalled NMP engine
+/// before escalating to NmpStallError, each separated by one McasBackoff
+/// step — the bounded timeout of the retry ladder (worst case roughly
+/// kNmpStallRetryLimit * McasBackoff::kMaxNs * 1.5 of simulated wait).
+inline constexpr std::uint32_t kNmpStallRetryLimit = 10;
+
 /// Event counts for one thread's session.
 struct MemEventCounters {
     /// Line-granular access counts: a bulk read/write of N cachelines
@@ -76,6 +89,12 @@ struct MemEventCounters {
     /// Accesses routed to a host-private local-DRAM window (MemTier::
     /// LocalDram edges) — the tiering win the migrator optimizes for.
     std::uint64_t pod_dram = 0;
+    /// Accesses rejected with EdgeDownError (statically unreachable or
+    /// runtime-Down edge) — the degraded-mode signal fault_storm budgets.
+    std::uint64_t pod_edge_down = 0;
+    /// Doorbell retry ladders that exhausted their bound against a stalled
+    /// NMP engine and escalated to an NmpStallError device-failure report.
+    std::uint64_t nmp_stall_escalations = 0;
 
     MemEventCounters&
     operator+=(const MemEventCounters& o)
@@ -97,6 +116,8 @@ struct MemEventCounters {
         pod_local += o.pod_local;
         pod_remote += o.pod_remote;
         pod_dram += o.pod_dram;
+        pod_edge_down += o.pod_edge_down;
+        nmp_stall_escalations += o.nmp_stall_escalations;
         return *this;
     }
 };
@@ -197,9 +218,14 @@ class MemSession {
     /// edge's extra latency on top of the base model, and counted into the
     /// pod_local/pod_remote split plus per-edge ops/ns accounting. The
     /// device must be window-partitioned (pod/topology.h); a session
-    /// without routing behaves exactly as before.
+    /// without routing behaves exactly as before. @p states, when non-null,
+    /// is the host's runtime edge-health row (pod::Topology::state_row,
+    /// same lifetime contract as @p row): accesses over a Down edge are
+    /// rejected with EdgeDownError exactly like statically-unreachable
+    /// ones.
     void set_pod_routing(const EdgeCost* row, std::uint32_t devices,
-                         DeviceId home, std::uint32_t host);
+                         DeviceId home, std::uint32_t host,
+                         const EdgeStateCell* states = nullptr);
 
     /// Device id an offset routes to (0 without a windowed device).
     DeviceId
@@ -378,6 +404,13 @@ class MemSession {
     }
 
   private:
+    /// Rings this thread's doorbell with the bounded stall-retry ladder:
+    /// when operands are posted but the engine does not answer, retries up
+    /// to kNmpStallRetryLimit times with McasBackoff waits (charged as
+    /// simulated ns), then escalates by throwing NmpStallError. Returns
+    /// the number of operands executed (0 only for an empty ring).
+    std::uint32_t doorbell_with_ladder();
+
     template <typename T>
     std::atomic_ref<T>
     atomic_at(HeapOffset offset)
@@ -412,9 +445,24 @@ class MemSession {
             CXL_ASSERT(dev < edge_devices_, "device id out of range");
             // Reachability is a safety property (an unreachable edge has
             // no wire to carry the access), so it is enforced even in
-            // builds without invariant checks.
-            CXL_FATAL_IF(!edge_row_[dev].reachable,
-                         "access to pod device unreachable from this host");
+            // builds without invariant checks — but as a typed,
+            // recoverable rejection: a sparse topology's stray access and
+            // a runtime-Down edge both surface as EdgeDownError so the
+            // caller can degrade (park the free, re-place the alloc)
+            // instead of dying. set_edge_down_panics() restores the
+            // historical CXL_FATAL for debugging.
+            bool wired = edge_row_[dev].reachable;
+            if (!wired ||
+                (edge_state_row_ != nullptr &&
+                 edge_state_row_[dev].state.load(
+                     std::memory_order_acquire) ==
+                     static_cast<std::uint8_t>(EdgeState::Down))) {
+                counters_.pod_edge_down++;
+                CXL_FATAL_IF(edge_down_panics(),
+                             "access to pod device unreachable from this "
+                             "host");
+                throw EdgeDownError(dev, offset, wired);
+            }
             if (edge_row_[dev].tier == MemTier::LocalDram) {
                 counters_.pod_dram++;
             } else if (dev == home_device_) {
@@ -552,6 +600,9 @@ class MemSession {
     // ---- Pod routing (set_pod_routing; all empty/zero otherwise). ----
     /// This host's row of the edge-cost matrix (edge_devices_ entries).
     const EdgeCost* edge_row_ = nullptr;
+    /// Runtime edge-health row (null when the caller routes without the
+    /// fault layer — then only static reachability is enforced).
+    const EdgeStateCell* edge_state_row_ = nullptr;
     std::uint32_t edge_devices_ = 0;
     DeviceId home_device_ = 0;
     std::uint32_t host_ = 0;

@@ -79,6 +79,20 @@ Nmp::doorbell(ThreadId tid)
     CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
     std::lock_guard<std::mutex> lock(mu_);
     Ring& ring = rings_[tid];
+    if (stall_budget_ > 0) {
+        // Injected engine stall: a doorbell with work to do goes
+        // unanswered (empty rings don't consume the budget — the engine
+        // "not responding" is only observable when something was staged).
+        bool any_posted = false;
+        for (std::uint32_t i = 0; i < ring.size && !any_posted; i++) {
+            any_posted = ring.at(ring.head + i).state == NmpSlotState::Posted;
+        }
+        if (any_posted) {
+            stall_budget_--;
+            stalled_++;
+            return 0;
+        }
+    }
     std::uint32_t executed = 0;
     for (std::uint32_t i = 0; i < ring.size; i++) {
         Slot& slot = ring.at(ring.head + i);
@@ -158,7 +172,57 @@ Nmp::mcas(ThreadId tid, HeapOffset target, std::uint64_t expected,
     return sprd(tid);
 }
 
+// ------------------------------------------------------ fault injection
+
+void
+Nmp::inject_stall(std::uint32_t doorbells)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stall_budget_ += doorbells;
+}
+
+void
+Nmp::inject_delay(std::uint64_t extra_ns, std::uint32_t doorbells)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    delay_ns_ = extra_ns;
+    delay_budget_ += doorbells;
+}
+
+std::uint32_t
+Nmp::stall_remaining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stall_budget_;
+}
+
+std::uint64_t
+Nmp::take_injected_delay_ns()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (delay_budget_ == 0) {
+        return 0;
+    }
+    delay_budget_--;
+    return delay_ns_;
+}
+
 // -------------------------------------------------------- introspection
+
+std::uint32_t
+Nmp::posted_occupancy(ThreadId tid) const
+{
+    CXL_ASSERT(tid != kNoThread && tid <= kMaxThreads, "bad thread id");
+    std::lock_guard<std::mutex> lock(mu_);
+    const Ring& ring = rings_[tid];
+    std::uint32_t posted = 0;
+    for (std::uint32_t i = 0; i < ring.size; i++) {
+        if (ring.at(ring.head + i).state == NmpSlotState::Posted) {
+            posted++;
+        }
+    }
+    return posted;
+}
 
 std::uint32_t
 Nmp::ring_occupancy(ThreadId tid) const
@@ -202,6 +266,9 @@ Nmp::publish_metrics(obs::MetricsRegistry& registry,
         snap.counters.emplace_back("nmp.ops", ops_);
         snap.counters.emplace_back("nmp.conflicts", conflicts_);
         snap.counters.emplace_back("nmp.batches", batches_);
+        if (stalled_ != 0) {
+            snap.counters.emplace_back("nmp.stalled_doorbells", stalled_);
+        }
         occ = occupancy_.snapshot();
     }
     snap.histograms.emplace_back("nmp.batch_occupancy", occ);

@@ -38,6 +38,7 @@
 
 #include <array>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <string_view>
 
@@ -87,17 +88,60 @@ struct NmpSlotView {
     McasResult result;
 };
 
+/// A persistently stalled NMP engine: the doorbell retry ladder
+/// (MemSession, kNmpStallRetryLimit attempts with McasBackoff waits)
+/// exhausted its bound without the engine answering. This is the typed
+/// device-failure report: the thread's staged operands are still in its
+/// ring (device memory — recovery inspects them via ring_snapshot and
+/// releases them with reset_ring once the engine is back or the device is
+/// written off).
+class NmpStallError : public std::exception {
+  public:
+    explicit NmpStallError(ThreadId tid) : tid_(tid) {}
+
+    ThreadId tid() const { return tid_; }
+
+    const char*
+    what() const noexcept override
+    {
+        return "NMP engine stalled: doorbell retry ladder exhausted";
+    }
+
+  private:
+    ThreadId tid_;
+};
+
 /// Bounded exponential backoff for mCAS conflict-retry loops. A conflicted
 /// operand means another staged operand beat us to the target; retrying
 /// immediately re-conflicts against the same in-flight window, so software
 /// waits 2^k * base (capped) before resubmitting. Returns the wait in
 /// simulated nanoseconds so callers on the latency-model path can charge it.
+///
+/// Each wait carries deterministic bounded jitter in [0, nominal/2): two
+/// threads that conflict on the same target back off by the same nominal
+/// 2^k * base, so without jitter their retries re-collide in lock-step
+/// forever (most visibly under the sched explorer, whose yield ordering is
+/// deterministic). The jitter stream is a pure function of the seed — same
+/// seed, same waits — so replayed schedules stay bit-for-bit identical.
 class McasBackoff {
   public:
     static constexpr std::uint64_t kBaseNs = 200;
     static constexpr std::uint64_t kMaxNs = 12'800; // base << 6
 
-    /// Next wait; grows 2x per call until the cap.
+    McasBackoff() : McasBackoff(0) {}
+
+    /// Seeds the jitter stream; callers pass their ThreadId so competing
+    /// threads draw decorrelated waits.
+    explicit McasBackoff(std::uint64_t seed)
+    {
+        rng_ = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        if (rng_ == 0) {
+            rng_ = 1;
+        }
+    }
+
+    /// Next wait: nominal 2^k * base (growing 2x per call until the cap)
+    /// plus jitter < nominal/2. Total is bounded by kMaxNs * 3 / 2.
     std::uint64_t
     next_ns()
     {
@@ -105,14 +149,21 @@ class McasBackoff {
         if (ns < kMaxNs) {
             shift_++;
         }
-        return ns;
+        // xorshift64: cheap, deterministic, never zero.
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 7;
+        rng_ ^= rng_ << 17;
+        return ns + rng_ % (ns / 2);
     }
 
-    /// Call after a success so the next conflict starts small again.
+    /// Call after a success so the next conflict starts small again (the
+    /// jitter stream keeps advancing — reset restores the *scale*, not
+    /// the sequence).
     void reset() { shift_ = 0; }
 
   private:
     std::uint32_t shift_ = 0;
+    std::uint64_t rng_;
 };
 
 /// The simulated NMP unit managing the device-biased region.
@@ -162,10 +213,39 @@ class Nmp {
     std::uint32_t spwr_batch(ThreadId tid, const McasOperand* ops,
                              std::uint32_t n);
 
+    // ---- fault injection (pod fault layer; see pod/faults.h) ----
+
+    /// Arms an engine stall: the next @p doorbells doorbell rings that
+    /// find posted operands are ignored (the engine does not answer;
+    /// nothing executes). Empty doorbells do not consume the budget.
+    /// Sessions see doorbell() return 0 with operands still posted and
+    /// climb their retry ladder (kNmpStallRetryLimit). Additive.
+    void inject_stall(std::uint32_t doorbells);
+
+    /// Arms an engine slowdown: the next @p doorbells *answered* doorbells
+    /// each report @p extra_ns of additional simulated latency, which the
+    /// session charges on top of the modeled round trip. Additive.
+    void inject_delay(std::uint64_t extra_ns, std::uint32_t doorbells);
+
+    /// Doorbell rings the stall budget still covers.
+    std::uint32_t stall_remaining() const;
+
+    /// Extra ns the session must charge for the doorbell it just rang
+    /// (consumes one armed delay; 0 when none armed).
+    std::uint64_t take_injected_delay_ns();
+
+    /// Doorbell rings swallowed by injected stalls so far.
+    std::uint64_t total_stalled_doorbells() const { return stalled_; }
+
     // ---- recovery / test introspection ----
 
     /// Live (posted + executed-unpolled) operands in @p tid's ring.
     std::uint32_t ring_occupancy(ThreadId tid) const;
+
+    /// Operands of @p tid's ring still in Posted state (staged, doorbell
+    /// not yet answered) — nonzero after a stalled doorbell, which is how
+    /// the session distinguishes "stall" from "nothing to execute".
+    std::uint32_t posted_occupancy(ThreadId tid) const;
 
     /// Copies up to @p cap live slots of @p tid's ring, oldest first.
     /// Recovery uses this to learn which operands of a crashed thread's
@@ -227,6 +307,11 @@ class Nmp {
     std::uint64_t ops_ = 0;
     std::uint64_t conflicts_ = 0;
     std::uint64_t batches_ = 0;
+    // Fault-injection state (guarded by mu_ except the stat counter).
+    std::uint32_t stall_budget_ = 0;
+    std::uint32_t delay_budget_ = 0;
+    std::uint64_t delay_ns_ = 0;
+    std::uint64_t stalled_ = 0;
     /// Operands executed per doorbell (batch occupancy), recorded under mu_.
     obs::Histogram occupancy_;
 };

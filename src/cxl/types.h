@@ -3,7 +3,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 
 #include "common/offset_ptr.h"
 
@@ -83,6 +85,76 @@ struct EdgeCost {
     std::uint32_t write_add_ns = 0;
     /// Bandwidth term for bulk transfers: extra nanoseconds per KiB moved.
     std::uint32_t ns_per_kib = 0;
+};
+
+/// Runtime health of one (host, device) edge, layered over the static
+/// EdgeCost wiring. The EdgeCost matrix says whether a wire *exists*; the
+/// EdgeState says whether it is currently *usable*. Fault detection (lease
+/// misses, NMP stall escalations, injected faults) moves edges through
+/// Up -> Suspect -> Down and back; placement and the session access checks
+/// consult it on every operation (one relaxed byte load).
+enum class EdgeState : std::uint8_t {
+    /// Healthy: full traffic.
+    Up = 0,
+    /// Degrading: still carries traffic, but placement deprioritizes the
+    /// device and evacuation may be draining it.
+    Suspect = 1,
+    /// Unusable: accesses are rejected with EdgeDownError; frees destined
+    /// for the device are parked until the edge recovers.
+    Down = 2,
+};
+
+inline const char*
+to_string(EdgeState state)
+{
+    switch (state) {
+    case EdgeState::Up: return "Up";
+    case EdgeState::Suspect: return "Suspect";
+    case EdgeState::Down: return "Down";
+    }
+    return "?";
+}
+
+/// One edge's mutable runtime cell: current state plus a monotonic epoch
+/// bumped on every transition (so observers can tell two flaps apart from
+/// no flap). Readers on the access path are lock-free; writers are the
+/// fault layer (pod/faults.h) and the liveness detector.
+struct EdgeStateCell {
+    std::atomic<std::uint8_t> state{0};
+    std::atomic<std::uint64_t> epoch{0};
+};
+
+/// Typed, recoverable rejection of an access over an edge with no usable
+/// path: either the topology has no wire at all (static sparse-pod
+/// unreachability) or the edge is runtime-Down. Callers in degraded pods
+/// catch this, refresh placement, and retry elsewhere; the historical
+/// hard-panic behavior is available behind cxl::set_edge_down_panics().
+class EdgeDownError : public std::exception {
+  public:
+    EdgeDownError(DeviceId device, HeapOffset offset, bool wired)
+        : device_(device), offset_(offset), wired_(wired)
+    {
+    }
+
+    DeviceId device() const { return device_; }
+    HeapOffset offset() const { return offset_; }
+
+    /// True when the wire exists but is runtime-Down (the edge may come
+    /// back); false when the topology never had a path (a stray access in
+    /// a sparse Octopus pod — a placement bug, not a fault).
+    bool wired() const { return wired_; }
+
+    const char*
+    what() const noexcept override
+    {
+        return wired_ ? "access to pod device over a Down edge"
+                      : "access to pod device unreachable from this host";
+    }
+
+  private:
+    DeviceId device_;
+    HeapOffset offset_;
+    bool wired_;
 };
 
 /// Offset -> device routing for a window-partitioned arena: device d owns

@@ -81,6 +81,8 @@ HotSlabMigrator::set_metrics(obs::MetricsRegistry* registry)
     inst_.aborted = registry->counter("migrate.aborted");
     inst_.epochs = registry->counter("migrate.epochs");
     inst_.recoveries = registry->counter("migrate.recoveries");
+    inst_.evacuations = registry->counter("migrate.evacuations");
+    inst_.rehomed = registry->counter("migrate.rehomed");
 }
 
 void
@@ -239,6 +241,107 @@ HotSlabMigrator::debug_migrate_cell(pod::ThreadContext& ctx,
 }
 
 std::uint32_t
+HotSlabMigrator::evacuate_device(pod::ThreadContext& ctx,
+                                cxl::DeviceId source, cxl::DeviceId target)
+{
+    CXL_ASSERT(source < heap_.shard_count() && target < heap_.shard_count(),
+               "evacuation names no shard");
+    CXL_ASSERT(source != target, "evacuation must change device");
+    if (cell_count_ == 0) {
+        return 0;
+    }
+    cxl::MemSession& mem = ctx.mem();
+    const Layout& l = heap_.shard(source).layout();
+    std::uint32_t moved = 0;
+    for (std::uint32_t i = 0; i < cell_count_; i++) {
+        cxl::HeapOffset cell = cells_ + static_cast<cxl::HeapOffset>(i) * 8;
+        std::uint32_t val = cxlsync::DcasWord::value(mem.atomic_load64(cell));
+        if (val == 0) {
+            continue;
+        }
+        auto off = static_cast<cxl::HeapOffset>(val) << 3;
+        if (pod_device_of_(off) != source) {
+            continue;
+        }
+        // Evacuation covers what migrate_one can move: small blocks with
+        // a live size class. Anything else stays for edge recovery.
+        if (!l.in_small_data(off)) {
+            continue;
+        }
+        auto slab = static_cast<std::uint32_t>((off - l.small_data()) /
+                                               kSmallSlabSize);
+        std::uint8_t biased =
+            heap_.shard(source).small_heap().debug_class_biased(mem, slab);
+        if (biased == 0) {
+            continue;
+        }
+        std::uint64_t size = small_class_size(biased - 1);
+        if (size > options_.max_block) {
+            continue;
+        }
+        if (migrate_one(ctx, cell, off, target, size)) {
+            moved++;
+            evacuations_++;
+            bump(inst_.registry, ctx.tid(), inst_.evacuations);
+        }
+    }
+    return moved;
+}
+
+std::uint32_t
+HotSlabMigrator::rehome(pod::ThreadContext& ctx, cxl::DeviceId target)
+{
+    CXL_ASSERT(target < heap_.shard_count(), "rehome names no shard");
+    if (cell_count_ == 0) {
+        return 0;
+    }
+    cxl::MemSession& mem = ctx.mem();
+    std::uint32_t moved = 0;
+    for (std::uint32_t i = 0; i < cell_count_; i++) {
+        cxl::HeapOffset cell = cells_ + static_cast<cxl::HeapOffset>(i) * 8;
+        std::uint32_t val = cxlsync::DcasWord::value(mem.atomic_load64(cell));
+        if (val == 0) {
+            continue;
+        }
+        auto off = static_cast<cxl::HeapOffset>(val) << 3;
+        cxl::DeviceId dev = pod_device_of_(off);
+        const Layout& l = heap_.shard(dev).layout();
+        if (!l.in_small_data(off)) {
+            continue;
+        }
+        auto slab = static_cast<std::uint32_t>((off - l.small_data()) /
+                                               kSmallSlabSize);
+        SlabHeap& sh = heap_.shard(dev).small_heap();
+        std::uint8_t biased = sh.debug_class_biased(mem, slab);
+        if (biased == 0) {
+            continue;
+        }
+        // Skip blocks whose frees already stay host-local AND will keep
+        // doing so: the slab must be caller-owned on the target device
+        // with a full remote-free counter. A slab that has absorbed any
+        // remote free is a time bomb — the moment it fills it disowns
+        // itself (full_transition) and every later free pays the mCAS —
+        // so its blocks are pulled out even while the owner field still
+        // reads as ours.
+        if (dev == target && sh.debug_owner(mem, slab) == ctx.tid() &&
+            sh.debug_remote_free(mem, slab) ==
+                small_blocks_per_slab(biased - 1)) {
+            continue;
+        }
+        std::uint64_t size = small_class_size(biased - 1);
+        if (size > options_.max_block) {
+            continue;
+        }
+        if (migrate_one(ctx, cell, off, target, size)) {
+            moved++;
+            rehomed_++;
+            bump(inst_.registry, ctx.tid(), inst_.rehomed);
+        }
+    }
+    return moved;
+}
+
+std::uint32_t
 HotSlabMigrator::run_epoch(pod::ThreadContext& ctx)
 {
     if (!active_ || cell_count_ == 0) {
@@ -336,10 +439,10 @@ HotSlabMigrator::run_epoch(pod::ThreadContext& ctx)
 void
 HotSlabMigrator::recover(pod::ThreadContext& ctx)
 {
-    if (!active_) {
-        heap_.recover(ctx);
-        return;
-    }
+    // No active_ gate: evacuate_device writes migration records on pods
+    // without a DRAM tier, so the record sweep must always run. On an
+    // untouched pod every row's stage is Idle and this degrades to plain
+    // shard recovery.
     cxl::MemSession& mem = ctx.mem();
     const pod::Topology& topo = heap_.pod().topology();
     auto host = static_cast<pod::HostId>(ctx.process().host());

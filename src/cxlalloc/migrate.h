@@ -54,10 +54,13 @@
 /// recovery is covered: each recovery step re-enters the same stage
 /// machine with refreshed snapshots.
 ///
-/// When the topology has no DRAM tier the migrator is inert: active() is
-/// false, run_epoch() returns 0 without touching anything, and recover()
-/// degrades to exactly PodShardedAllocator::recover (legacy configs run
-/// byte-for-byte unchanged).
+/// When the topology has no DRAM tier the heat policy is inert: active()
+/// is false and note_access()/run_epoch() are no-ops. The migration
+/// *record machinery* stays live regardless, because evacuate_device()
+/// reuses the same crash-consistent move protocol to pull still-reachable
+/// blocks off a degrading CXL device (pod/faults.h) on any pod, tiered or
+/// not — so recover() always sweeps for an in-flight migration record
+/// before falling back to plain shard recovery.
 
 #pragma once
 
@@ -144,6 +147,34 @@ class HotSlabMigrator {
     /// Returns the number of completed migrations.
     std::uint32_t run_epoch(pod::ThreadContext& ctx);
 
+    /// Live evacuation (degraded-mode escape hatch, see pod/faults.h):
+    /// moves every cell-reachable small block resident on @p source into
+    /// shard @p target, one crash-consistent migrate_one per block (alloc
+    /// on target + copy + detectable-CAS publish + free-loser, with the
+    /// full durable record and crash points). Works on any pod — a DRAM
+    /// tier is not required — but the calling thread must still reach
+    /// @p source: evacuation drains a Suspect/degrading device while it
+    /// answers, it cannot resurrect blocks behind an edge that is already
+    /// Down. Blocks the app mutates mid-move lose the publish CAS and
+    /// stay put (counted in aborted()). Returns the blocks moved.
+    std::uint32_t evacuate_device(pod::ThreadContext& ctx,
+                                  cxl::DeviceId source,
+                                  cxl::DeviceId target);
+
+    /// Post-adoption consolidation, the second half of host-death
+    /// handling: after evacuate_device has pulled the dead host's device,
+    /// the survivor is left freeing into slabs it does not own — storm
+    /// traffic disowns slabs that fill while carrying remote frees, and
+    /// every later free into a disowned slab costs a serial mCAS round
+    /// trip. rehome() walks the cell table and re-allocates every block
+    /// whose slab is off-target, foreign-owned, or carrying remote-free
+    /// decrements (the last will disown itself at its next fill) into
+    /// shard @p target through the same crash-consistent migrate_one
+    /// protocol, so the survivor's steady-state free path is host-local
+    /// again. Blocks already in clean ctx-owned slabs are left alone.
+    /// Returns the blocks moved.
+    std::uint32_t rehome(pod::ThreadContext& ctx, cxl::DeviceId target);
+
     /// Crash-consistent recovery of the slot @p ctx adopted, superseding
     /// PodShardedAllocator::recover (which it runs internally). See the
     /// file comment for the stage machine.
@@ -154,6 +185,10 @@ class HotSlabMigrator {
 
     std::uint64_t promotions() const { return promotions_; }
     std::uint64_t demotions() const { return demotions_; }
+    /// Blocks moved by evacuate_device.
+    std::uint64_t evacuations() const { return evacuations_; }
+    /// Blocks pulled back into owned slabs by rehome().
+    std::uint64_t rehomed() const { return rehomed_; }
     /// Migrations abandoned mid-flight (target tier full, or the cell
     /// changed under the publish CAS — the app won the race).
     std::uint64_t aborted() const { return aborted_; }
@@ -244,6 +279,8 @@ class HotSlabMigrator {
     std::uint64_t promotions_ = 0;
     std::uint64_t demotions_ = 0;
     std::uint64_t aborted_ = 0;
+    std::uint64_t evacuations_ = 0;
+    std::uint64_t rehomed_ = 0;
 
     struct Instruments {
         obs::MetricsRegistry* registry = nullptr;
@@ -252,6 +289,8 @@ class HotSlabMigrator {
         obs::MetricId aborted = obs::kInvalidMetric;
         obs::MetricId epochs = obs::kInvalidMetric;
         obs::MetricId recoveries = obs::kInvalidMetric;
+        obs::MetricId evacuations = obs::kInvalidMetric;
+        obs::MetricId rehomed = obs::kInvalidMetric;
     };
     Instruments inst_;
 };

@@ -106,6 +106,44 @@ PodShardedAllocator::PodShardedAllocator(pod::Pod& pod,
     for (auto& s : stride_) {
         s.configure(dram_percent_);
     }
+    health_ = std::vector<HealthMask>(topo.hosts());
+    refresh_placement();
+}
+
+void
+PodShardedAllocator::refresh_placement()
+{
+    const pod::Topology& topo = pod_.topology();
+    for (pod::HostId h = 0; h < topo.hosts(); h++) {
+        std::uint32_t down = 0;
+        std::uint32_t suspect = 0;
+        for (cxl::DeviceId d : sweep_[h]) {
+            switch (topo.edge_state(h, d)) {
+              case cxl::EdgeState::Down:
+                down |= 1u << d;
+                break;
+              case cxl::EdgeState::Suspect:
+                suspect |= 1u << d;
+                break;
+              case cxl::EdgeState::Up:
+                break;
+            }
+        }
+        health_[h].down.store(down, std::memory_order_release);
+        health_[h].suspect.store(suspect, std::memory_order_release);
+    }
+}
+
+std::uint32_t
+PodShardedAllocator::down_mask(pod::HostId host) const
+{
+    return health_[host].down.load(std::memory_order_acquire);
+}
+
+std::uint32_t
+PodShardedAllocator::suspect_mask(pod::HostId host) const
+{
+    return health_[host].suspect.load(std::memory_order_acquire);
 }
 
 void
@@ -134,12 +172,17 @@ cxl::HeapOffset
 PodShardedAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
 {
     auto host = static_cast<pod::HostId>(ctx.process().host());
+    std::uint32_t down = health_[host].down.load(std::memory_order_acquire);
+    std::uint32_t suspect =
+        health_[host].suspect.load(std::memory_order_acquire);
     // Tier split first: the stride scheduler consumes a ticket only for
     // eligible requests, so the DRAM share applies to what could actually
     // have gone to DRAM. Exhaustion of the capacity-limited DRAM shard
-    // falls through to the normal CXL probe order.
+    // falls through to the normal CXL probe order, as does a DRAM window
+    // behind a degraded edge.
     bool tier_split = tiered(host) && size <= dram_max_block_;
-    if (tier_split && stride_[ctx.tid()].next_dram()) {
+    if (tier_split && (((down | suspect) >> dram_of_[host]) & 1) == 0 &&
+        stride_[ctx.tid()].next_dram()) {
         cxl::HeapOffset offset = shards_[dram_of_[host]]->allocate(ctx, size);
         if (offset != 0) {
             if (inst_.registry != nullptr) {
@@ -148,18 +191,38 @@ PodShardedAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
             return offset;
         }
     }
+    // Two-pass probe: healthy edges first, Suspect edges only once every
+    // healthy shard is exhausted, Down edges never (the session would
+    // throw EdgeDownError anyway — the mask makes degradation a placement
+    // decision instead of an exception).
     const std::vector<cxl::DeviceId>& order = order_[host];
-    for (std::size_t i = 0; i < order.size(); i++) {
-        cxl::HeapOffset offset = shards_[order[i]]->allocate(ctx, size);
-        if (offset != 0) {
-            if (inst_.registry != nullptr) {
-                obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
-                sh.add(i == 0 ? inst_.alloc_home : inst_.alloc_steal);
-                if (tier_split) {
-                    sh.add(inst_.tier_cxl);
-                }
+    for (int pass = 0; pass < 2; pass++) {
+        for (std::size_t i = 0; i < order.size(); i++) {
+            cxl::DeviceId d = order[i];
+            if ((down >> d) & 1) {
+                continue;
             }
-            return offset;
+            bool is_suspect = (suspect >> d) & 1;
+            if (is_suspect != (pass == 1)) {
+                continue;
+            }
+            cxl::HeapOffset offset = shards_[d]->allocate(ctx, size);
+            if (offset != 0) {
+                if (inst_.registry != nullptr) {
+                    obs::MetricsShard& sh = inst_.registry->shard(ctx.tid());
+                    sh.add(i == 0 ? inst_.alloc_home : inst_.alloc_steal);
+                    if (tier_split) {
+                        sh.add(inst_.tier_cxl);
+                    }
+                    if (pass == 1) {
+                        sh.add(inst_.alloc_degraded);
+                    }
+                }
+                return offset;
+            }
+        }
+        if (suspect == 0) {
+            break; // no Suspect edges: the second pass probes nothing
         }
     }
     if (inst_.registry != nullptr) {
@@ -169,11 +232,29 @@ PodShardedAllocator::allocate(pod::ThreadContext& ctx, std::uint64_t size)
 }
 
 void
+PodShardedAllocator::park_free(pod::ThreadContext& ctx,
+                               cxl::HeapOffset offset)
+{
+    {
+        std::lock_guard<std::mutex> lock(park_mu_);
+        parked_.push_back(offset);
+    }
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(ctx.tid()).add(inst_.parked);
+    }
+}
+
+void
 PodShardedAllocator::deallocate(pod::ThreadContext& ctx,
                                 cxl::HeapOffset offset)
 {
     cxl::DeviceId d = pod_.device().device_of(offset);
     CXL_ASSERT(d < shards_.size(), "free offset names no shard");
+    auto host = static_cast<pod::HostId>(ctx.process().host());
+    if ((health_[host].down.load(std::memory_order_acquire) >> d) & 1) {
+        park_free(ctx, offset);
+        return;
+    }
     shards_[d]->deallocate(ctx, offset);
 }
 
@@ -190,13 +271,66 @@ PodShardedAllocator::deallocate_batch(pod::ThreadContext& ctx,
         CXL_ASSERT(d < shards_.size(), "free offset names no shard");
         parts[d].push_back(offsets[i]);
     }
+    auto host = static_cast<pod::HostId>(ctx.process().host());
+    std::uint32_t down = health_[host].down.load(std::memory_order_acquire);
     for (cxl::DeviceId d = 0; d < parts.size(); d++) {
-        if (!parts[d].empty()) {
-            shards_[d]->deallocate_batch(
-                ctx, parts[d].data(),
-                static_cast<std::uint32_t>(parts[d].size()));
+        if (parts[d].empty()) {
+            continue;
         }
+        if ((down >> d) & 1) {
+            for (cxl::HeapOffset off : parts[d]) {
+                park_free(ctx, off);
+            }
+            continue;
+        }
+        shards_[d]->deallocate_batch(
+            ctx, parts[d].data(),
+            static_cast<std::uint32_t>(parts[d].size()));
     }
+}
+
+std::uint64_t
+PodShardedAllocator::parked_frees() const
+{
+    std::lock_guard<std::mutex> lock(park_mu_);
+    return parked_.size();
+}
+
+std::uint32_t
+PodShardedAllocator::replay_parked(pod::ThreadContext& ctx)
+{
+    std::vector<cxl::HeapOffset> taken;
+    {
+        std::lock_guard<std::mutex> lock(park_mu_);
+        taken.swap(parked_);
+    }
+    if (taken.empty()) {
+        return 0;
+    }
+    auto host = static_cast<pod::HostId>(ctx.process().host());
+    std::uint32_t down = health_[host].down.load(std::memory_order_acquire);
+    std::vector<cxl::HeapOffset> replay;
+    std::vector<cxl::HeapOffset> still_down;
+    for (cxl::HeapOffset off : taken) {
+        cxl::DeviceId d = pod_.device().device_of(off);
+        ((down >> d) & 1 ? still_down : replay).push_back(off);
+    }
+    if (!still_down.empty()) {
+        std::lock_guard<std::mutex> lock(park_mu_);
+        parked_.insert(parked_.end(), still_down.begin(), still_down.end());
+    }
+    if (replay.empty()) {
+        return 0;
+    }
+    // The batch path keeps the NMP doorbell packing of a bulk drain; it
+    // re-reads the mask, so a device that went Down again since the
+    // filter above simply re-parks its offsets (a free is never lost).
+    deallocate_batch(ctx, replay.data(),
+                     static_cast<std::uint32_t>(replay.size()));
+    if (inst_.registry != nullptr) {
+        inst_.registry->shard(ctx.tid()).add(inst_.replayed, replay.size());
+    }
+    return static_cast<std::uint32_t>(replay.size());
 }
 
 void
@@ -273,6 +407,9 @@ PodShardedAllocator::set_metrics(obs::MetricsRegistry* registry)
     inst_.alloc_exhausted = registry->counter("pod.alloc_exhausted");
     inst_.tier_dram = registry->counter("alloc.tier_dram");
     inst_.tier_cxl = registry->counter("alloc.tier_cxl");
+    inst_.alloc_degraded = registry->counter("pod.alloc_degraded");
+    inst_.parked = registry->counter("pod.parked_frees");
+    inst_.replayed = registry->counter("pod.replayed_frees");
 }
 
 bool

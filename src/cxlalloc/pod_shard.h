@@ -23,6 +23,18 @@
 /// is just a remote free into that shard (the slab heaps already handle
 /// remote frees), charged the edge cost like every other access.
 ///
+/// Graceful degradation (runtime edge health, see pod/faults.h): the
+/// probe order is filtered through per-host Down/Suspect device masks
+/// recomputed from the topology's runtime health table by
+/// refresh_placement(). Allocation probes healthy edges first and falls
+/// back to Suspect edges only when every healthy shard is exhausted;
+/// Down edges are never probed. Frees destined for a Down device are
+/// parked (the block stays allocated — a parked free is deferred, never
+/// lost) and replayed by replay_parked() once the edge recovers, so
+/// exact block accounting holds across an outage: counter == popcount on
+/// every shard once the parked frees have drained. Counted as
+/// pod.alloc_degraded / pod.parked_frees / pod.replayed_frees.
+///
 /// Tiered placement (topologies with per-host LocalDram windows, see
 /// pod::Topology::with_local_dram): the host's private DRAM window holds a
 /// smaller shard of its own geometry (@p dram_config), and a per-thread
@@ -38,8 +50,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cxlalloc/allocator.h"
@@ -110,6 +124,28 @@ class PodShardedAllocator : public pod::FaultResolver {
 
     /// Huge-heap reclamation pass on every shard.
     void cleanup(pod::ThreadContext& ctx);
+
+    /// Recomputes every host's Down/Suspect device masks from the
+    /// topology's runtime edge health (pod::Topology::edge_state). Call
+    /// after a fault or a recovery transition; safe to call concurrently
+    /// with allocating/freeing threads (the masks are atomics — a racing
+    /// thread sees either the old or the new degradation, both of which
+    /// were true instants ago).
+    void refresh_placement();
+
+    /// Frees currently parked because their device's edge was Down when
+    /// they were issued (blocks still allocated, replay pending).
+    std::uint64_t parked_frees() const;
+
+    /// Replays every parked free whose device @p ctx's host currently
+    /// reaches (per its refresh_placement masks); frees whose device is
+    /// still Down stay parked. Returns the number replayed. Call after
+    /// refresh_placement() once a Down edge comes back.
+    std::uint32_t replay_parked(pod::ThreadContext& ctx);
+
+    /// Test hooks: the degradation masks of @p host (bit d = shard d).
+    std::uint32_t down_mask(pod::HostId host) const;
+    std::uint32_t suspect_mask(pod::HostId host) const;
 
     /// Quiescent invariant sweep over every shard.
     void check_invariants(cxl::MemSession& mem);
@@ -183,6 +219,20 @@ class PodShardedAllocator : public pod::FaultResolver {
     /// Per-thread stride scheduler (single-writer: the owning thread).
     std::array<StrideScheduler, cxl::kMaxThreads + 1> stride_{};
 
+    /// Degraded-placement masks, one per host (bit d = shard d). Written
+    /// only by refresh_placement, read lock-free on the allocation path.
+    struct HealthMask {
+        std::atomic<std::uint32_t> down{0};
+        std::atomic<std::uint32_t> suspect{0};
+    };
+    std::vector<HealthMask> health_;
+
+    void park_free(pod::ThreadContext& ctx, cxl::HeapOffset offset);
+
+    /// Frees deferred while their device was Down (see file comment).
+    mutable std::mutex park_mu_;
+    std::vector<cxl::HeapOffset> parked_;
+
     struct Instruments {
         obs::MetricsRegistry* registry = nullptr;
         obs::MetricId alloc_home = obs::kInvalidMetric;
@@ -190,6 +240,9 @@ class PodShardedAllocator : public pod::FaultResolver {
         obs::MetricId alloc_exhausted = obs::kInvalidMetric;
         obs::MetricId tier_dram = obs::kInvalidMetric;
         obs::MetricId tier_cxl = obs::kInvalidMetric;
+        obs::MetricId alloc_degraded = obs::kInvalidMetric;
+        obs::MetricId parked = obs::kInvalidMetric;
+        obs::MetricId replayed = obs::kInvalidMetric;
     };
     Instruments inst_;
 };

@@ -1288,6 +1288,18 @@ SlabHeap::debug_class_biased(cxl::MemSession& mem, std::uint32_t slab)
     return class_biased(mem, slab);
 }
 
+std::uint32_t
+SlabHeap::debug_remote_free(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return dcas_->read(mem, hwcc(slab));
+}
+
+cxl::ThreadId
+SlabHeap::debug_owner(cxl::MemSession& mem, std::uint32_t slab)
+{
+    return owner(mem, slab);
+}
+
 SlabHeap::Stats
 SlabHeap::stats(cxl::MemSession& mem)
 {

@@ -117,6 +117,18 @@ class SlabHeap {
     std::uint32_t debug_bitset_count(cxl::MemSession& mem, std::uint32_t slab);
     /// Size class + 1; 0 = classless (bitset and counter are meaningless).
     std::uint8_t debug_class_biased(cxl::MemSession& mem, std::uint32_t slab);
+    /// Raw HWcc remote-free down-counter of @p slab. Starts at the class's
+    /// block count and decrements per remote free, so on a quiescent slab
+    /// `remote_free - free_blocks` is the number of live blocks — the
+    /// conservation law the fault-storm drain oracle sweeps (remote frees
+    /// never merge into the bitset until the slab is fully stolen, so the
+    /// bitset alone cannot prove a heap empty).
+    std::uint32_t debug_remote_free(cxl::MemSession& mem, std::uint32_t slab);
+
+    /// Owning thread of @p slab (cxl::kNoThread once the slab has been
+    /// disowned — every free then takes the remote mCAS path regardless
+    /// of the caller, which is what HotSlabMigrator::rehome inspects).
+    cxl::ThreadId debug_owner(cxl::MemSession& mem, std::uint32_t slab);
 
   private:
     // ---- descriptor field access (SWccDesc) ----

@@ -1,0 +1,96 @@
+#include "pod/liveness.h"
+
+#include "common/assert.h"
+#include "cxl/mem_ops.h"
+#include "pod/pod.h"
+
+namespace pod {
+
+const char*
+to_string(HostHealth health)
+{
+    switch (health) {
+      case HostHealth::Alive:
+        return "alive";
+      case HostHealth::Suspect:
+        return "suspect";
+      case HostHealth::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+LivenessDetector::LivenessDetector(Pod& pod, const LivenessConfig& config)
+    : pod_(pod), config_(config)
+{
+    CXL_ASSERT(config_.suspect_after > 0, "suspect_after must be >= 1");
+    CXL_ASSERT(config_.dead_after >= config_.suspect_after,
+               "dead_after must be >= suspect_after");
+}
+
+void
+LivenessDetector::beat(cxl::MemSession& mem, cxl::HeapOffset lease_base,
+                       HostId host)
+{
+    cxl::HeapOffset cell = lease_cell(lease_base, host);
+    try {
+        std::uint64_t seq = mem.atomic_load64(cell);
+        mem.atomic_store64(cell, seq + 1);
+    } catch (const cxl::EdgeDownError&) {
+        // The fabric ate the beat; the monitor will count a miss.
+    }
+}
+
+std::vector<HostId>
+LivenessDetector::poll(cxl::MemSession& mem)
+{
+    std::vector<HostId> newly_dead;
+    bool priming = rounds_ == 0;
+    std::uint32_t hosts = pod_.topology().hosts();
+    for (std::uint32_t h = 0; h < hosts; h++) {
+        auto host = static_cast<HostId>(h);
+        HostCell& cell = cells_[h];
+        bool advanced = false;
+        bool observed = false;
+        try {
+            std::uint64_t seq =
+                mem.atomic_load64(lease_cell(config_.lease_base, host));
+            observed = true;
+            advanced = seq != cell.last_seq;
+            cell.last_seq = seq;
+        } catch (const cxl::EdgeDownError&) {
+            // Unobservable lease: from this seat, indistinguishable from
+            // a stopped host — a miss, weighed like any other.
+        }
+        if (priming) {
+            continue;
+        }
+        if (observed && advanced) {
+            cell.misses = 0;
+            if (cell.health == HostHealth::Suspect) {
+                cell.health = HostHealth::Alive;
+                false_suspects_++;
+            }
+            // Dead stays Dead: the slots are already Crashed and adoption
+            // may be underway; a zombie beat must not resurrect the host.
+            continue;
+        }
+        if (cell.health == HostHealth::Dead) {
+            continue;
+        }
+        cell.misses++;
+        if (cell.misses >= config_.dead_after) {
+            cell.health = HostHealth::Dead;
+            deaths_++;
+            pod_.mark_host_crashed(host);
+            newly_dead.push_back(host);
+        } else if (cell.misses >= config_.suspect_after &&
+                   cell.health == HostHealth::Alive) {
+            cell.health = HostHealth::Suspect;
+        }
+    }
+    rounds_++;
+    return newly_dead;
+}
+
+} // namespace pod

@@ -1,0 +1,132 @@
+/// @file
+/// Host liveness: per-host heartbeat leases in HWcc memory and the
+/// monitor-side detector that turns missed leases into Suspect/Dead
+/// verdicts and an adoption work list.
+///
+/// Protocol (docs/RECOVERY.md "Host- and link-level failures"): each host
+/// owns one 8-byte lease cell in an always-coherent sync region. Threads
+/// of the host bump the cell's sequence number (beat()) as they make
+/// progress; a monitor on a surviving host polls all cells on its own
+/// cadence. A cell whose sequence did not advance between two polls is a
+/// missed lease. After `suspect_after` consecutive misses the host turns
+/// Suspect (no action yet — it may just be slow, or the monitor's *link*
+/// to the lease device may be flapping); after `dead_after` misses it is
+/// declared Dead: the detector flips every Live slot of the host to
+/// Crashed via Pod::mark_host_crashed and hands the caller the newly-dead
+/// host so it can adopt the slots (Pod::adopt_thread) and run the
+/// allocator's ordered multi-shard recover(). A Suspect host that beats
+/// again returns to Alive and increments the false_suspects counter — the
+/// gauge CI budgets to keep the detector honest (a detector that
+/// suspects everyone is useless; one that never suspects is deaf).
+///
+/// Determinism: the detector has no timer. beat() and poll() are explicit
+/// calls on the workload's own step cadence, so under the sched explorer
+/// a liveness verdict is an ordinary sequence of instrumented loads the
+/// explorer can interleave against in-flight mCAS batches and migrations.
+///
+/// Degraded links: beat() and poll() tolerate cxl::EdgeDownError. A beat
+/// lost to a Down edge simply does not advance the sequence; a poll that
+/// cannot reach the lease device counts the read as a miss — from the
+/// monitor's seat, "I cannot observe the lease" and "the host stopped
+/// beating" are indistinguishable, which is exactly why Dead requires
+/// several consecutive misses.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cxl/types.h"
+#include "pod/topology.h"
+
+namespace cxl {
+class MemSession;
+}
+
+namespace pod {
+
+class Pod;
+
+/// Monitor-side view of one host.
+enum class HostHealth : std::uint8_t {
+    Alive,
+    Suspect, ///< missed >= suspect_after consecutive leases
+    Dead,    ///< missed >= dead_after; slots crashed, awaiting adoption
+};
+
+const char* to_string(HostHealth health);
+
+struct LivenessConfig {
+    /// Device offset of host 0's lease cell; host h's cell is
+    /// lease_base + 8h. All kMaxHosts cells must lie inside an
+    /// always-coherent sync region (HWcc, or a window's device-biased
+    /// prefix) reachable by the beating hosts and the monitor.
+    cxl::HeapOffset lease_base = 0;
+    /// Consecutive missed polls before a host turns Suspect.
+    std::uint32_t suspect_after = 2;
+    /// Consecutive missed polls before a host is declared Dead.
+    std::uint32_t dead_after = 4;
+};
+
+/// Bytes of sync space the lease table occupies.
+inline constexpr std::uint64_t kLeaseTableBytes = kMaxHosts * 8;
+
+class LivenessDetector {
+  public:
+    LivenessDetector(Pod& pod, const LivenessConfig& config);
+
+    /// Cell offset of @p host's lease.
+    static cxl::HeapOffset
+    lease_cell(cxl::HeapOffset lease_base, HostId host)
+    {
+        return lease_base + static_cast<cxl::HeapOffset>(host) * 8;
+    }
+
+    /// Advances @p host's lease sequence through @p mem (a session of a
+    /// thread on that host). Load-increment-store, not CAS: every writer
+    /// belongs to the same host, and a lost increment still advances the
+    /// sequence past the monitor's last observation. Swallows
+    /// cxl::EdgeDownError — a beat the fabric dropped is a missed lease,
+    /// not a crash.
+    static void beat(cxl::MemSession& mem, cxl::HeapOffset lease_base,
+                     HostId host);
+
+    /// One monitor round over every host's cell through @p mem (the
+    /// monitor's session). The first call is the priming round: it
+    /// records baseline sequences and counts no misses. Returns the hosts
+    /// newly declared Dead this round, whose slots have already been
+    /// flipped to Crashed (Pod::mark_host_crashed) — the caller owns
+    /// adoption and recovery.
+    std::vector<HostId> poll(cxl::MemSession& mem);
+
+    HostHealth health(HostId host) const { return cells_[host].health; }
+
+    /// Consecutive misses currently held against @p host.
+    std::uint32_t misses(HostId host) const { return cells_[host].misses; }
+
+    /// Suspect hosts that beat again (CI gauge liveness.false_suspects).
+    std::uint64_t false_suspects() const { return false_suspects_; }
+
+    /// Hosts declared Dead so far.
+    std::uint64_t deaths() const { return deaths_; }
+
+    /// Monitor rounds completed (priming round included).
+    std::uint64_t rounds() const { return rounds_; }
+
+  private:
+    struct HostCell {
+        std::uint64_t last_seq = 0;
+        std::uint32_t misses = 0;
+        HostHealth health = HostHealth::Alive;
+    };
+
+    Pod& pod_;
+    LivenessConfig config_;
+    std::array<HostCell, kMaxHosts> cells_{};
+    std::uint64_t rounds_ = 0;
+    std::uint64_t false_suspects_ = 0;
+    std::uint64_t deaths_ = 0;
+};
+
+} // namespace pod

@@ -34,6 +34,7 @@ Pod::create_thread(Process* process)
     for (std::uint32_t tid = 1; tid <= cxl::kMaxThreads; tid++) {
         if (slots_[tid] == SlotState::Free) {
             slots_[tid] = SlotState::Live;
+            slot_host_[tid] = static_cast<HostId>(process->host());
             return std::make_unique<ThreadContext>(
                 process, static_cast<cxl::ThreadId>(tid));
         }
@@ -67,6 +68,7 @@ Pod::adopt_thread(Process* process, cxl::ThreadId tid)
     CXL_ASSERT(slots_[tid] == SlotState::Crashed,
                "adopting a slot that is not crashed");
     slots_[tid] = SlotState::Live;
+    slot_host_[tid] = static_cast<HostId>(process->host());
     return std::make_unique<ThreadContext>(process, tid);
 }
 
@@ -94,6 +96,40 @@ Pod::crashed_threads() const
     std::vector<cxl::ThreadId> out;
     for (std::uint32_t tid = 1; tid <= cxl::kMaxThreads; tid++) {
         if (slots_[tid] == SlotState::Crashed) {
+            out.push_back(static_cast<cxl::ThreadId>(tid));
+        }
+    }
+    return out;
+}
+
+HostId
+Pod::slot_host(cxl::ThreadId tid) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slot_host_[tid];
+}
+
+std::vector<cxl::ThreadId>
+Pod::threads_of_host(HostId host) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<cxl::ThreadId> out;
+    for (std::uint32_t tid = 1; tid <= cxl::kMaxThreads; tid++) {
+        if (slots_[tid] != SlotState::Free && slot_host_[tid] == host) {
+            out.push_back(static_cast<cxl::ThreadId>(tid));
+        }
+    }
+    return out;
+}
+
+std::vector<cxl::ThreadId>
+Pod::mark_host_crashed(HostId host)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<cxl::ThreadId> out;
+    for (std::uint32_t tid = 1; tid <= cxl::kMaxThreads; tid++) {
+        if (slots_[tid] == SlotState::Live && slot_host_[tid] == host) {
+            slots_[tid] = SlotState::Crashed;
             out.push_back(static_cast<cxl::ThreadId>(tid));
         }
     }

@@ -89,6 +89,25 @@ class Pod {
     /// Thread IDs currently in Crashed state (recovery work list).
     std::vector<cxl::ThreadId> crashed_threads() const;
 
+    /// Host that owns @p tid's slot (recorded at create/adopt time; stale
+    /// for Free slots). Adoption moves the slot to the adopter's host.
+    HostId slot_host(cxl::ThreadId tid) const;
+
+    /// Thread IDs whose slot is Live or Crashed and owned by @p host.
+    std::vector<cxl::ThreadId> threads_of_host(HostId host) const;
+
+    /// Declares a whole host dead (liveness verdict or scripted
+    /// host-kill): every Live slot owned by @p host flips to Crashed, and
+    /// the transitioned tids are returned as the adoption work list.
+    ///
+    /// Unlike mark_crashed this cannot touch the dead threads' simulated
+    /// caches — the host is gone, nobody holds its ThreadContexts. The
+    /// semantics match CrashSeverity::Host: unflushed state is lost, so
+    /// any context the harness still holds for a returned tid must be
+    /// discarded without writeback (or passed to mark_crashed(..., Host)
+    /// *before* this call).
+    std::vector<cxl::ThreadId> mark_host_crashed(HostId host);
+
   private:
     PodConfig config_;
     cxl::Device device_;
@@ -97,6 +116,8 @@ class Pod {
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::array<SlotState, cxl::kMaxThreads + 1> slots_{};
+    /// Owning host per slot, maintained alongside slots_.
+    std::array<HostId, cxl::kMaxThreads + 1> slot_host_{};
 };
 
 } // namespace pod

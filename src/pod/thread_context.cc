@@ -16,7 +16,8 @@ ThreadContext::ThreadContext(Process* process, cxl::ThreadId tid)
     if (!topo.trivial()) {
         auto host = static_cast<HostId>(process->host());
         mem_.set_pod_routing(topo.row(host), topo.devices(),
-                             topo.home_of(host), host);
+                             topo.home_of(host), host,
+                             topo.state_row(host));
     }
 }
 

@@ -14,12 +14,17 @@
 ///
 /// Offsets carry their device id in the high window bits (cxl::DeviceConfig
 /// windows/window_bits), so routing an offset is a shift — no table lookup
-/// on the access path. The topology itself is immutable after construction
-/// and shared read-only by every session.
+/// on the access path. The topology *shape* (who is wired to what, at what
+/// cost) is immutable after construction and shared read-only by every
+/// session; runtime edge *health* (cxl::EdgeState Up/Suspect/Down + epoch)
+/// lives in a shared side table that copies of the Topology alias, so the
+/// fault layer can degrade an edge and every session/allocator handle
+/// observes it.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cxl/types.h"
@@ -122,6 +127,62 @@ class Topology {
     /// host reaches reports Cxl.
     cxl::MemTier tier_of(cxl::DeviceId device) const;
 
+    // ---- Runtime edge health (fault layer; see pod/faults.h). ----
+    //
+    // The health table is allocated once per constructed topology and
+    // SHARED by copies (PodConfig takes the Topology by value, so the
+    // handle a bench keeps and the Pod's own copy must observe the same
+    // faults). The mutators are const: they touch runtime health, never
+    // the immutable shape.
+
+    /// Current health of the (host, device) edge. Up for edges no one has
+    /// ever degraded; statically-unreachable edges report whatever state
+    /// was set (callers should consult reachable() first).
+    cxl::EdgeState
+    edge_state(HostId host, cxl::DeviceId device) const
+    {
+        return static_cast<cxl::EdgeState>(
+            (*state_)[index(host, device)].state.load(
+                std::memory_order_acquire));
+    }
+
+    /// Monotonic transition count of the edge: bumped on every
+    /// set_edge_state, so two observations with equal epoch bracket a
+    /// flap-free window.
+    std::uint64_t
+    edge_epoch(HostId host, cxl::DeviceId device) const
+    {
+        return (*state_)[index(host, device)].epoch.load(
+            std::memory_order_acquire);
+    }
+
+    /// Transitions the edge's runtime health and bumps its epoch. Safe to
+    /// call concurrently with readers on the access path (they see either
+    /// state); no-op-free — setting the current state still bumps the
+    /// epoch (a flap that recovered before anyone looked is still a flap).
+    void
+    set_edge_state(HostId host, cxl::DeviceId device,
+                   cxl::EdgeState state) const
+    {
+        cxl::EdgeStateCell& cell = (*state_)[index(host, device)];
+        cell.epoch.fetch_add(1, std::memory_order_acq_rel);
+        cell.state.store(static_cast<std::uint8_t>(state),
+                         std::memory_order_release);
+    }
+
+    /// True when every edge of @p host's row is Up (fast path for
+    /// placement refresh short-circuits).
+    bool row_all_up(HostId host) const;
+
+    /// Host @p host's runtime-health row (devices() entries), the
+    /// companion of row() that cxl::MemSession::set_pod_routing consumes.
+    /// Stable for the lifetime of the Topology and all its copies.
+    const cxl::EdgeStateCell*
+    state_row(HostId host) const
+    {
+        return &(*state_)[index(host, 0)];
+    }
+
     /// The device nearest to @p host when heads are spread evenly over
     /// hosts (the presets' "directly attached" assignment).
     static cxl::DeviceId
@@ -141,6 +202,9 @@ class Topology {
     std::uint32_t hosts_;
     std::uint32_t devices_;
     std::vector<cxl::EdgeCost> edges_;
+    /// Runtime edge-health cells, index()-addressed like edges_. Shared
+    /// (not deep-copied) by Topology copies — see the class comment.
+    std::shared_ptr<std::vector<cxl::EdgeStateCell>> state_;
 };
 
 } // namespace pod

@@ -125,4 +125,130 @@ TEST_F(NmpTest, OpsAreCounted)
     EXPECT_EQ(nmp_.total_ops(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// McasBackoff: bounded exponential waits with deterministic jitter
+
+TEST(McasBackoff, NominalDoublesToTheCapAndJitterStaysBounded)
+{
+    cxl::McasBackoff backoff(/*seed=*/1);
+    std::uint64_t nominal = cxl::McasBackoff::kBaseNs;
+    for (int i = 0; i < 12; i++) {
+        std::uint64_t ns = backoff.next_ns();
+        // Each wait is nominal + jitter, jitter in [0, nominal/2).
+        EXPECT_GE(ns, nominal);
+        EXPECT_LT(ns, nominal + nominal / 2);
+        EXPECT_LE(ns, cxl::McasBackoff::kMaxNs * 3 / 2);
+        if (nominal < cxl::McasBackoff::kMaxNs) {
+            nominal *= 2;
+        }
+    }
+    // After enough calls the nominal is pinned at the cap.
+    EXPECT_EQ(nominal, cxl::McasBackoff::kMaxNs);
+}
+
+TEST(McasBackoff, SameSeedSameWaitsDifferentSeedsDecorrelate)
+{
+    cxl::McasBackoff a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 16; i++) {
+        std::uint64_t wa = a.next_ns();
+        EXPECT_EQ(wa, b.next_ns()); // replay determinism
+        diverged |= wa != c.next_ns();
+    }
+    // Two threads seeded differently must not back off in lock-step —
+    // that re-collision is exactly what the jitter exists to break.
+    EXPECT_TRUE(diverged);
+}
+
+TEST(McasBackoff, ResetRestoresTheScaleNotTheJitterSequence)
+{
+    cxl::McasBackoff backoff(7);
+    std::uint64_t first = backoff.next_ns();
+    for (int i = 0; i < 5; i++) {
+        backoff.next_ns();
+    }
+    backoff.reset();
+    std::uint64_t after_reset = backoff.next_ns();
+    // Back to the base scale...
+    EXPECT_GE(after_reset, cxl::McasBackoff::kBaseNs);
+    EXPECT_LT(after_reset,
+              cxl::McasBackoff::kBaseNs + cxl::McasBackoff::kBaseNs / 2);
+    // ...but the jitter stream kept advancing, so an exact replay of the
+    // first wait would be a (vanishingly unlikely) coincidence we don't
+    // assert either way; what we do assert is the zero-seed default is
+    // still well-formed (rng never zero).
+    cxl::McasBackoff zero;
+    EXPECT_GE(zero.next_ns(), cxl::McasBackoff::kBaseNs);
+    (void)first;
+}
+
+// ---------------------------------------------------------------------------
+// Engine fault injection (pod fault layer; see pod/faults.h)
+
+TEST_F(NmpTest, InjectedStallSwallowsWorkingDoorbellsOnly)
+{
+    nmp_.inject_stall(2);
+    EXPECT_EQ(nmp_.stall_remaining(), 2u);
+
+    // Empty ring: the doorbell is a no-op and must not consume budget.
+    EXPECT_EQ(nmp_.doorbell(1), 0u);
+    EXPECT_EQ(nmp_.stall_remaining(), 2u);
+    EXPECT_EQ(nmp_.total_stalled_doorbells(), 0u);
+
+    ASSERT_TRUE(nmp_.spwr_post(
+        1, cxl::McasOperand{.target = 2048, .expected = 0, .swap = 5}));
+    EXPECT_EQ(nmp_.doorbell(1), 0u);
+    // The operand is still Posted — how a session distinguishes "stalled"
+    // from "nothing to execute" before climbing its retry ladder.
+    EXPECT_EQ(nmp_.posted_occupancy(1), 1u);
+    EXPECT_EQ(nmp_.stall_remaining(), 1u);
+    EXPECT_EQ(nmp_.doorbell(1), 0u);
+    EXPECT_EQ(nmp_.stall_remaining(), 0u);
+    EXPECT_EQ(nmp_.total_stalled_doorbells(), 2u);
+
+    EXPECT_EQ(nmp_.doorbell(1), 1u);
+    McasResult r;
+    ASSERT_TRUE(nmp_.poll(1, &r));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(word(2048), 5u);
+    EXPECT_EQ(nmp_.posted_occupancy(1), 0u);
+}
+
+TEST_F(NmpTest, InjectedStallIsAdditive)
+{
+    nmp_.inject_stall(1);
+    nmp_.inject_stall(2);
+    EXPECT_EQ(nmp_.stall_remaining(), 3u);
+}
+
+TEST_F(NmpTest, InjectedDelayIsChargedPerAnsweredDoorbell)
+{
+    EXPECT_EQ(nmp_.take_injected_delay_ns(), 0u);
+    nmp_.inject_delay(900, 2);
+    EXPECT_EQ(nmp_.take_injected_delay_ns(), 900u);
+    EXPECT_EQ(nmp_.take_injected_delay_ns(), 900u);
+    EXPECT_EQ(nmp_.take_injected_delay_ns(), 0u);
+}
+
+TEST_F(NmpTest, StalledOperandSurvivesForRecoveryInspection)
+{
+    // A stall strands staged operands in device memory; ring_snapshot must
+    // still see them (recovery reads the ring of a thread that gave up),
+    // and reset_ring releases them without executing.
+    nmp_.inject_stall(1);
+    ASSERT_TRUE(nmp_.spwr_post(
+        2, cxl::McasOperand{.target = 4096, .expected = 0, .swap = 9}));
+    EXPECT_EQ(nmp_.doorbell(2), 0u);
+
+    cxl::NmpSlotView view[cxl::kNmpRingSlots];
+    ASSERT_EQ(nmp_.ring_snapshot(2, view, cxl::kNmpRingSlots), 1u);
+    EXPECT_EQ(view[0].state, cxl::NmpSlotState::Posted);
+    EXPECT_EQ(view[0].op.target, 4096u);
+    EXPECT_EQ(view[0].op.swap, 9u);
+
+    nmp_.reset_ring(2);
+    EXPECT_EQ(nmp_.ring_occupancy(2), 0u);
+    EXPECT_EQ(word(4096), 0u); // never executed
+}
+
 } // namespace

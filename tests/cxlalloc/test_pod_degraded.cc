@@ -1,0 +1,364 @@
+/// @file
+/// Degraded-mode placement and fault recovery on the sharded pod
+/// allocator: runtime Down/Suspect masks from the topology health table,
+/// healthy-first probing, parked frees across an edge outage (deferred,
+/// never lost) and their replay, plus the registry-driven fault sweep —
+/// every registered fault point injected mid-workload must leave exact
+/// block accounting after recovery.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cxlalloc/pod_shard.h"
+#include "pod/faults.h"
+#include "pod/pod.h"
+#include "pod/topology.h"
+
+namespace {
+
+using cxl::EdgeCost;
+using cxl::EdgeState;
+using cxlalloc::PodShardedAllocator;
+using pod::FaultInjector;
+using pod::FaultPlan;
+using pod::FaultPointInfo;
+using pod::FaultPointRegistry;
+using pod::HostId;
+using pod::Pod;
+using pod::PodConfig;
+using pod::Topology;
+namespace faultpoint = pod::faultpoint;
+
+EdgeCost
+far_edge()
+{
+    EdgeCost e;
+    e.read_add_ns = 100;
+    e.write_add_ns = 150;
+    return e;
+}
+
+/// A 2x2 dense pod with one tiny shard per device (2 small slabs = 64
+/// 1-KiB blocks each), mirroring test_pod_shard.cc's world.
+struct DegradedWorld {
+    DegradedWorld()
+        : topo(Topology::dense(2, 2, EdgeCost{}, far_edge()))
+    {
+        cfg.small_slabs = 2;
+        cfg.large_slabs = 2;
+        cfg.huge_regions = 2;
+        cfg.huge_region_size = 1 << 20;
+        cfg.huge_descs_per_thread = 4;
+        cfg.hazard_slots_per_thread = 4;
+
+        PodConfig pc;
+        pc.device = PodShardedAllocator::device_config(
+            cfg, topo, cxl::CoherenceMode::PartialHwcc);
+        pc.topology = topo;
+        pod = std::make_unique<Pod>(pc);
+        alloc = std::make_unique<PodShardedAllocator>(*pod, cfg);
+        for (HostId h = 0; h < 2; h++) {
+            procs.push_back(pod->create_process(h));
+            alloc->attach(*procs.back());
+        }
+    }
+
+    std::unique_ptr<pod::ThreadContext>
+    thread(HostId host)
+    {
+        auto ctx = pod->create_thread(procs[host]);
+        alloc->attach_thread(*ctx);
+        return ctx;
+    }
+
+    cxl::DeviceId device_of(cxl::HeapOffset p)
+    {
+        return pod->device().device_of(p);
+    }
+
+    /// Quiescent conservation oracle: free counter == bitset popcount on
+    /// every classed small slab of every shard.
+    void
+    sweep_accounting(cxl::MemSession& mem)
+    {
+        for (cxl::DeviceId d = 0; d < alloc->shard_count(); d++) {
+            cxlalloc::SlabHeap& heap = alloc->shard(d).small_heap();
+            std::uint32_t length = heap.length(mem);
+            for (std::uint32_t slab = 0; slab < length; slab++) {
+                if (heap.debug_class_biased(mem, slab) == 0) {
+                    continue;
+                }
+                EXPECT_EQ(heap.debug_free_blocks(mem, slab),
+                          heap.debug_bitset_count(mem, slab))
+                    << "shard " << d << " slab " << slab;
+            }
+        }
+        alloc->check_invariants(mem);
+    }
+
+    cxlalloc::Config cfg;
+    Topology topo;
+    std::unique_ptr<Pod> pod;
+    std::unique_ptr<PodShardedAllocator> alloc;
+    std::vector<pod::Process*> procs;
+};
+
+// ---------------------------------------------------------------------------
+// Health masks
+
+TEST(PodDegraded, RefreshPlacementTracksEdgeHealthPerHost)
+{
+    DegradedWorld w;
+    EXPECT_EQ(w.alloc->down_mask(0), 0u);
+    EXPECT_EQ(w.alloc->suspect_mask(0), 0u);
+
+    w.topo.set_edge_state(0, 1, EdgeState::Down);
+    w.alloc->refresh_placement();
+    EXPECT_EQ(w.alloc->down_mask(0), 1u << 1);
+    EXPECT_EQ(w.alloc->suspect_mask(0), 0u);
+    // Host 1's row is untouched: health is per (host, device) edge, not
+    // per device.
+    EXPECT_EQ(w.alloc->down_mask(1), 0u);
+
+    w.topo.set_edge_state(0, 1, EdgeState::Suspect);
+    w.alloc->refresh_placement();
+    EXPECT_EQ(w.alloc->down_mask(0), 0u);
+    EXPECT_EQ(w.alloc->suspect_mask(0), 1u << 1);
+
+    w.topo.set_edge_state(0, 1, EdgeState::Up);
+    w.alloc->refresh_placement();
+    EXPECT_EQ(w.alloc->down_mask(0), 0u);
+    EXPECT_EQ(w.alloc->suspect_mask(0), 0u);
+}
+
+TEST(PodDegraded, DownDeviceIsNeverProbed)
+{
+    DegradedWorld w;
+    auto ctx = w.thread(0);
+    w.topo.set_edge_state(0, 1, EdgeState::Down);
+    w.alloc->refresh_placement();
+
+    // Exhaust everything host 0 may touch: every block lands at home, and
+    // exhaustion returns 0 instead of spilling onto the Down device.
+    std::vector<cxl::HeapOffset> held;
+    cxl::HeapOffset p = 0;
+    while ((p = w.alloc->allocate(*ctx, 1024)) != 0) {
+        EXPECT_EQ(w.device_of(p), 0);
+        held.push_back(p);
+        ASSERT_LE(held.size(), 256u) << "runaway allocation";
+    }
+    EXPECT_GT(held.size(), 0u);
+
+    // The edge comes back: the very next allocation can spill again.
+    w.topo.set_edge_state(0, 1, EdgeState::Up);
+    w.alloc->refresh_placement();
+    p = w.alloc->allocate(*ctx, 1024);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(w.device_of(p), 1);
+    w.alloc->deallocate(*ctx, p);
+
+    for (cxl::HeapOffset h : held) {
+        w.alloc->deallocate(*ctx, h);
+    }
+    w.sweep_accounting(ctx->mem());
+    w.pod->release_thread(std::move(ctx));
+}
+
+TEST(PodDegraded, SuspectDeviceIsProbedOnlyAfterHealthyExhaustion)
+{
+    DegradedWorld w;
+    auto ctx = w.thread(0);
+    w.topo.set_edge_state(0, 1, EdgeState::Suspect);
+    w.alloc->refresh_placement();
+
+    // While the healthy home shard has room, nothing lands on the Suspect
+    // device; once home is exhausted the Suspect edge is still usable.
+    std::vector<cxl::HeapOffset> held;
+    bool spilled = false;
+    cxl::HeapOffset p = 0;
+    while ((p = w.alloc->allocate(*ctx, 1024)) != 0) {
+        if (w.device_of(p) == 1) {
+            spilled = true;
+        } else {
+            EXPECT_FALSE(spilled)
+                << "home allocation after the spill began";
+        }
+        held.push_back(p);
+        ASSERT_LE(held.size(), 256u) << "runaway allocation";
+    }
+    EXPECT_TRUE(spilled) << "Suspect must degrade placement, not capacity";
+
+    for (cxl::HeapOffset h : held) {
+        w.alloc->deallocate(*ctx, h);
+    }
+    w.sweep_accounting(ctx->mem());
+    w.pod->release_thread(std::move(ctx));
+}
+
+// ---------------------------------------------------------------------------
+// Parked frees
+
+TEST(PodDegraded, FreesIntoADownDeviceParkAndReplayAfterRecovery)
+{
+    DegradedWorld w;
+    auto c0 = w.thread(0);
+    auto c1 = w.thread(1);
+
+    // Host 1 fills blocks on its home device 1; host 0 will free them.
+    std::vector<cxl::HeapOffset> blocks;
+    for (int i = 0; i < 8; i++) {
+        cxl::HeapOffset p = w.alloc->allocate(*c1, 1024);
+        ASSERT_NE(p, 0u);
+        ASSERT_EQ(w.device_of(p), 1);
+        blocks.push_back(p);
+    }
+
+    w.topo.set_edge_state(0, 1, EdgeState::Down);
+    w.alloc->refresh_placement();
+    for (cxl::HeapOffset p : blocks) {
+        w.alloc->deallocate(*c0, p); // parks: the edge is Down
+    }
+    EXPECT_EQ(w.alloc->parked_frees(), 8u);
+    // Replay with the edge still Down is a no-op — parked means deferred,
+    // not dropped on the floor.
+    EXPECT_EQ(w.alloc->replay_parked(*c0), 0u);
+    EXPECT_EQ(w.alloc->parked_frees(), 8u);
+
+    w.topo.set_edge_state(0, 1, EdgeState::Up);
+    w.alloc->refresh_placement();
+    EXPECT_EQ(w.alloc->replay_parked(*c0), 8u);
+    EXPECT_EQ(w.alloc->parked_frees(), 0u);
+
+    w.sweep_accounting(c0->mem());
+    w.pod->release_thread(std::move(c0));
+    w.pod->release_thread(std::move(c1));
+}
+
+TEST(PodDegraded, BatchFreeParksOnlyTheDownPortion)
+{
+    DegradedWorld w;
+    auto c0 = w.thread(0);
+    auto c1 = w.thread(1);
+
+    std::vector<cxl::HeapOffset> mixed;
+    for (int i = 0; i < 4; i++) {
+        cxl::HeapOffset home = w.alloc->allocate(*c0, 1024);
+        cxl::HeapOffset far = w.alloc->allocate(*c1, 1024);
+        ASSERT_NE(home, 0u);
+        ASSERT_NE(far, 0u);
+        mixed.push_back(home);
+        mixed.push_back(far);
+    }
+
+    w.topo.set_edge_state(0, 1, EdgeState::Down);
+    w.alloc->refresh_placement();
+    w.alloc->deallocate_batch(*c0, mixed.data(),
+                              static_cast<std::uint32_t>(mixed.size()));
+    // The device-0 half freed straight through; only the Down half parks.
+    EXPECT_EQ(w.alloc->parked_frees(), 4u);
+
+    w.topo.set_edge_state(0, 1, EdgeState::Up);
+    w.alloc->refresh_placement();
+    EXPECT_EQ(w.alloc->replay_parked(*c0), 4u);
+
+    w.sweep_accounting(c0->mem());
+    w.pod->release_thread(std::move(c0));
+    w.pod->release_thread(std::move(c1));
+}
+
+// ---------------------------------------------------------------------------
+// Registry-driven fault sweep
+
+/// Every registered pod fault point, injected mid-workload through
+/// FaultPlan::for_point, must leave the allocator with exact block
+/// accounting once the fault is recovered: edges restored, dead hosts
+/// adopted and recovered, parked frees drained.
+TEST(PodDegraded, RegistrySweepEveryFaultPointKeepsBlockAccounting)
+{
+    pod::register_fault_points();
+    for (const FaultPointInfo& info : FaultPointRegistry::instance().all()) {
+        if (info.id < faultpoint::kEdgeDown ||
+            info.id > faultpoint::kHostKill) {
+            continue; // crashpoint ids live in other registries' sweeps
+        }
+        SCOPED_TRACE(info.name);
+
+        DegradedWorld w;
+        auto c0 = w.thread(0);
+        auto c1 = w.thread(1);
+        // Edge faults degrade host 0's view of device 1; the kill takes
+        // host 1, so the surviving worker always drives recovery.
+        HostId victim = info.id == faultpoint::kHostKill ? 1 : 0;
+        FaultInjector inj(*w.pod,
+                          FaultPlan::for_point(info.id, victim,
+                                               /*device=*/1, /*at_step=*/4));
+
+        std::vector<cxl::HeapOffset> live0, live1;
+        for (int round = 0; round < 12; round++) {
+            inj.step();
+            w.alloc->refresh_placement();
+            if (inj.host_killed(1) && c1 != nullptr) {
+                // Host 1 dies without writeback; the survivor adopts every
+                // crashed slot, recovers all shards, and inherits the dead
+                // host's live blocks.
+                w.pod->mark_crashed(std::move(c1),
+                                    Pod::CrashSeverity::Host);
+                for (cxl::ThreadId tid : w.pod->crashed_threads()) {
+                    auto rec = w.pod->adopt_thread(w.procs[0], tid);
+                    w.alloc->recover(*rec);
+                    w.pod->release_thread(std::move(rec));
+                }
+                live0.insert(live0.end(), live1.begin(), live1.end());
+                live1.clear();
+            }
+            cxl::HeapOffset p = w.alloc->allocate(*c0, 1024);
+            if (p != 0) {
+                live0.push_back(p);
+            }
+            if (c1 != nullptr) {
+                p = w.alloc->allocate(*c1, 1024);
+                if (p != 0) {
+                    live1.push_back(p);
+                }
+            }
+            // Cross-host frees every other round: under a Down edge these
+            // park; they must all be accounted for at the end.
+            if (round % 2 == 0 && !live1.empty()) {
+                w.alloc->deallocate(*c0, live1.back());
+                live1.pop_back();
+            }
+            if (round % 3 == 0 && !live0.empty() && c1 != nullptr) {
+                w.alloc->deallocate(*c1, live0.back());
+                live0.pop_back();
+            }
+        }
+        EXPECT_TRUE(inj.done()) << "plan did not fully fire/recover";
+
+        // Recovery: restore every edge (EdgeDown schedules none itself),
+        // drain the survivors' blocks, replay anything parked.
+        for (HostId h = 0; h < 2; h++) {
+            for (cxl::DeviceId d = 0; d < 2; d++) {
+                w.topo.set_edge_state(h, d, EdgeState::Up);
+            }
+        }
+        w.alloc->refresh_placement();
+        for (cxl::HeapOffset p : live0) {
+            w.alloc->deallocate(*c0, p);
+        }
+        for (cxl::HeapOffset p : live1) {
+            w.alloc->deallocate(c1 != nullptr ? *c1 : *c0, p);
+        }
+        w.alloc->replay_parked(*c0);
+        EXPECT_EQ(w.alloc->parked_frees(), 0u);
+
+        w.sweep_accounting(c0->mem());
+        w.pod->release_thread(std::move(c0));
+        if (c1 != nullptr) {
+            w.pod->release_thread(std::move(c1));
+        }
+    }
+}
+
+} // namespace

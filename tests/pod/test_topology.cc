@@ -210,15 +210,36 @@ TEST(PodRouting, SecondHostHasItsOwnHome)
     EXPECT_EQ(t1->mem().counters().pod_remote, 0u);
 }
 
-TEST(PodRoutingDeathTest, UnreachableWindowRejectsAccess)
+TEST(PodRouting, UnreachableWindowRejectsAccess)
 {
     // Octopus with one arm: host 0 is wired to device 0 only; touching
-    // window 1 is rejected deterministically, never misrouted.
+    // window 1 is rejected deterministically, never misrouted. Since the
+    // fault layer the rejection is a typed recoverable error, and the
+    // exception distinguishes "no wire" from "wired edge currently Down".
     RoutedPod rig(Topology::octopus(2, 2, 1, EdgeCost{}, far_edge()));
     auto* p0 = rig.pod->create_process(0);
     auto t0 = rig.pod->create_thread(p0);
     t0->mem().store<std::uint64_t>(8, 1); // home window: fine
+    try {
+        t0->mem().load<std::uint64_t>(1ull << 16);
+        FAIL() << "unwired access did not throw";
+    } catch (const cxl::EdgeDownError& e) {
+        EXPECT_EQ(e.device(), 1);
+        EXPECT_FALSE(e.wired());
+    }
+    EXPECT_EQ(t0->mem().counters().pod_edge_down, 1u);
+}
+
+TEST(PodRoutingDeathTest, UnreachableWindowPanicsWithKnobOn)
+{
+    // The historical abort-on-unreachable contract survives behind the
+    // debug knob for harnesses that want misroutes to be loud.
+    RoutedPod rig(Topology::octopus(2, 2, 1, EdgeCost{}, far_edge()));
+    auto* p0 = rig.pod->create_process(0);
+    auto t0 = rig.pod->create_thread(p0);
+    cxl::set_edge_down_panics(true);
     EXPECT_DEATH(t0->mem().load<std::uint64_t>(1ull << 16), "unreachable");
+    cxl::set_edge_down_panics(false);
 }
 
 TEST(PodRoutingDeathTest, WindowSpanningAccessDies)
